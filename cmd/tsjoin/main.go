@@ -1,0 +1,107 @@
+// Command tsjoin performs an NSLD self-join of tokenized strings read one
+// per line, printing the similar pairs — the library's primary operation
+// as a command-line tool.
+//
+// Usage:
+//
+//	tsjoin -in names.txt -t 0.1 -m 1000 [-matching fuzzy|exact]
+//	       [-aligning hungarian|greedy] [-dedup one|both] [-stats]
+//
+// Output: one line per similar pair, tab-separated:
+//
+//	<idA> <idB> <NSLD> <nameA> <nameB>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	tsjoin "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsjoin: ")
+
+	in := flag.String("in", "-", "input file with one name per line ('-' for stdin)")
+	t := flag.Float64("t", 0.1, "NSLD threshold T in [0,1)")
+	m := flag.Int("m", 1000, "max token frequency M (0 = unlimited)")
+	matching := flag.String("matching", "fuzzy", "candidate generation: fuzzy | exact")
+	aligning := flag.String("aligning", "hungarian", "verification alignment: hungarian | greedy")
+	dedup := flag.String("dedup", "one", "dedup strategy: one | both")
+	stats := flag.Bool("stats", false, "print pipeline statistics to stderr")
+	flag.Parse()
+
+	names, err := readLines(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := tsjoin.Options{Threshold: *t, MaxTokenFreq: *m}
+	switch *matching {
+	case "fuzzy":
+		opts.Matching = tsjoin.FuzzyTokenMatching
+	case "exact":
+		opts.Matching = tsjoin.ExactTokenMatching
+	default:
+		log.Fatalf("unknown -matching %q", *matching)
+	}
+	switch *aligning {
+	case "hungarian":
+		opts.Aligning = tsjoin.HungarianAligning
+	case "greedy":
+		opts.Aligning = tsjoin.GreedyAligning
+	default:
+		log.Fatalf("unknown -aligning %q", *aligning)
+	}
+	switch *dedup {
+	case "one":
+		opts.Dedup = tsjoin.GroupOnOneString
+	case "both":
+		opts.Dedup = tsjoin.GroupOnBothStrings
+	default:
+		log.Fatalf("unknown -dedup %q", *dedup)
+	}
+
+	pairs, st, err := tsjoin.SelfJoinStats(names, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, p := range pairs {
+		fmt.Fprintf(w, "%d\t%d\t%.6f\t%s\t%s\n", p.A, p.B, p.NSLD, names[p.A], names[p.B])
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, st.String())
+		for _, j := range st.Pipeline.Jobs {
+			fmt.Fprintln(os.Stderr, "  "+j.String())
+		}
+	}
+}
+
+func readLines(path string) ([]string, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var lines []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, sc.Err()
+}

@@ -1,0 +1,59 @@
+package tsjoin_test
+
+import (
+	"fmt"
+
+	tsjoin "repro"
+)
+
+// The NSLD distance compares token multisets: order and punctuation are
+// irrelevant, small in-token edits cost little.
+func ExampleNSLD() {
+	fmt.Printf("%.3f\n", tsjoin.NSLD("Barak Obama", "Obama, Barak"))
+	fmt.Printf("%.3f\n", tsjoin.NSLD("Barak Obama", "Burak Ubama"))
+	fmt.Printf("%.3f\n", tsjoin.NSLD("Barak Obama", "John Smith"))
+	// Output:
+	// 0.000
+	// 0.182
+	// 0.690
+}
+
+// SelfJoin finds all pairs within an NSLD threshold.
+func ExampleSelfJoin() {
+	names := []string{"Barak Obama", "Burak Ubama", "John Smith", "Smith, John"}
+	pairs, err := tsjoin.SelfJoin(names, tsjoin.Options{Threshold: 0.2})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("%s ~ %s (%.3f)\n", names[p.A], names[p.B], p.NSLD)
+	}
+	// Output:
+	// Barak Obama ~ Burak Ubama (0.182)
+	// John Smith ~ Smith, John (0.000)
+}
+
+// The incremental Matcher screens arrivals against everything seen so far.
+func ExampleMatcher() {
+	m, err := tsjoin.NewMatcher(tsjoin.MatcherOptions{Threshold: 0.12})
+	if err != nil {
+		panic(err)
+	}
+	m.Add("barak obama")
+	for _, hit := range m.Add("barak obamma") {
+		fmt.Printf("matched #%d at %.3f\n", hit.ID, hit.NSLD)
+	}
+	// Output:
+	// matched #0 at 0.091
+}
+
+// The Index answers exact nearest-neighbor queries because NSLD is a
+// metric.
+func ExampleIndex() {
+	ix := tsjoin.NewIndex([]string{"barak obama", "john smith", "mary huang"})
+	for _, n := range ix.Nearest("barak obamma", 1) {
+		fmt.Printf("%s (%.3f)\n", n.Name, n.Distance)
+	}
+	// Output:
+	// barak obama (0.091)
+}

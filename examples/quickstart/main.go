@@ -1,0 +1,62 @@
+// Quickstart: the NSLD distance and a small self-join.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	tsjoin "repro"
+)
+
+func main() {
+	// --- Distances -------------------------------------------------------
+	// NSLD compares token *multisets*: token order and punctuation do not
+	// matter, small edits inside tokens cost little, and the value is
+	// normalized to [0, 1].
+	fmt.Println("distances:")
+	for _, pair := range [][2]string{
+		{"Barak Obama", "Obama, Barak"},      // shuffle: identical multisets
+		{"Barak Obama", "Burak Ubama"},       // two 1-char edits
+		{"Barak Obama", "Obamma, Boraak H."}, // the paper's fraud example
+		{"Barak Obama", "John Smith"},        // unrelated
+	} {
+		fmt.Printf("  NSLD(%q, %q) = %.4f  (SLD=%d, LD=%d)\n",
+			pair[0], pair[1],
+			tsjoin.NSLD(pair[0], pair[1]),
+			tsjoin.SLD(pair[0], pair[1]),
+			tsjoin.LD(pair[0], pair[1]))
+	}
+
+	// --- Self-join --------------------------------------------------------
+	// Find every pair of accounts whose names are within NSLD 0.25 — the
+	// pairs an abuse-detection pipeline would link in its similarity
+	// graph.
+	names := []string{
+		"Barak Obama",
+		"Obama, Barak H.",
+		"Burak Ubama",
+		"John Smith",
+		"Smith John",
+		"Jon Smyth",
+		"Mary Huang",
+	}
+	pairs, err := tsjoin.SelfJoin(names, tsjoin.Options{Threshold: 0.25})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nsimilar pairs at T=0.25:")
+	for _, p := range pairs {
+		fmt.Printf("  %-18q ~ %-18q NSLD=%.4f\n", names[p.A], names[p.B], p.NSLD)
+	}
+
+	// --- Nearest neighbors -------------------------------------------------
+	// NSLD is a metric, so exact KNN queries work out of the box.
+	ix := tsjoin.NewIndex(names)
+	fmt.Println("\n3 nearest neighbors of \"barak h obama\":")
+	for _, n := range ix.Nearest("barak h obama", 3) {
+		fmt.Printf("  %-18q NSLD=%.4f\n", n.Name, n.Distance)
+	}
+}

@@ -1,0 +1,71 @@
+package tsjoin
+
+import (
+	"repro/internal/core"
+	"repro/internal/token"
+	"repro/internal/vptree"
+)
+
+// Index is a K-nearest-neighbor index over names under the NSLD metric —
+// the metric-space application the paper motivates in Sec. II-D. Queries
+// are exact; correctness rests on NSLD's triangle inequality (Theorem 2).
+type Index struct {
+	names []string
+	tree  *vptree.Tree[token.TokenizedString]
+	tok   Tokenizer
+}
+
+// Neighbor is one query result.
+type Neighbor struct {
+	// ID indexes the name slice the Index was built from.
+	ID int
+	// Name is the indexed string.
+	Name string
+	// Distance is NSLD(query, name).
+	Distance float64
+}
+
+// NewIndex builds an NSLD index over names with the default tokenizer.
+func NewIndex(names []string) *Index { return NewIndexTokenizer(names, nil) }
+
+// NewIndexTokenizer builds an index with a custom tokenizer.
+func NewIndexTokenizer(names []string, tok Tokenizer) *Index {
+	if tok == nil {
+		tok = token.WhitespaceAndPunct
+	}
+	items := make([]token.TokenizedString, len(names))
+	for i, n := range names {
+		items[i] = tok(n)
+	}
+	metric := func(a, b token.TokenizedString) float64 { return core.NSLD(a, b) }
+	return &Index{
+		names: names,
+		tree:  vptree.New(items, metric, 1),
+		tok:   tok,
+	}
+}
+
+// Nearest returns the k indexed names closest to query under NSLD,
+// ordered by distance.
+func (ix *Index) Nearest(query string, k int) []Neighbor {
+	idx, dists := ix.tree.Nearest(ix.tok(query), k)
+	return ix.neighbors(idx, dists)
+}
+
+// Within returns every indexed name with NSLD(query, name) <= r, ordered
+// by distance.
+func (ix *Index) Within(query string, r float64) []Neighbor {
+	idx, dists := ix.tree.Within(ix.tok(query), r)
+	return ix.neighbors(idx, dists)
+}
+
+// Len returns the number of indexed names.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+func (ix *Index) neighbors(idx []int, dists []float64) []Neighbor {
+	out := make([]Neighbor, len(idx))
+	for i := range idx {
+		out[i] = Neighbor{ID: idx[i], Name: ix.names[idx[i]], Distance: dists[i]}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package assignment solves the min-cost assignment problem on dense cost
+// matrices. The exact solver is the O(n^3) Hungarian algorithm the paper's
+// SLD calculation prescribes (Sec. III-F); the greedy solver implements the
+// greedy-token-aligning approximation of Sec. III-G.5.
+package assignment
+
+import "sort"
+
+// Hungarian returns a minimum-cost perfect matching of an n x n cost
+// matrix, as the assigned column for each row plus the total cost. cost
+// must be square and non-negative.
+//
+// The implementation is the potential-based (Jonker–Volgenant style)
+// shortest augmenting path formulation of Kuhn–Munkres, O(n^3) time and
+// O(n) extra space per augmentation.
+func Hungarian(cost [][]int) (rowToCol []int, total int) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	const inf = int(^uint(0) >> 2)
+	// u, v are dual potentials; p[j] is the row matched to column j
+	// (1-based internally, column 0 is the virtual root).
+	u := make([]int, n+1)
+	v := make([]int, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][rowToCol[i]]
+	}
+	return rowToCol, total
+}
+
+// Greedy returns a perfect matching built by repeatedly selecting the
+// globally cheapest remaining edge and removing its endpoints, exactly the
+// greedy-token-aligning strategy of Sec. III-G.5. Ties are broken by
+// (row, col) order so the result is deterministic. The returned total is an
+// upper bound on the Hungarian optimum.
+//
+// Complexity: O(n^2 log n) for the sort plus O(n^2) selection, matching the
+// paper's stated O(T(x)*T(y)*log(T(x)*T(y))) alignment term.
+func Greedy(cost [][]int) (rowToCol []int, total int) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	type edge struct {
+		w, r, c int
+	}
+	edges := make([]edge, 0, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			edges = append(edges, edge{cost[r][c], r, c})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].w != edges[b].w {
+			return edges[a].w < edges[b].w
+		}
+		if edges[a].r != edges[b].r {
+			return edges[a].r < edges[b].r
+		}
+		return edges[a].c < edges[b].c
+	})
+	rowToCol = make([]int, n)
+	for i := range rowToCol {
+		rowToCol[i] = -1
+	}
+	colUsed := make([]bool, n)
+	matched := 0
+	for _, e := range edges {
+		if matched == n {
+			break
+		}
+		if rowToCol[e.r] != -1 || colUsed[e.c] {
+			continue
+		}
+		rowToCol[e.r] = e.c
+		colUsed[e.c] = true
+		total += e.w
+		matched++
+	}
+	return rowToCol, total
+}

@@ -1,0 +1,171 @@
+package assignment
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceMin computes the optimal assignment cost by enumerating all
+// permutations; reference for small n.
+func bruteForceMin(cost [][]int) int {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := int(^uint(0) >> 2)
+	var rec func(k, acc int)
+	rec = func(k, acc int) {
+		if acc >= best {
+			return
+		}
+		if k == n {
+			best = acc
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k+1, acc+cost[k][perm[k]])
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func randMatrix(rng *rand.Rand, n, maxCost int) [][]int {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			m[i][j] = rng.Intn(maxCost)
+		}
+	}
+	return m
+}
+
+func TestHungarianKnown(t *testing.T) {
+	cost := [][]int{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	asg, total := Hungarian(cost)
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %d, want 5 (assignment %v)", total, asg)
+	}
+	// Verify the assignment is a permutation achieving the total.
+	seen := make([]bool, 3)
+	sum := 0
+	for r, c := range asg {
+		if seen[c] {
+			t.Fatalf("column %d assigned twice", c)
+		}
+		seen[c] = true
+		sum += cost[r][c]
+	}
+	if sum != total {
+		t.Fatalf("assignment sums to %d, reported %d", sum, total)
+	}
+}
+
+func TestHungarianEmptyAndSingle(t *testing.T) {
+	if asg, total := Hungarian(nil); asg != nil || total != 0 {
+		t.Fatal("empty matrix must yield empty assignment")
+	}
+	asg, total := Hungarian([][]int{{7}})
+	if total != 7 || len(asg) != 1 || asg[0] != 0 {
+		t.Fatalf("1x1: got %v %d", asg, total)
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(6)
+		cost := randMatrix(rng, n, 12)
+		_, got := Hungarian(cost)
+		want := bruteForceMin(cost)
+		if got != want {
+			t.Fatalf("Hungarian = %d, brute force = %d on %v", got, want, cost)
+		}
+	}
+}
+
+func TestHungarianLargeUniform(t *testing.T) {
+	// All-equal costs: any permutation is optimal; total must be n*c.
+	n := 40
+	cost := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]int, n)
+		for j := range cost[i] {
+			cost[i][j] = 3
+		}
+	}
+	_, total := Hungarian(cost)
+	if total != 3*n {
+		t.Fatalf("uniform total = %d, want %d", total, 3*n)
+	}
+}
+
+func TestGreedyIsUpperBoundAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(7)
+		cost := randMatrix(rng, n, 10)
+		asg, greedyTotal := Greedy(cost)
+		_, optTotal := Hungarian(cost)
+		if greedyTotal < optTotal {
+			t.Fatalf("greedy %d beat optimal %d on %v", greedyTotal, optTotal, cost)
+		}
+		seen := make([]bool, n)
+		sum := 0
+		for r, c := range asg {
+			if c < 0 || c >= n || seen[c] {
+				t.Fatalf("invalid greedy assignment %v", asg)
+			}
+			seen[c] = true
+			sum += cost[r][c]
+		}
+		if sum != greedyTotal {
+			t.Fatalf("greedy assignment sums to %d, reported %d", sum, greedyTotal)
+		}
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	cost := [][]int{
+		{1, 1, 1},
+		{1, 1, 1},
+		{1, 1, 1},
+	}
+	a1, _ := Greedy(cost)
+	a2, _ := Greedy(cost)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("greedy must be deterministic under ties")
+		}
+	}
+	// Tie-break by (row, col): row i matches col i.
+	for i, c := range a1 {
+		if c != i {
+			t.Fatalf("expected identity assignment under uniform ties, got %v", a1)
+		}
+	}
+}
+
+func TestGreedySuboptimalCase(t *testing.T) {
+	// Classic greedy trap: cheapest edge (0,0)=0 forces expensive leftovers.
+	cost := [][]int{
+		{0, 1},
+		{1, 100},
+	}
+	_, greedyTotal := Greedy(cost)
+	_, optTotal := Hungarian(cost)
+	if optTotal != 2 {
+		t.Fatalf("optimal = %d, want 2", optTotal)
+	}
+	if greedyTotal != 100 {
+		t.Fatalf("greedy = %d, want 100 (picks (0,0) then (1,1))", greedyTotal)
+	}
+}

@@ -1,0 +1,127 @@
+package assignment
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genMatrix generates small random cost matrices for quick checks.
+type genMatrix struct {
+	M [][]int
+}
+
+func (genMatrix) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(6)
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			m[i][j] = r.Intn(20)
+		}
+	}
+	return reflect.ValueOf(genMatrix{m})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(55))}
+}
+
+// TestQuickHungarianOptimalVsRandomPermutations: no random permutation
+// beats the Hungarian solution.
+func TestQuickHungarianOptimalVsRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	f := func(g genMatrix) bool {
+		_, opt := Hungarian(g.M)
+		n := len(g.M)
+		for trial := 0; trial < 20; trial++ {
+			perm := rng.Perm(n)
+			sum := 0
+			for i, j := range perm {
+				sum += g.M[i][j]
+			}
+			if sum < opt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHungarianIsPermutation: the returned assignment is always a
+// permutation whose cost equals the reported total.
+func TestQuickHungarianIsPermutation(t *testing.T) {
+	f := func(g genMatrix) bool {
+		asg, total := Hungarian(g.M)
+		n := len(g.M)
+		if len(asg) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		sum := 0
+		for r, c := range asg {
+			if c < 0 || c >= n || seen[c] {
+				return false
+			}
+			seen[c] = true
+			sum += g.M[r][c]
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGreedyValidAndDominated: greedy always yields a valid
+// permutation costing at least the optimum.
+func TestQuickGreedyValidAndDominated(t *testing.T) {
+	f := func(g genMatrix) bool {
+		asg, total := Greedy(g.M)
+		_, opt := Hungarian(g.M)
+		if total < opt {
+			return false
+		}
+		n := len(g.M)
+		seen := make([]bool, n)
+		sum := 0
+		for r, c := range asg {
+			if c < 0 || c >= n || seen[c] {
+				return false
+			}
+			seen[c] = true
+			sum += g.M[r][c]
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHungarianShiftInvariance: adding a constant to every entry of
+// a row shifts the optimum by exactly that constant (LP duality sanity).
+func TestQuickHungarianShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	f := func(g genMatrix) bool {
+		_, opt := Hungarian(g.M)
+		shift := 1 + rng.Intn(10)
+		row := rng.Intn(len(g.M))
+		m2 := make([][]int, len(g.M))
+		for i := range g.M {
+			m2[i] = append([]int(nil), g.M[i]...)
+		}
+		for j := range m2[row] {
+			m2[row][j] += shift
+		}
+		_, opt2 := Hungarian(m2)
+		return opt2 == opt+shift
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

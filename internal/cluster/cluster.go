@@ -1,0 +1,182 @@
+// Package cluster turns the pairs produced by a similarity join into
+// account clusters — the final step of the paper's motivating application
+// (Sec. I-A): "The pairs of accounts that are highly similar are used to
+// form edges in a similarity graph ... The graph is clustered. The
+// detected clusters flag potential rings."
+//
+// Connected components (union-find) is the baseline clustering; the
+// package also provides an edge-weight-aware variant that only merges
+// components through edges below a tighter distance, which keeps loosely
+// chained accounts apart.
+package cluster
+
+import "sort"
+
+// Edge is one similarity-graph edge between two node ids with a distance
+// weight (smaller = more similar).
+type Edge struct {
+	A, B int
+	Dist float64
+}
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// size.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	comps  int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), size: make([]int32, n), comps: n}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the set representative of x.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != int32(x) {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = int(uf.parent[x])
+	}
+	return x
+}
+
+// Union merges the sets of a and b; it reports whether a merge happened.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	uf.size[ra] += uf.size[rb]
+	uf.comps--
+	return true
+}
+
+// Components returns the number of disjoint sets.
+func (uf *UnionFind) Components() int { return uf.comps }
+
+// SizeOf returns the size of x's set.
+func (uf *UnionFind) SizeOf(x int) int { return int(uf.size[uf.Find(x)]) }
+
+// Cluster is one detected group of node ids, sorted ascending.
+type Cluster struct {
+	Members []int
+	// MaxDist is the largest edge distance used inside the cluster.
+	MaxDist float64
+}
+
+// ConnectedComponents clusters n nodes by the given edges and returns all
+// clusters with at least minSize members, largest first (ties by smallest
+// member id). This is the paper's baseline graph clustering.
+func ConnectedComponents(n int, edges []Edge, minSize int) []Cluster {
+	uf := NewUnionFind(n)
+	maxDist := make(map[int]float64)
+	for _, e := range edges {
+		uf.Union(e.A, e.B)
+	}
+	members := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := uf.Find(i)
+		members[r] = append(members[r], i)
+	}
+	for _, e := range edges {
+		r := uf.Find(e.A)
+		if e.Dist > maxDist[r] {
+			maxDist[r] = e.Dist
+		}
+	}
+	var out []Cluster
+	for r, m := range members {
+		if len(m) < minSize {
+			continue
+		}
+		sort.Ints(m)
+		out = append(out, Cluster{Members: m, MaxDist: maxDist[r]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}
+
+// SingleLinkage clusters with a distance cut: edges are processed in
+// ascending distance order and merging stops at the cut, so clusters are
+// the connected components of the subgraph with Dist <= cut. Unlike plain
+// connected components over all edges, a tight cut prevents "chaining"
+// through borderline pairs.
+func SingleLinkage(n int, edges []Edge, cut float64, minSize int) []Cluster {
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Dist != sorted[j].Dist {
+			return sorted[i].Dist < sorted[j].Dist
+		}
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+	var kept []Edge
+	for _, e := range sorted {
+		if e.Dist > cut {
+			break
+		}
+		kept = append(kept, e)
+	}
+	return ConnectedComponents(n, kept, minSize)
+}
+
+// Dendrogram records the merge order of a full single-linkage run: each
+// step merges two components through the cheapest remaining edge. Cutting
+// the dendrogram at any distance reproduces SingleLinkage at that cut.
+type Dendrogram struct {
+	// Merges lists the accepted merge edges in ascending distance order.
+	Merges []Edge
+	n      int
+}
+
+// BuildDendrogram runs single-linkage to completion.
+func BuildDendrogram(n int, edges []Edge) *Dendrogram {
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Dist != sorted[j].Dist {
+			return sorted[i].Dist < sorted[j].Dist
+		}
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+	uf := NewUnionFind(n)
+	d := &Dendrogram{n: n}
+	for _, e := range sorted {
+		if uf.Union(e.A, e.B) {
+			d.Merges = append(d.Merges, e)
+		}
+	}
+	return d
+}
+
+// Cut returns the clusters obtained by keeping only merges with
+// Dist <= cut.
+func (d *Dendrogram) Cut(cut float64, minSize int) []Cluster {
+	var kept []Edge
+	for _, e := range d.Merges {
+		if e.Dist > cut {
+			break
+		}
+		kept = append(kept, e)
+	}
+	return ConnectedComponents(d.n, kept, minSize)
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Components() != 5 {
+		t.Fatalf("Components = %d, want 5", uf.Components())
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union must merge")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeat union must not merge")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if uf.Components() != 2 {
+		t.Fatalf("Components = %d, want 2", uf.Components())
+	}
+	if uf.Find(1) != uf.Find(2) {
+		t.Fatal("1 and 2 must share a root")
+	}
+	if uf.SizeOf(0) != 4 {
+		t.Fatalf("SizeOf = %d, want 4", uf.SizeOf(0))
+	}
+	if uf.Find(4) == uf.Find(0) {
+		t.Fatal("4 must stay separate")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	edges := []Edge{
+		{0, 1, 0.1}, {1, 2, 0.2}, // cluster {0,1,2}
+		{3, 4, 0.05}, // cluster {3,4}
+	}
+	got := ConnectedComponents(6, edges, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(got))
+	}
+	// Largest first.
+	if len(got[0].Members) != 3 || got[0].Members[0] != 0 {
+		t.Fatalf("first cluster = %+v", got[0])
+	}
+	if got[0].MaxDist != 0.2 {
+		t.Fatalf("MaxDist = %v, want 0.2", got[0].MaxDist)
+	}
+	if len(got[1].Members) != 2 || got[1].Members[0] != 3 {
+		t.Fatalf("second cluster = %+v", got[1])
+	}
+	// minSize filters singletons (node 5).
+	for _, c := range got {
+		if len(c.Members) < 2 {
+			t.Fatal("minSize violated")
+		}
+	}
+}
+
+func TestSingleLinkageCutStopsChaining(t *testing.T) {
+	// A chain 0 -0.05- 1 -0.05- 2 -0.3- 3: a cut at 0.1 splits off 3.
+	edges := []Edge{{0, 1, 0.05}, {1, 2, 0.05}, {2, 3, 0.3}}
+	loose := SingleLinkage(4, edges, 0.5, 2)
+	if len(loose) != 1 || len(loose[0].Members) != 4 {
+		t.Fatalf("loose cut: %+v", loose)
+	}
+	tight := SingleLinkage(4, edges, 0.1, 2)
+	if len(tight) != 1 || len(tight[0].Members) != 3 {
+		t.Fatalf("tight cut: %+v", tight)
+	}
+}
+
+func TestDendrogramCutMatchesSingleLinkage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	var edges []Edge
+	for i := 0; i < 150; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		edges = append(edges, Edge{a, b, rng.Float64()})
+	}
+	d := BuildDendrogram(n, edges)
+	for _, cut := range []float64{0.1, 0.3, 0.7, 1.0} {
+		want := SingleLinkage(n, edges, cut, 1)
+		got := d.Cut(cut, 1)
+		if len(want) != len(got) {
+			t.Fatalf("cut %v: %d vs %d clusters", cut, len(got), len(want))
+		}
+		for i := range want {
+			if len(want[i].Members) != len(got[i].Members) {
+				t.Fatalf("cut %v cluster %d size mismatch", cut, i)
+			}
+			for j := range want[i].Members {
+				if want[i].Members[j] != got[i].Members[j] {
+					t.Fatalf("cut %v cluster %d member mismatch", cut, i)
+				}
+			}
+		}
+	}
+	// Merge distances are non-decreasing.
+	for i := 1; i < len(d.Merges); i++ {
+		if d.Merges[i].Dist < d.Merges[i-1].Dist {
+			t.Fatal("dendrogram merges out of order")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if got := ConnectedComponents(0, nil, 1); len(got) != 0 {
+		t.Fatal("empty graph must have no clusters")
+	}
+	if got := ConnectedComponents(3, nil, 2); len(got) != 0 {
+		t.Fatal("edgeless graph has no clusters of size >= 2")
+	}
+	if got := ConnectedComponents(3, nil, 1); len(got) != 3 {
+		t.Fatal("edgeless graph has n singletons at minSize 1")
+	}
+}

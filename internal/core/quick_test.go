@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/token"
+)
+
+// genTS wraps TokenizedString with a quick.Generator so testing/quick can
+// produce random token multisets directly.
+type genTS struct {
+	TS token.TokenizedString
+}
+
+// Generate implements quick.Generator: up to 4 tokens of 1-5 runes over a
+// small alphabet (collision-heavy on purpose).
+func (genTS) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(5)
+	toks := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l := 1 + r.Intn(5)
+		b := make([]rune, l)
+		for j := range b {
+			b[j] = rune('a' + r.Intn(4))
+		}
+		toks = append(toks, string(b))
+	}
+	return reflect.ValueOf(genTS{token.New(toks)})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(99))}
+}
+
+func TestQuickNSLDSymmetryAndRange(t *testing.T) {
+	f := func(a, b genTS) bool {
+		d1 := NSLD(a.TS, b.TS)
+		d2 := NSLD(b.TS, a.TS)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNSLDTriangle(t *testing.T) {
+	f := func(a, b, c genTS) bool {
+		return NSLD(a.TS, b.TS)+NSLD(b.TS, c.TS) >= NSLD(a.TS, c.TS)-1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSLDTriangleAndIdentity(t *testing.T) {
+	f := func(a, b, c genTS) bool {
+		if SLD(a.TS, a.TS) != 0 {
+			return false
+		}
+		return SLD(a.TS, b.TS)+SLD(b.TS, c.TS) >= SLD(a.TS, c.TS)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGreedyDominatesExact(t *testing.T) {
+	f := func(a, b genTS) bool {
+		return SLDGreedy(a.TS, b.TS) >= SLD(a.TS, b.TS)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHistogramBoundSafe(t *testing.T) {
+	f := func(a, b genTS) bool {
+		lb := HistogramLowerBound(a.TS.LengthHistogram(), b.TS.LengthHistogram())
+		return lb <= SLD(a.TS, b.TS)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSLDLengthDeltaLowerBound(t *testing.T) {
+	// Each character edit changes the aggregate length by at most one, so
+	// SLD >= |L(x) - L(y)| (the sound half of Lemma 6).
+	f := func(a, b genTS) bool {
+		dl := a.TS.AggregateLen() - b.TS.AggregateLen()
+		if dl < 0 {
+			dl = -dl
+		}
+		return SLD(a.TS, b.TS) >= dl
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNSLDZeroIffEqualMultiset(t *testing.T) {
+	f := func(a, b genTS) bool {
+		return (NSLD(a.TS, b.TS) == 0) == a.TS.Equal(b.TS)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

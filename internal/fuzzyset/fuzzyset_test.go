@@ -1,0 +1,138 @@
+package fuzzyset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func ts(tokens ...string) token.TokenizedString { return token.New(tokens) }
+
+func TestIdenticalStringsSimilarityOne(t *testing.T) {
+	x := ts("barak", "obama")
+	for _, m := range []Measure{FJaccard, FCosine, FDice} {
+		if got := Similarity(m, x, x, DefaultOptions()); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%v(x,x) = %v, want 1", m, got)
+		}
+		if got := Distance(m, x, x, DefaultOptions()); math.Abs(got) > 1e-9 {
+			t.Errorf("%v distance(x,x) = %v, want 0", m, got)
+		}
+	}
+}
+
+func TestDisjointStringsSimilarityZero(t *testing.T) {
+	x := ts("barak", "obama")
+	y := ts("xqz", "wvu")
+	for _, m := range []Measure{FJaccard, FCosine, FDice} {
+		if got := Similarity(m, x, y, DefaultOptions()); got != 0 {
+			t.Errorf("%v of disjoint = %v, want 0", m, got)
+		}
+	}
+}
+
+func TestExactJaccardWhenNoFuzzyMatches(t *testing.T) {
+	// With δ = 1.0 only identical tokens match, reducing FJaccard to
+	// plain (unweighted) Jaccard on token sets.
+	x := ts("a", "b", "c")
+	y := ts("b", "c", "d")
+	opt := Options{TokenThreshold: 1.0}
+	// Jaccard = |{b,c}| / |{a,b,c,d}| = 2/4.
+	if got := Similarity(FJaccard, x, y, opt); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("FJaccard = %v, want 0.5", got)
+	}
+	// Dice = 2*2/(3+3).
+	if got := Similarity(FDice, x, y, opt); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("FDice = %v, want 2/3", got)
+	}
+	// Cosine = 2/sqrt(9).
+	if got := Similarity(FCosine, x, y, opt); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("FCosine = %v, want 2/3", got)
+	}
+}
+
+func TestFuzzyTokenMatchCounts(t *testing.T) {
+	// "smith" vs "smyth": NLD = 2/(5+5+1) ... LD=1 -> NLD = 2/11 ≈ 0.18,
+	// sim ≈ 0.82 >= 0.75, so the pair fuzzily overlaps.
+	x := ts("john", "smith")
+	y := ts("john", "smyth")
+	got := Similarity(FJaccard, x, y, DefaultOptions())
+	if got <= 0.5 {
+		t.Errorf("fuzzy match should lift similarity above plain Jaccard 1/3: got %v", got)
+	}
+	if got >= 1 {
+		t.Errorf("non-identical strings must have similarity < 1: got %v", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 300; i++ {
+		x := randomTS(rng)
+		y := randomTS(rng)
+		for _, m := range []Measure{FJaccard, FCosine, FDice} {
+			a := Similarity(m, x, y, DefaultOptions())
+			b := Similarity(m, y, x, DefaultOptions())
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("%v asymmetric: %v vs %v for %v | %v", m, a, b, x, y)
+			}
+			if a < 0 || a > 1+1e-9 {
+				t.Fatalf("%v out of range: %v", m, a)
+			}
+		}
+	}
+}
+
+func randomTS(rng *rand.Rand) token.TokenizedString {
+	n := rng.Intn(4)
+	toks := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(6)
+		b := make([]rune, l)
+		for j := range b {
+			b[j] = rune('a' + rng.Intn(5))
+		}
+		toks = append(toks, string(b))
+	}
+	return token.New(toks)
+}
+
+func TestIDFWeightsPreferRareTokens(t *testing.T) {
+	raw := []string{"john smith", "john doe", "john wu", "zyx smith"}
+	c := token.BuildCorpus(raw, token.WhitespaceAndPunct)
+	w := IDFWeights(c)
+	if w("john") >= w("zyx") {
+		t.Errorf("frequent token must weigh less: john=%v zyx=%v", w("john"), w("zyx"))
+	}
+	opt := Options{TokenThreshold: 1.0, Weights: w}
+	// Sharing rare "smith" must beat sharing frequent "john".
+	shareRare := Similarity(FJaccard, ts("john", "smith"), ts("zyx", "smith"), opt)
+	shareFreq := Similarity(FJaccard, ts("john", "smith"), ts("john", "wu"), opt)
+	if shareRare <= shareFreq {
+		t.Errorf("rare-token overlap should score higher: %v vs %v", shareRare, shareFreq)
+	}
+}
+
+func TestEmptyStrings(t *testing.T) {
+	empty := ts()
+	x := ts("a")
+	for _, m := range []Measure{FJaccard, FCosine, FDice} {
+		if got := Similarity(m, empty, empty, DefaultOptions()); got != 1 {
+			t.Errorf("%v(ε,ε) = %v, want 1", m, got)
+		}
+		if got := Similarity(m, empty, x, DefaultOptions()); got != 0 {
+			t.Errorf("%v(ε,x) = %v, want 0", m, got)
+		}
+	}
+}
+
+// TestOptimalMatching verifies the Hungarian-based overlap beats a bad
+// pairing: the crossed alignment is required for the optimum.
+func TestOptimalMatching(t *testing.T) {
+	x := ts("aaaa", "bbbb")
+	y := ts("bbbb", "aaaa")
+	if got := Similarity(FJaccard, x, y, DefaultOptions()); math.Abs(got-1) > 1e-9 {
+		t.Errorf("shuffled identical tokens must be similarity 1, got %v", got)
+	}
+}

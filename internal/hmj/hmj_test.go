@@ -1,0 +1,169 @@
+package hmj
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// numMetric is a 1-D Euclidean metric for fast exhaustive testing.
+func numMetric(a, b float64) float64 { return math.Abs(a - b) }
+
+func TestSelfJoinNumericMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 8; iter++ {
+		items := make([]float64, 300)
+		for i := range items {
+			items[i] = rng.Float64() * 100
+		}
+		threshold := 0.5 + rng.Float64()
+		cfg := Config{NumCentroids: 5, PartitionSizeLimit: 20, Seed: int64(iter)}
+		got, _ := SelfJoin(items, numMetric, threshold, cfg)
+		want := make(map[[2]int]float64)
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				if dd := numMetric(items[i], items[j]); dd <= threshold {
+					want[[2]int{i, j}] = dd
+				}
+			}
+		}
+		gotSet := make(map[[2]int]float64)
+		for _, p := range got {
+			if _, dup := gotSet[[2]int{p.A, p.B}]; dup {
+				t.Fatalf("duplicate pair %+v", p)
+			}
+			gotSet[[2]int{p.A, p.B}] = p.Dist
+		}
+		if len(gotSet) != len(want) {
+			t.Fatalf("iter %d: got %d pairs, want %d", iter, len(gotSet), len(want))
+		}
+		for k, dd := range want {
+			if g, ok := gotSet[k]; !ok || math.Abs(g-dd) > 1e-12 {
+				t.Fatalf("iter %d: pair %v wrong: (%v,%v) want %v", iter, k, g, ok, dd)
+			}
+		}
+	}
+}
+
+// TestSelfJoinNSLDMatchesBruteForce instantiates HMJ with the paper's NSLD
+// metric over tokenized strings, as in the Fig. 7 comparison.
+func TestSelfJoinNSLDMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	firsts := []string{"barak", "john", "mary", "chun"}
+	lasts := []string{"obama", "smith", "huang"}
+	var raw []string
+	for len(raw) < 80 {
+		name := firsts[rng.Intn(len(firsts))] + " " + lasts[rng.Intn(len(lasts))]
+		raw = append(raw, name)
+		if rng.Intn(2) == 0 {
+			r := []rune(name)
+			r[rng.Intn(len(r))] = rune('a' + rng.Intn(26))
+			raw = append(raw, string(r))
+		}
+	}
+	c := token.BuildCorpus(raw, token.WhitespaceAndPunct)
+	metric := func(a, b token.TokenizedString) float64 { return core.NSLD(a, b) }
+	threshold := 0.15
+	cfg := Config{NumCentroids: 4, PartitionSizeLimit: 10, Seed: 7}
+	got, pipe := SelfJoin(c.Strings, metric, threshold, cfg)
+	want := make(map[[2]int]struct{})
+	for i := 0; i < len(c.Strings); i++ {
+		for j := i + 1; j < len(c.Strings); j++ {
+			if core.NSLD(c.Strings[i], c.Strings[j]) <= threshold {
+				want[[2]int{i, j}] = struct{}{}
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if _, ok := want[[2]int{p.A, p.B}]; !ok {
+			t.Fatalf("extra pair %+v", p)
+		}
+	}
+	if pipe.TotalWork() <= 0 {
+		t.Fatal("pipeline must record work")
+	}
+}
+
+func TestSelfJoinDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	items := make([]float64, 200)
+	for i := range items {
+		items[i] = rng.Float64() * 50
+	}
+	cfg := Config{NumCentroids: 6, PartitionSizeLimit: 15, Seed: 42}
+	a, _ := SelfJoin(items, numMetric, 0.8, cfg)
+	b, _ := SelfJoin(items, numMetric, 0.8, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic result sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic pair at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSelfJoinRecursionOnDenseCluster(t *testing.T) {
+	// All items nearly identical: forces recursive repartitioning to
+	// degenerate and fall back to the nested loop.
+	items := make([]float64, 600)
+	for i := range items {
+		items[i] = 10 + float64(i%3)*1e-6
+	}
+	cfg := Config{NumCentroids: 3, PartitionSizeLimit: 50, MaxDepth: 3, Seed: 1}
+	got, _ := SelfJoin(items, numMetric, 1.0, cfg)
+	wantPairs := len(items) * (len(items) - 1) / 2
+	if len(got) != wantPairs {
+		t.Fatalf("dense cluster: got %d pairs, want %d", len(got), wantPairs)
+	}
+}
+
+func TestSelfJoinTinyInputs(t *testing.T) {
+	if got, _ := SelfJoin(nil, numMetric, 1, Config{}); len(got) != 0 {
+		t.Fatal("nil input must yield no pairs")
+	}
+	if got, _ := SelfJoin([]float64{1}, numMetric, 1, Config{}); len(got) != 0 {
+		t.Fatal("single item must yield no pairs")
+	}
+	got, _ := SelfJoin([]float64{1, 1.5}, numMetric, 1, Config{})
+	if len(got) != 1 || got[0].A != 0 || got[0].B != 1 {
+		t.Fatalf("two items: %+v", got)
+	}
+}
+
+func TestPivotFilterPrunes(t *testing.T) {
+	// Two far-apart clusters inside a single partition: the pivot
+	// windowing (sorted by centroid distance, break when the gap exceeds
+	// the threshold) must skip the cross-cluster nested loop entirely.
+	var items []float64
+	for i := 0; i < 100; i++ {
+		items = append(items, float64(i%10)*1e-3)      // cluster at 0
+		items = append(items, 1000+float64(i%10)*1e-3) // cluster at 1000
+	}
+	var calls atomic.Int64
+	counting := func(a, b float64) float64 {
+		calls.Add(1)
+		return numMetric(a, b)
+	}
+	// A single centroid forces one partition holding everything, so the
+	// only pruning available is the pivot window.
+	cfg := Config{NumCentroids: 1, PartitionSizeLimit: 1000, Seed: 3}
+	got, _ := SelfJoin(items, counting, 0.1, cfg)
+	want := 2 * (100 * 99 / 2)
+	if len(got) != want {
+		t.Fatalf("got %d pairs, want %d", len(got), want)
+	}
+	// Full nested loop would be C(200,2) = 19900 pair evaluations (plus
+	// 200 centroid assignments). The window keeps it near 2*C(100,2).
+	full := int64(len(items) * (len(items) - 1) / 2)
+	if calls.Load() >= full {
+		t.Fatalf("pivot filter saved nothing: %d distance calls >= %d", calls.Load(), full)
+	}
+}

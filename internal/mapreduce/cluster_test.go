@@ -1,0 +1,113 @@
+package mapreduce
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMakespanBasics(t *testing.T) {
+	if got := Makespan(nil, 10); got != 0 {
+		t.Errorf("empty makespan = %v", got)
+	}
+	if got := Makespan([]float64{3, 1, 2}, 1); got != 6 {
+		t.Errorf("single machine = %v, want 6", got)
+	}
+	// More machines than tasks: bounded by the largest task.
+	if got := Makespan([]float64{3, 1, 2}, 10); got != 3 {
+		t.Errorf("over-provisioned = %v, want 3", got)
+	}
+	// LPT on {5,4,3,3,3} with 2 machines: 5+3 vs 4+3+... LPT: m1=5, m2=4,
+	// m2=4+3=7, m1=5+3=8, m2=7+3=10 -> wait: after 5,4: loads 5,4; next 3 ->
+	// machine with 4 (7); next 3 -> machine with 5 (8); next 3 -> machine
+	// with 7 (10). Makespan 10? Optimal is 9 (5+4 vs 3+3+3). LPT gives 9:
+	// tasks sorted 5,4,3,3,3: m1=5, m2=4, m2=7, m1=8, m2=10? No: third 3
+	// goes to min load which is m1(8) vs m2(7): m2 -> 10. Hmm LPT yields 10
+	// here; verify against the implementation rather than optimal.
+	got := Makespan([]float64{3, 3, 5, 4, 3}, 2)
+	if got != 9 && got != 10 {
+		t.Errorf("LPT makespan = %v, want 9 or 10", got)
+	}
+	// Lower bounds always hold.
+	tasks := []float64{5, 4, 3, 3, 3}
+	sum := 18.0
+	for _, m := range []int{1, 2, 3, 4} {
+		ms := Makespan(tasks, m)
+		if ms < sum/float64(m)-1e-9 {
+			t.Errorf("makespan %v below perfect-parallelism bound %v (m=%d)", ms, sum/float64(m), m)
+		}
+		if ms < 5 {
+			t.Errorf("makespan %v below straggler bound 5 (m=%d)", ms, m)
+		}
+	}
+}
+
+func TestMakespanMonotoneInMachines(t *testing.T) {
+	tasks := make([]float64, 500)
+	for i := range tasks {
+		tasks[i] = float64(1 + i%17)
+	}
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4, 8, 100, 1000} {
+		ms := Makespan(tasks, m)
+		if ms > prev+1e-9 {
+			t.Fatalf("makespan increased with more machines: %v -> %v at m=%d", prev, ms, m)
+		}
+		prev = ms
+	}
+}
+
+func TestJobSecondsSpeedupSaturates(t *testing.T) {
+	// A job with many small reduce tasks and some fixed overhead must show
+	// sublinear speedup, the Fig. 1 phenomenon.
+	st := &Stats{
+		Name:           "j",
+		ShuffleRecords: 1_000_000,
+	}
+	for i := 0; i < 200; i++ {
+		st.MapTaskCosts = append(st.MapTaskCosts, 500_000)
+	}
+	for i := 0; i < 100_000; i++ {
+		st.ReduceTaskCosts = append(st.ReduceTaskCosts, float64(100+i%200))
+	}
+	c100 := DefaultCluster(100)
+	c1000 := DefaultCluster(1000)
+	t100 := c100.JobSeconds(st)
+	t1000 := c1000.JobSeconds(st)
+	if t1000 >= t100 {
+		t.Fatalf("more machines must not be slower: %v vs %v", t100, t1000)
+	}
+	speedup := t100 / t1000
+	if speedup >= 10 {
+		t.Fatalf("speedup %v must be sublinear due to per-job overhead", speedup)
+	}
+	if speedup < 1.2 {
+		t.Fatalf("speedup %v suspiciously flat", speedup)
+	}
+}
+
+func TestPipelineSecondsAdds(t *testing.T) {
+	a := &Stats{MapTaskCosts: []float64{100}, ReduceTaskCosts: []float64{50}}
+	b := &Stats{MapTaskCosts: []float64{200}, ReduceTaskCosts: []float64{25}}
+	var p Pipeline
+	p.Add(a)
+	p.Add(b)
+	c := DefaultCluster(10)
+	if got, want := c.PipelineSeconds(&p), c.JobSeconds(a)+c.JobSeconds(b); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pipeline = %v, want %v", got, want)
+	}
+	if p.TotalWork() != 375 {
+		t.Fatalf("TotalWork = %v, want 375", p.TotalWork())
+	}
+}
+
+func TestSkewDominatesMakespan(t *testing.T) {
+	// One huge task among many small ones: adding machines cannot beat the
+	// straggler — the HMJ load-imbalance story.
+	tasks := []float64{10_000}
+	for i := 0; i < 1000; i++ {
+		tasks = append(tasks, 1)
+	}
+	if got := Makespan(tasks, 1000); got < 10_000 {
+		t.Fatalf("straggler bound violated: %v", got)
+	}
+}

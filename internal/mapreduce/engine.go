@@ -1,0 +1,252 @@
+// Package mapreduce is the paper's Sec. III-A substrate: an in-process
+// MapReduce engine with the map/shuffle/reduce contract
+//
+//	map    : <key1, value1>   -> [<key2, value2>]
+//	reduce : <key2, [value2]> -> [value3]
+//
+// executed by goroutine worker pools, plus a simulated-cluster cost model
+// (cluster.go) that converts per-task work measurements into the wall-clock
+// a shared-nothing cluster of m machines would need. The engine is the
+// execution layer for MassJoin, the TSJ pipeline and the HMJ baseline.
+//
+// The paper ran on 1,000 physical machines; we cannot. Every job therefore
+// records fine-grained task costs (map work per split, reduce work per key,
+// records shuffled), and the Cluster model schedules those tasks onto m
+// simulated machines. See DESIGN.md §3 for the substitution argument.
+package mapreduce
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config controls one MapReduce job execution.
+type Config struct {
+	// Name identifies the job in stats output.
+	Name string
+	// MapTasks is the number of input splits (paper: mappers). Defaults
+	// to 4*GOMAXPROCS, mimicking many small splits on a real cluster.
+	MapTasks int
+	// Parallelism caps concurrently running worker goroutines. Defaults
+	// to GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) withDefaults(inputLen int) Config {
+	if c.MapTasks <= 0 {
+		c.MapTasks = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MapTasks > inputLen {
+		c.MapTasks = inputLen
+	}
+	if c.MapTasks == 0 {
+		c.MapTasks = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// MapCtx is handed to map functions: Emit produces an intermediate
+// <key2, value2> record; AddCost charges extra work units beyond the
+// default per-record accounting (used by CPU-heavy mappers such as HMJ's
+// centroid assignment).
+type MapCtx[K comparable, V any] struct {
+	emit func(K, V)
+	cost float64
+}
+
+// Emit outputs an intermediate key/value pair.
+func (c *MapCtx[K, V]) Emit(k K, v V) { c.emit(k, v) }
+
+// AddCost charges additional work units to the current map task.
+func (c *MapCtx[K, V]) AddCost(units float64) { c.cost += units }
+
+// ReduceCtx is handed to reduce functions: Emit produces an output record;
+// AddCost charges extra work units to the current key's task (used by
+// verification reducers whose cost is dominated by distance computations,
+// not record counts).
+type ReduceCtx[O any] struct {
+	emit func(O)
+	cost float64
+}
+
+// Emit outputs a final record.
+func (c *ReduceCtx[O]) Emit(o O) { c.emit(o) }
+
+// AddCost charges additional work units to the current reduce task.
+func (c *ReduceCtx[O]) AddCost(units float64) { c.cost += units }
+
+// Mapper transforms one input record into intermediate key/value pairs.
+type Mapper[I any, K comparable, V any] func(item I, ctx *MapCtx[K, V])
+
+// Reducer folds all values that share a key into output records.
+type Reducer[K comparable, V any, O any] func(key K, values []V, ctx *ReduceCtx[O])
+
+// Run executes one MapReduce job over the input and returns the outputs
+// (in unspecified order) together with the job's task-cost statistics.
+//
+// Default cost accounting mirrors the dominant terms on a real cluster:
+// each map task is charged 1 unit per input record plus 1 per emitted
+// record; each reduce key is charged 1 unit per grouped value plus 1 per
+// emitted output. AddCost layers algorithm-specific work on top.
+func Run[I any, K comparable, V any, O any](
+	cfg Config,
+	input []I,
+	mapFn Mapper[I, K, V],
+	reduceFn Reducer[K, V, O],
+) ([]O, *Stats) {
+	cfg = cfg.withDefaults(len(input))
+	st := &Stats{Name: cfg.Name}
+
+	// ---- Map phase ------------------------------------------------------
+	type kv struct {
+		k K
+		v V
+	}
+	splits := splitRanges(len(input), cfg.MapTasks)
+	mapOut := make([][]kv, len(splits))
+	mapCosts := make([]float64, len(splits))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for si, sp := range splits {
+		wg.Add(1)
+		go func(si int, lo, hi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var buf []kv
+			ctx := &MapCtx[K, V]{}
+			cost := 0.0
+			for i := lo; i < hi; i++ {
+				ctx.cost = 0
+				ctx.emit = func(k K, v V) { buf = append(buf, kv{k, v}) }
+				before := len(buf)
+				mapFn(input[i], ctx)
+				cost += 1 + float64(len(buf)-before) + ctx.cost
+			}
+			mapOut[si] = buf
+			mapCosts[si] = cost
+		}(si, sp[0], sp[1])
+	}
+	wg.Wait()
+
+	st.MapTaskCosts = mapCosts
+	st.MapRecordsIn = int64(len(input))
+	for _, b := range mapOut {
+		st.MapRecordsOut += int64(len(b))
+	}
+	st.ShuffleRecords = st.MapRecordsOut
+
+	// ---- Shuffle: group by key ------------------------------------------
+	groups := make(map[K][]V)
+	for _, b := range mapOut {
+		for _, p := range b {
+			groups[p.k] = append(groups[p.k], p.v)
+		}
+	}
+	// Release map output early.
+	mapOut = nil
+	st.ReduceKeys = int64(len(groups))
+
+	// ---- Reduce phase ----------------------------------------------------
+	// Keys are processed by a worker pool; outputs and per-key costs are
+	// collected per worker and concatenated afterwards.
+	type keyGroup struct {
+		k  K
+		vs []V
+	}
+	kgs := make([]keyGroup, 0, len(groups))
+	for k, vs := range groups {
+		kgs = append(kgs, keyGroup{k, vs})
+	}
+	groups = nil
+
+	nw := cfg.Parallelism
+	outs := make([][]O, nw)
+	costs := make([][]float64, nw)
+	var next int64
+	var mu sync.Mutex
+	takeBatch := func(n int) (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		lo := int(next)
+		if lo >= len(kgs) {
+			return 0, 0
+		}
+		hi := lo + n
+		if hi > len(kgs) {
+			hi = len(kgs)
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+	wg = sync.WaitGroup{}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := &ReduceCtx[O]{}
+			for {
+				lo, hi := takeBatch(64)
+				if lo == hi {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					ctx.cost = 0
+					n0 := len(outs[w])
+					ctx.emit = func(o O) { outs[w] = append(outs[w], o) }
+					reduceFn(kgs[i].k, kgs[i].vs, ctx)
+					c := float64(len(kgs[i].vs)) + float64(len(outs[w])-n0) + ctx.cost
+					costs[w] = append(costs[w], c)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var result []O
+	for w := 0; w < nw; w++ {
+		result = append(result, outs[w]...)
+		st.ReduceTaskCosts = append(st.ReduceTaskCosts, costs[w]...)
+		for _, c := range costs[w] {
+			st.ReduceWork += c
+		}
+	}
+	st.OutRecords = int64(len(result))
+	for _, c := range mapCosts {
+		st.MapWork += c
+	}
+	// Deterministic stats regardless of scheduling.
+	sort.Float64s(st.ReduceTaskCosts)
+	return result, st
+}
+
+// splitRanges partitions [0, n) into at most k contiguous ranges of
+// near-equal size.
+func splitRanges(n, k int) [][2]int {
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package mapreduce
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestWordCount(t *testing.T) {
+	docs := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	type count struct {
+		word string
+		n    int
+	}
+	out, st := Run(Config{Name: "wordcount"}, docs,
+		func(doc string, ctx *MapCtx[string, int]) {
+			for _, w := range strings.Fields(doc) {
+				ctx.Emit(w, 1)
+			}
+		},
+		func(word string, ones []int, ctx *ReduceCtx[count]) {
+			ctx.Emit(count{word, len(ones)})
+		},
+	)
+	got := make(map[string]int)
+	for _, c := range out {
+		got[c.word] = c.n
+	}
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+	if st.MapRecordsIn != 3 {
+		t.Errorf("MapRecordsIn = %d, want 3", st.MapRecordsIn)
+	}
+	if st.MapRecordsOut != 10 {
+		t.Errorf("MapRecordsOut = %d, want 10", st.MapRecordsOut)
+	}
+	if st.ReduceKeys != 6 {
+		t.Errorf("ReduceKeys = %d, want 6", st.ReduceKeys)
+	}
+	if st.OutRecords != 6 {
+		t.Errorf("OutRecords = %d, want 6", st.OutRecords)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, st := Run(Config{}, nil,
+		func(x int, ctx *MapCtx[int, int]) { ctx.Emit(x, x) },
+		func(k int, vs []int, ctx *ReduceCtx[int]) { ctx.Emit(k) },
+	)
+	if len(out) != 0 || st.MapRecordsIn != 0 || st.ReduceKeys != 0 {
+		t.Fatalf("empty input produced %v, %+v", out, st)
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	input := make([]int, 1000)
+	for i := range input {
+		input[i] = i
+	}
+	run := func(par int) []int {
+		out, _ := Run(Config{Parallelism: par, MapTasks: 7}, input,
+			func(x int, ctx *MapCtx[int, int]) { ctx.Emit(x%13, x) },
+			func(k int, vs []int, ctx *ReduceCtx[int]) {
+				sum := 0
+				for _, v := range vs {
+					sum += v
+				}
+				ctx.Emit(sum)
+			},
+		)
+		sort.Ints(out)
+		return out
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("different sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	input := []int{1, 2, 3, 4}
+	_, st := Run(Config{MapTasks: 2}, input,
+		func(x int, ctx *MapCtx[string, int]) {
+			ctx.Emit("k", x)
+			ctx.AddCost(10)
+		},
+		func(k string, vs []int, ctx *ReduceCtx[int]) {
+			ctx.AddCost(100)
+			ctx.Emit(len(vs))
+		},
+	)
+	// Map: per record 1 (input) + 1 (emit) + 10 (AddCost) = 12; 4 records.
+	if st.MapWork != 48 {
+		t.Errorf("MapWork = %v, want 48", st.MapWork)
+	}
+	// Reduce: single key: 4 values + 1 output + 100 = 105.
+	if st.ReduceWork != 105 {
+		t.Errorf("ReduceWork = %v, want 105", st.ReduceWork)
+	}
+	if len(st.MapTaskCosts) != 2 {
+		t.Errorf("MapTaskCosts = %v, want 2 splits", st.MapTaskCosts)
+	}
+	if st.MaxReduceTask() != 105 {
+		t.Errorf("MaxReduceTask = %v, want 105", st.MaxReduceTask())
+	}
+}
+
+func TestSplitRanges(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want [][2]int
+	}{
+		{0, 4, nil},
+		{3, 1, [][2]int{{0, 3}}},
+		{5, 2, [][2]int{{0, 3}, {3, 5}}},
+		{4, 8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+	}
+	for _, c := range cases {
+		got := splitRanges(c.n, c.k)
+		if len(got) != len(c.want) {
+			t.Errorf("splitRanges(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitRanges(%d,%d)[%d] = %v, want %v", c.n, c.k, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package massjoin implements MassJoin (Deng, Li, Hao, Wang, Feng; ICDE
+// 2014) — the MapReduce-distributed Pass-Join the paper employs for the
+// NLD-join of token spaces (Sec. III-D) — on top of the in-process
+// mapreduce engine.
+//
+// Job 1 (candidate generation) mirrors Sec. III-D: every index-side token
+// is partitioned into its segments for every compatible probe length and
+// emitted keyed by its string chunks; every probe-side token emits the
+// selected substrings for every compatible index length. The shuffle
+// groups tokens sharing a chunk, and the reducer outputs candidate token-id
+// pairs. Job 2 de-duplicates candidates and verifies each surviving pair
+// exactly once with a banded Levenshtein computation bounded by Lemma 8.
+//
+// Emission keys carry (indexLen, probeLen, segIdx) metadata exactly as
+// MassJoin "augments the mapper output key by metadata to reduce candidate
+// pairs".
+package massjoin
+
+import (
+	"fmt"
+
+	"repro/internal/mapreduce"
+	"repro/internal/passjoin"
+	"repro/internal/strdist"
+)
+
+// Config tunes the distributed join.
+type Config struct {
+	// MultiMatchAware selects the tight substring window (default true
+	// via DefaultConfig).
+	MultiMatchAware bool
+	// MapTasks / Parallelism are forwarded to the engine.
+	MapTasks    int
+	Parallelism int
+	// NamePrefix labels the jobs in pipeline stats.
+	NamePrefix string
+}
+
+// DefaultConfig returns the recommended configuration.
+func DefaultConfig() Config { return Config{MultiMatchAware: true, NamePrefix: "massjoin"} }
+
+// chunkKey is the Job-1 shuffle key: a string chunk plus the MassJoin
+// metadata that restricts which token pairs may meet.
+type chunkKey struct {
+	indexLen, probeLen int32
+	seg                int16
+	chunk              string
+}
+
+// genVal is a Job-1 intermediate value: a token id on one side.
+type genVal struct {
+	id    int32
+	probe bool // false: index side (segments); true: probe side (substrings)
+}
+
+// candPair is a candidate token-id pair (a = index side, b = probe side).
+type candPair struct {
+	a, b int32
+}
+
+// tokenRec is the Job-1 input record.
+type tokenRec struct {
+	id int32
+	r  []rune
+}
+
+// SelfJoinNLD performs the distributed NLD self-join of a token space and
+// returns every unordered pair (A < B by id when lengths are equal;
+// otherwise A is the shorter token) with NLD <= t, along with the job
+// pipeline statistics used by the simulated cluster.
+func SelfJoinNLD(tokens [][]rune, t float64, cfg Config) ([]passjoin.Pair, *mapreduce.Pipeline) {
+	return run(tokens, nil, t, cfg, true)
+}
+
+// JoinNLD performs the distributed bipartite NLD join: pairs (A indexes r,
+// B indexes p) with NLD <= t.
+func JoinNLD(r, p [][]rune, t float64, cfg Config) ([]passjoin.Pair, *mapreduce.Pipeline) {
+	return run(r, p, t, cfg, false)
+}
+
+func run(r, p [][]rune, t float64, cfg Config, selfJoin bool) ([]passjoin.Pair, *mapreduce.Pipeline) {
+	pipe := &mapreduce.Pipeline{}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "massjoin"
+	}
+
+	// Assemble Job-1 input. For the bipartite join, probe records carry
+	// ids offset by len(r) so both sides share one input slice.
+	input := make([]tokenRec, 0, len(r)+len(p))
+	for i, s := range r {
+		input = append(input, tokenRec{id: int32(i), r: s})
+	}
+	if !selfJoin {
+		for i, s := range p {
+			input = append(input, tokenRec{id: int32(len(r) + i), r: s})
+		}
+	}
+	nr := int32(len(r))
+	lookup := func(id int32) []rune {
+		if selfJoin || id < nr {
+			return r[id]
+		}
+		return p[id-nr]
+	}
+
+	// ---- Job 1: candidate generation -----------------------------------
+	engCfg := mapreduce.Config{
+		Name:        cfg.NamePrefix + "-candidates",
+		MapTasks:    cfg.MapTasks,
+		Parallelism: cfg.Parallelism,
+	}
+	cands, st1 := mapreduce.Run(engCfg, input,
+		func(rec tokenRec, ctx *mapreduce.MapCtx[chunkKey, genVal]) {
+			asIndex := selfJoin || rec.id < nr
+			asProbe := selfJoin || rec.id >= nr
+			l := len(rec.r)
+			if asIndex {
+				emitSegments(rec, l, t, selfJoin, ctx)
+			}
+			if asProbe {
+				emitSubstrings(rec, l, t, selfJoin, cfg.MultiMatchAware, ctx)
+			}
+		},
+		func(k chunkKey, vals []genVal, ctx *mapreduce.ReduceCtx[candPair]) {
+			var idxIDs, probeIDs []int32
+			for _, v := range vals {
+				if v.probe {
+					probeIDs = append(probeIDs, v.id)
+				} else {
+					idxIDs = append(idxIDs, v.id)
+				}
+			}
+			for _, a := range idxIDs {
+				for _, b := range probeIDs {
+					if selfJoin {
+						if k.indexLen == k.probeLen && a >= b {
+							continue
+						}
+						if a == b {
+							continue
+						}
+					}
+					ctx.Emit(candPair{a, b})
+				}
+			}
+			// Pair enumeration is quadratic in the posting sizes.
+			ctx.AddCost(float64(len(idxIDs)) * float64(len(probeIDs)) * 0.1)
+		},
+	)
+	pipe.Add(st1)
+
+	// ---- Job 2: de-duplicate + verify -----------------------------------
+	engCfg.Name = cfg.NamePrefix + "-verify"
+	results, st2 := mapreduce.Run(engCfg, cands,
+		func(c candPair, ctx *mapreduce.MapCtx[candPair, struct{}]) {
+			ctx.Emit(c, struct{}{})
+		},
+		func(k candPair, vals []struct{}, ctx *mapreduce.ReduceCtx[passjoin.Pair]) {
+			x, y := lookup(k.a), lookup(k.b)
+			tau := strdist.MaxLDWithin(t, len(x), len(y))
+			// Charge the banded DP cost.
+			minLen := len(x)
+			if len(y) < minLen {
+				minLen = len(y)
+			}
+			ctx.AddCost(float64((tau + 1) * (minLen + 1)))
+			d, ok := strdist.LevenshteinBounded(x, y, tau)
+			if !ok || !strdist.WithinNLD(d, len(x), len(y), t) {
+				return
+			}
+			b := k.b
+			if !selfJoin {
+				b -= nr
+			}
+			ctx.Emit(passjoin.Pair{A: int(k.a), B: int(b), LD: d})
+		},
+	)
+	pipe.Add(st2)
+	return results, pipe
+}
+
+// emitSegments outputs the index-side records: for every compatible probe
+// length, the token's even-partition segments under the Lemma 8 threshold.
+// In self-join mode only probe lengths >= l are considered (Sec. III-G.1:
+// "the case where |x| <= |y| only needs to be considered, yielding fewer
+// segments"); the bipartite join must cover shorter probes too, since only
+// R-side tokens are partitioned.
+func emitSegments(rec tokenRec, l int, t float64, selfJoin bool, ctx *mapreduce.MapCtx[chunkKey, genVal]) {
+	minLy := l
+	if !selfJoin {
+		minLy = strdist.MinLenWithin(t, l)
+	}
+	maxLy := strdist.MaxLenWithin(t, l)
+	for ly := minLy; ly <= maxLy; ly++ {
+		tau := strdist.MaxLDWithin(t, l, ly)
+		if tau < 0 {
+			continue
+		}
+		for i, sg := range passjoin.EvenPartition(l, tau+1) {
+			ctx.Emit(chunkKey{
+				indexLen: int32(l),
+				probeLen: int32(ly),
+				seg:      int16(i),
+				chunk:    string(rec.r[sg.Start : sg.Start+sg.Len]),
+			}, genVal{id: rec.id})
+		}
+	}
+}
+
+// emitSubstrings outputs the probe-side records: for every compatible index
+// length, the selected substrings for each segment position. Self-join mode
+// restricts to index lengths <= l (the |x| <= |y| direction).
+func emitSubstrings(rec tokenRec, l int, t float64, selfJoin, multiMatch bool, ctx *mapreduce.MapCtx[chunkKey, genVal]) {
+	minLs := strdist.MinLenWithin(t, l)
+	maxLs := l
+	if !selfJoin {
+		maxLs = strdist.MaxLenWithin(t, l)
+	}
+	for ls := minLs; ls <= maxLs; ls++ {
+		tau := strdist.MaxLDWithin(t, ls, l)
+		if tau < 0 {
+			continue
+		}
+		for i, sg := range passjoin.EvenPartition(ls, tau+1) {
+			lo, hi := passjoin.SubstringWindow(ls, l, tau, i, sg, multiMatch)
+			for q := lo; q <= hi; q++ {
+				ctx.Emit(chunkKey{
+					indexLen: int32(ls),
+					probeLen: int32(l),
+					seg:      int16(i),
+					chunk:    string(rec.r[q : q+sg.Len]),
+				}, genVal{id: rec.id, probe: true})
+			}
+		}
+	}
+}
+
+// String renders a candPair for debugging.
+func (c candPair) String() string { return fmt.Sprintf("(%d,%d)", c.a, c.b) }

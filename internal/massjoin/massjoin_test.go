@@ -1,0 +1,164 @@
+package massjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/passjoin"
+	"repro/internal/strdist"
+)
+
+func randStr(rng *rand.Rand, minLen, maxLen int) []rune {
+	n := minLen + rng.Intn(maxLen-minLen+1)
+	s := make([]rune, n)
+	for i := range s {
+		s[i] = rune('a' + rng.Intn(4))
+	}
+	return s
+}
+
+func corpusWithNearDuplicates(rng *rand.Rand, n int) [][]rune {
+	var out [][]rune
+	for len(out) < n {
+		base := randStr(rng, 3, 10)
+		out = append(out, base)
+		for k := 0; k < rng.Intn(3) && len(out) < n; k++ {
+			c := append([]rune(nil), base...)
+			switch rng.Intn(3) {
+			case 0:
+				c[rng.Intn(len(c))] = rune('a' + rng.Intn(4))
+			case 1:
+				p := rng.Intn(len(c) + 1)
+				c = append(c[:p], append([]rune{rune('a' + rng.Intn(4))}, c[p:]...)...)
+			case 2:
+				if len(c) > 1 {
+					p := rng.Intn(len(c))
+					c = append(c[:p], c[p+1:]...)
+				}
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func normKey(p passjoin.Pair) [2]int {
+	if p.A < p.B {
+		return [2]int{p.A, p.B}
+	}
+	return [2]int{p.B, p.A}
+}
+
+func TestSelfJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, threshold := range []float64{0.05, 0.1, 0.225} {
+		for iter := 0; iter < 6; iter++ {
+			toks := corpusWithNearDuplicates(rng, 60)
+			want := make(map[[2]int]int)
+			for i := 0; i < len(toks); i++ {
+				for j := i + 1; j < len(toks); j++ {
+					d := strdist.LevenshteinRunes(toks[i], toks[j])
+					if strdist.WithinNLD(d, len(toks[i]), len(toks[j]), threshold) {
+						want[[2]int{i, j}] = d
+					}
+				}
+			}
+			got, pipe := SelfJoinNLD(toks, threshold, DefaultConfig())
+			gotSet := make(map[[2]int]int)
+			for _, p := range got {
+				if _, dup := gotSet[normKey(p)]; dup {
+					t.Fatalf("duplicate result pair %+v", p)
+				}
+				gotSet[normKey(p)] = p.LD
+			}
+			if len(gotSet) != len(want) {
+				t.Fatalf("T=%v: got %d pairs, want %d", threshold, len(gotSet), len(want))
+			}
+			for k, d := range want {
+				if gd, ok := gotSet[k]; !ok || gd != d {
+					t.Fatalf("T=%v: pair %v got (%d, %v), want %d", threshold, k, gd, ok, d)
+				}
+			}
+			if len(pipe.Jobs) != 2 {
+				t.Fatalf("pipeline must have 2 jobs, got %d", len(pipe.Jobs))
+			}
+		}
+	}
+}
+
+func TestSelfJoinMatchesSerialPassJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	toks := corpusWithNearDuplicates(rng, 150)
+	for _, threshold := range []float64{0.1, 0.3} {
+		serial := passjoin.SelfJoinNLD(toks, threshold, passjoin.DefaultOptions())
+		dist, _ := SelfJoinNLD(toks, threshold, DefaultConfig())
+		sSet := make(map[[2]int]int)
+		for _, p := range serial {
+			sSet[normKey(p)] = p.LD
+		}
+		dSet := make(map[[2]int]int)
+		for _, p := range dist {
+			dSet[normKey(p)] = p.LD
+		}
+		if len(sSet) != len(dSet) {
+			t.Fatalf("T=%v: serial %d vs distributed %d pairs", threshold, len(sSet), len(dSet))
+		}
+		for k, d := range sSet {
+			if dd, ok := dSet[k]; !ok || dd != d {
+				t.Fatalf("T=%v: mismatch on %v: serial %d, distributed (%d,%v)", threshold, k, d, dd, ok)
+			}
+		}
+	}
+}
+
+func TestBipartiteJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, threshold := range []float64{0.1, 0.25} {
+		r := corpusWithNearDuplicates(rng, 40)
+		p := corpusWithNearDuplicates(rng, 40)
+		want := make(map[[2]int]int)
+		for i := range r {
+			for j := range p {
+				d := strdist.LevenshteinRunes(r[i], p[j])
+				if strdist.WithinNLD(d, len(r[i]), len(p[j]), threshold) {
+					want[[2]int{i, j}] = d
+				}
+			}
+		}
+		got, _ := JoinNLD(r, p, threshold, DefaultConfig())
+		gotSet := make(map[[2]int]int)
+		for _, pr := range got {
+			gotSet[[2]int{pr.A, pr.B}] = pr.LD
+		}
+		if len(gotSet) != len(want) {
+			t.Fatalf("T=%v: got %d pairs, want %d", threshold, len(gotSet), len(want))
+		}
+		for k, d := range want {
+			if gd, ok := gotSet[k]; !ok || gd != d {
+				t.Fatalf("T=%v: pair %v wrong: (%d,%v) want %d", threshold, k, gd, ok, d)
+			}
+		}
+	}
+}
+
+func TestPipelineStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	toks := corpusWithNearDuplicates(rng, 100)
+	_, pipe := SelfJoinNLD(toks, 0.2, DefaultConfig())
+	if pipe.TotalWork() <= 0 {
+		t.Fatal("pipeline work must be positive")
+	}
+	if pipe.Jobs[0].ShuffleRecords == 0 {
+		t.Fatal("candidate generation must shuffle records")
+	}
+	if pipe.Jobs[1].ReduceKeys == 0 {
+		t.Fatal("verification must have reduce keys")
+	}
+}
+
+func TestEmptyTokenSpace(t *testing.T) {
+	got, pipe := SelfJoinNLD(nil, 0.1, DefaultConfig())
+	if len(got) != 0 || len(pipe.Jobs) != 2 {
+		t.Fatalf("empty input: %v pairs, %d jobs", got, len(pipe.Jobs))
+	}
+}

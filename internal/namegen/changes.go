@@ -1,0 +1,113 @@
+package namegen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// ChangePair is one labeled account name change: the old and new name on
+// the account plus whether the account is a known fraud (Sec. V-D's
+// evaluation sample).
+type ChangePair struct {
+	Old, New string
+	Fraud    bool
+}
+
+// ChangeConfig controls the labeled name-change sample.
+type ChangeConfig struct {
+	Seed int64
+	// NumLegit / NumFraud are the class sizes (the paper uses 5000/5000).
+	NumLegit, NumFraud int
+	// FraudKeepTokenProb is the probability a fraud rename retains one
+	// token of the old name (account resellers occasionally keep a
+	// surname), keeping the classes from being trivially separable.
+	FraudKeepTokenProb float64
+}
+
+func (c ChangeConfig) withDefaults() ChangeConfig {
+	if c.NumLegit <= 0 {
+		c.NumLegit = 5000
+	}
+	if c.NumFraud <= 0 {
+		c.NumFraud = 5000
+	}
+	if c.FraudKeepTokenProb <= 0 {
+		c.FraudKeepTokenProb = 0.1
+	}
+	return c
+}
+
+// NameChanges generates the labeled sample: legitimate changes are rare
+// small modifications (legal name change of one token, abbreviation such
+// as "william" → "will", typo fixes); fraudulent changes are drastic
+// renames, "since attackers who specialize in account creation are not
+// those who specialize in account exploitation" — the credential buyer
+// replaces the random creation-time name wholesale.
+func NameChanges(cfg ChangeConfig) []ChangePair {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	p := newPools(rng, Config{}.withDefaults())
+
+	pairs := make([]ChangePair, 0, cfg.NumLegit+cfg.NumFraud)
+	for i := 0; i < cfg.NumLegit; i++ {
+		old := p.freshName(rng)
+		pairs = append(pairs, ChangePair{Old: old, New: legitChange(rng, old), Fraud: false})
+	}
+	for i := 0; i < cfg.NumFraud; i++ {
+		old := p.freshName(rng)
+		nw := p.freshName(rng)
+		if rng.Float64() < cfg.FraudKeepTokenProb {
+			// Keep one token of the old identity.
+			ot := strings.Fields(old)
+			nt := strings.Fields(nw)
+			nt[len(nt)-1] = ot[len(ot)-1]
+			nw = strings.Join(nt, " ")
+		}
+		pairs = append(pairs, ChangePair{Old: old, New: nw, Fraud: true})
+	}
+	// Interleave deterministically so downstream slicing is unbiased.
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	return pairs
+}
+
+// legitChange produces a small, explainable modification. Abbreviations
+// dominate, per the paper's Sec. V-D examples ("name abbreviation, e.g.,
+// from William to Bill"): they are the case that separates NSLD from the
+// set-based measures, because a prefix-cut token falls below any fuzzy
+// token-matching threshold while its character-level cost stays moderate.
+func legitChange(rng *rand.Rand, name string) string {
+	toks := strings.Fields(name)
+	switch r := rng.Float64(); {
+	case r < 0.45: // abbreviation: shorten a token to a prefix
+		i := longestTokenIdx(toks)
+		t := toks[i]
+		if len(t) > 3 {
+			keep := 3 + rng.Intn(len(t)-3)
+			if keep > len(t)-1 {
+				keep = len(t) - 1
+			}
+			toks[i] = t[:keep]
+		}
+	case r < 0.50: // initialism: a token collapses to its initial
+		i := rng.Intn(len(toks))
+		toks[i] = toks[i][:1]
+	case r < 0.80: // typo fix / transliteration tweak: one character edit
+		i := rng.Intn(len(toks))
+		toks[i] = editToken(rng, toks[i])
+	default: // small legal change: two character edits on one token
+		i := rng.Intn(len(toks))
+		toks[i] = editToken(rng, editToken(rng, toks[i]))
+	}
+	return strings.Join(toks, " ")
+}
+
+func longestTokenIdx(toks []string) int {
+	best := 0
+	for i, t := range toks {
+		if len(t) > len(toks[best]) {
+			best = i
+		}
+	}
+	_ = toks
+	return best
+}

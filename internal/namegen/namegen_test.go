@@ -1,0 +1,146 @@
+package namegen
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 5, NumNames: 500}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := Generate(Config{Seed: 6, NumNames: 500})
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	names := Generate(Config{Seed: 1, NumNames: 2000})
+	if len(names) != 2000 {
+		t.Fatalf("NumNames not honored: %d", len(names))
+	}
+	for _, n := range names {
+		toks := strings.Fields(n)
+		if len(toks) < 2 || len(toks) > 5 {
+			t.Fatalf("name %q has %d tokens, want 2-5", n, len(toks))
+		}
+	}
+}
+
+func TestZipfTokenSkew(t *testing.T) {
+	names := Generate(Config{Seed: 2, NumNames: 5000})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	freqs := make([]int, 0, c.NumTokens())
+	for _, f := range c.Freq {
+		freqs = append(freqs, int(f))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	// Zipf skew: the most popular token must dwarf the median.
+	if freqs[0] < 20*freqs[len(freqs)/2] {
+		t.Errorf("token popularity not skewed enough: top=%d median=%d",
+			freqs[0], freqs[len(freqs)/2])
+	}
+}
+
+func TestRingsAreTight(t *testing.T) {
+	names, rings := GenerateWithRings(Config{Seed: 3, NumNames: 2000})
+	if len(rings) == 0 {
+		t.Fatal("no rings planted")
+	}
+	tok := token.WhitespaceAndPunct
+	withinCount, total := 0, 0
+	for _, ring := range rings {
+		if len(ring.Members) < 2 {
+			t.Fatalf("degenerate ring %v", ring)
+		}
+		seed := tok(names[ring.Members[0]])
+		for _, m := range ring.Members[1:] {
+			total++
+			if core.NSLD(seed, tok(names[m])) <= 0.35 {
+				withinCount++
+			}
+		}
+	}
+	// Adversarial edits are small: the bulk of ring members stay close to
+	// their seed.
+	if float64(withinCount) < 0.9*float64(total) {
+		t.Errorf("only %d/%d ring members within NSLD 0.35 of their seed", withinCount, total)
+	}
+}
+
+func TestRingMembersIndexCorpus(t *testing.T) {
+	names, rings := GenerateWithRings(Config{Seed: 4, NumNames: 1000})
+	seen := make(map[int]bool)
+	for _, r := range rings {
+		for _, m := range r.Members {
+			if m < 0 || m >= len(names) {
+				t.Fatalf("ring member %d out of range", m)
+			}
+			if seen[m] {
+				t.Fatalf("name %d in two rings", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestNameChangesSeparation(t *testing.T) {
+	pairs := NameChanges(ChangeConfig{Seed: 9, NumLegit: 300, NumFraud: 300})
+	if len(pairs) != 600 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	tok := token.WhitespaceAndPunct
+	var legitSum, fraudSum float64
+	var legitN, fraudN int
+	for _, p := range pairs {
+		d := core.NSLD(tok(p.Old), tok(p.New))
+		if p.Fraud {
+			fraudSum += d
+			fraudN++
+		} else {
+			legitSum += d
+			legitN++
+		}
+	}
+	if legitN != 300 || fraudN != 300 {
+		t.Fatalf("class sizes wrong: %d/%d", legitN, fraudN)
+	}
+	legitMean := legitSum / float64(legitN)
+	fraudMean := fraudSum / float64(fraudN)
+	if fraudMean < legitMean+0.2 {
+		t.Errorf("classes not separated: legit mean %v, fraud mean %v", legitMean, fraudMean)
+	}
+	// But not trivially separable: some legit changes are sizable.
+	if legitMean < 0.01 {
+		t.Errorf("legit changes suspiciously tiny: %v", legitMean)
+	}
+}
+
+func TestNameChangesDeterministic(t *testing.T) {
+	a := NameChanges(ChangeConfig{Seed: 11, NumLegit: 50, NumFraud: 50})
+	b := NameChanges(ChangeConfig{Seed: 11, NumLegit: 50, NumFraud: 50})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic change pair at %d", i)
+		}
+	}
+}

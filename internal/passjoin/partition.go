@@ -1,0 +1,87 @@
+// Package passjoin implements Pass-Join (Li, Deng, Wang, Feng; PVLDB 2011),
+// the partition-based string similarity join the paper adopts — via its
+// distributed version MassJoin — for the similar-token candidate
+// generation of Sec. III-D.
+//
+// The core insight is Lemma 7: if LD(x, y) <= U, partitioning x into U+1
+// segments guarantees at least one segment is a substring of y. Pass-Join
+// indexes the segments of one side and probes with selected substrings of
+// the other, then verifies surviving candidates with a banded Levenshtein
+// computation.
+//
+// Both a fixed-threshold LD join and the normalized NLD join required by
+// TSJ are provided; the NLD join derives per-length-pair edit thresholds
+// from Lemma 8 and restricts compatible lengths via Lemma 9.
+package passjoin
+
+// Segment describes one segment of an even partition: the start offset and
+// length within the partitioned string.
+type Segment struct {
+	Start, Len int
+}
+
+// EvenPartition splits a string of length l into m segments whose lengths
+// differ by at most one (the even-partition scheme of Sec. III-D, which
+// minimizes the space of string chunks). The first m - l%m segments have
+// length floor(l/m); the remaining l%m have length ceil(l/m). m must be
+// >= 1; zero-length segments occur only when m > l.
+func EvenPartition(l, m int) []Segment {
+	segs := make([]Segment, m)
+	base, rem := l/m, l%m
+	pos := 0
+	for i := 0; i < m; i++ {
+		ln := base
+		if i >= m-rem {
+			ln++
+		}
+		segs[i] = Segment{Start: pos, Len: ln}
+		pos += ln
+	}
+	return segs
+}
+
+// SubstringWindow returns the inclusive range [lo, hi] of start positions
+// in a probe string of length lr at which a substring can match segment i
+// (0-based) of an indexed string of length ls, under edit threshold tau.
+//
+// With multiMatch, the range is the multi-match-aware selection of
+// Pass-Join (their Lemma 4): the intersection of the position-aware window
+// |q - p_i| <= i and the length-aware window |q - (p_i + Δ)| <= tau - i,
+// where Δ = lr - ls. Without it, the looser shift-based window
+// |q - p_i| + |Δ - (q - p_i)| <= tau is used (the ablation baseline).
+//
+// An empty range is signalled by lo > hi.
+func SubstringWindow(ls, lr, tau, i int, seg Segment, multiMatch bool) (lo, hi int) {
+	delta := lr - ls
+	p := seg.Start
+	if multiMatch {
+		lo = p - i
+		if v := p + delta - (tau - i); v > lo {
+			lo = v
+		}
+		hi = p + i
+		if v := p + delta + (tau - i); v < hi {
+			hi = v
+		}
+	} else {
+		// Solve |u| + |Δ - u| <= tau for u = q - p. No solution exists
+		// when |Δ| > tau (the length difference alone exceeds the budget).
+		if delta > tau || -delta > tau {
+			return 0, -1
+		}
+		if delta >= 0 {
+			lo = p - (tau-delta)/2
+			hi = p + delta + (tau-delta)/2
+		} else {
+			lo = p + delta - (tau+delta)/2
+			hi = p + (tau+delta)/2
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if max := lr - seg.Len; hi > max {
+		hi = max
+	}
+	return lo, hi
+}

@@ -1,0 +1,93 @@
+// Package roc computes ROC curves and AUC for scored binary labels — the
+// machinery behind Fig. 6, where distances between old and new account
+// names are used to predict fraudulent accounts.
+//
+// The convention follows the paper: larger scores (distances) indicate the
+// positive class (fraud), since fraud-driven name changes are drastic
+// while legitimate ones are small edits.
+package roc
+
+import "sort"
+
+// Point is one ROC operating point.
+type Point struct {
+	FPR, TPR float64
+	// Threshold is the score cutoff producing this point (score >=
+	// threshold predicts positive).
+	Threshold float64
+}
+
+// Curve returns the ROC curve for scores with boolean labels (true =
+// positive class), sweeping the decision threshold from +inf down. The
+// returned points start at (0,0) and end at (1,1) and are sorted by FPR.
+func Curve(scores []float64, labels []bool) []Point {
+	if len(scores) != len(labels) {
+		panic("roc: scores and labels length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var pos, neg int
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	pts := []Point{{FPR: 0, TPR: 0}}
+	if pos == 0 || neg == 0 {
+		pts = append(pts, Point{FPR: 1, TPR: 1})
+		return pts
+	}
+	tp, fp := 0, 0
+	for i := 0; i < n; {
+		// Process ties together: one point per distinct score.
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		pts = append(pts, Point{
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+			Threshold: scores[idx[i]],
+		})
+		i = j
+	}
+	return pts
+}
+
+// AUC returns the area under the ROC curve via the trapezoidal rule over
+// Curve's points; ties are handled correctly (diagonal segments), making
+// it equal to the Mann-Whitney U statistic normalized by pos*neg.
+func AUC(scores []float64, labels []bool) float64 {
+	pts := Curve(scores, labels)
+	var area float64
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].FPR - pts[i-1].FPR
+		area += dx * (pts[i].TPR + pts[i-1].TPR) / 2
+	}
+	return area
+}
+
+// AtFPR returns the best TPR achievable at a false-positive rate not
+// exceeding maxFPR — useful for the low-FPR operating points abuse
+// detection actually runs at.
+func AtFPR(scores []float64, labels []bool, maxFPR float64) float64 {
+	best := 0.0
+	for _, p := range Curve(scores, labels) {
+		if p.FPR <= maxFPR && p.TPR > best {
+			best = p.TPR
+		}
+	}
+	return best
+}

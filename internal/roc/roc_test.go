@@ -1,0 +1,122 @@
+package roc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.1, 0.0}
+	labels := []bool{true, true, true, false, false, false}
+	if auc := AUC(scores, labels); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("perfect separation AUC = %v, want 1", auc)
+	}
+	if tpr := AtFPR(scores, labels, 0); math.Abs(tpr-1) > 1e-12 {
+		t.Errorf("TPR@FPR0 = %v, want 1", tpr)
+	}
+}
+
+func TestInvertedScores(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.3, 0.7, 0.8, 0.9}
+	labels := []bool{true, true, true, false, false, false}
+	if auc := AUC(scores, labels); math.Abs(auc-0) > 1e-12 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestRandomScoresAUCHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2) == 0
+	}
+	if auc := AUC(scores, labels); math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestAUCEqualsMannWhitney(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for iter := 0; iter < 20; iter++ {
+		n := 50
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(10)) // plenty of ties
+			labels[i] = rng.Intn(3) == 0
+		}
+		var pos, neg int
+		for _, l := range labels {
+			if l {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos == 0 || neg == 0 {
+			continue
+		}
+		// Mann-Whitney: P(score_pos > score_neg) + 0.5*P(equal).
+		var u float64
+		for i := range scores {
+			if !labels[i] {
+				continue
+			}
+			for j := range scores {
+				if labels[j] {
+					continue
+				}
+				switch {
+				case scores[i] > scores[j]:
+					u += 1
+				case scores[i] == scores[j]:
+					u += 0.5
+				}
+			}
+		}
+		want := u / float64(pos*neg)
+		if got := AUC(scores, labels); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("AUC = %v, Mann-Whitney = %v", got, want)
+		}
+	}
+}
+
+func TestCurveEndpointsAndMonotone(t *testing.T) {
+	scores := []float64{0.5, 0.4, 0.4, 0.3, 0.9}
+	labels := []bool{true, false, true, false, true}
+	pts := Curve(scores, labels)
+	if pts[0].FPR != 0 || pts[0].TPR != 0 {
+		t.Fatalf("curve must start at origin: %+v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve must end at (1,1): %+v", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FPR < pts[i-1].FPR || pts[i].TPR < pts[i-1].TPR {
+			t.Fatalf("curve not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestDegenerateLabelSets(t *testing.T) {
+	if auc := AUC([]float64{1, 2}, []bool{true, true}); auc != 0.5 {
+		t.Errorf("all-positive AUC = %v, want degenerate 0.5", auc)
+	}
+	if auc := AUC(nil, nil); auc != 0.5 {
+		t.Errorf("empty AUC = %v, want degenerate 0.5", auc)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Curve([]float64{1}, []bool{true, false})
+}

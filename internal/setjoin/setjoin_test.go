@@ -1,0 +1,140 @@
+package setjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+func randomCorpus(rng *rand.Rand, n int) *token.Corpus {
+	pool := []string{"anna", "bob", "carol", "dan", "erin", "frank", "gina", "hal", "ivy", "jon"}
+	raw := make([]string, n)
+	for i := range raw {
+		k := 1 + rng.Intn(4)
+		s := ""
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += pool[rng.Intn(len(pool))]
+		}
+		raw[i] = s
+	}
+	return token.BuildCorpus(raw, token.WhitespaceAndPunct)
+}
+
+func TestSelfJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, minSim := range []float64{0.3, 0.5, 0.8, 1.0} {
+		for iter := 0; iter < 8; iter++ {
+			c := randomCorpus(rng, 80)
+			got := SelfJoin(c, minSim)
+			gotSet := make(map[[2]int]float64)
+			for _, p := range got {
+				if _, dup := gotSet[[2]int{p.A, p.B}]; dup {
+					t.Fatalf("duplicate pair %+v", p)
+				}
+				gotSet[[2]int{p.A, p.B}] = p.Jaccard
+			}
+			want := make(map[[2]int]float64)
+			for i := 0; i < c.NumStrings(); i++ {
+				for j := i + 1; j < c.NumStrings(); j++ {
+					if jac := Jaccard(c.Strings[i], c.Strings[j]); jac+1e-12 >= minSim {
+						want[[2]int{i, j}] = jac
+					}
+				}
+			}
+			if len(gotSet) != len(want) {
+				t.Fatalf("minSim=%v: got %d pairs, want %d\n%s",
+					minSim, len(gotSet), len(want), diff(want, gotSet))
+			}
+			for k, jac := range want {
+				if g, ok := gotSet[k]; !ok || g != jac {
+					t.Fatalf("minSim=%v pair %v: got (%v,%v), want %v", minSim, k, g, ok, jac)
+				}
+			}
+		}
+	}
+}
+
+func diff(want, got map[[2]int]float64) string {
+	s := ""
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			s += fmt.Sprintf("missing %v ", k)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			s += fmt.Sprintf("extra %v ", k)
+		}
+	}
+	return s
+}
+
+func TestJaccardBasics(t *testing.T) {
+	a := token.New([]string{"x", "y"})
+	b := token.New([]string{"y", "z"})
+	if got := Jaccard(a, b); got != 1.0/3.0 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v, want 1", got)
+	}
+	empty := token.New(nil)
+	if got := Jaccard(empty, empty); got != 1 {
+		t.Errorf("empty Jaccard = %v, want 1", got)
+	}
+	if got := Jaccard(a, empty); got != 0 {
+		t.Errorf("vs empty = %v, want 0", got)
+	}
+	// Multiplicity is ignored: sets, not multisets.
+	dup := token.New([]string{"x", "x", "y"})
+	if got := Jaccard(a, dup); got != 1 {
+		t.Errorf("duplicate-token Jaccard = %v, want 1", got)
+	}
+}
+
+// TestSetJoinMissesTokenEdits pins the paper's core criticism of
+// set-based joins (Sec. IV): one character edit removes a token from the
+// overlap entirely, so the adversarially edited name evades the join
+// while NSLD still catches it.
+func TestSetJoinMissesTokenEdits(t *testing.T) {
+	raw := []string{
+		"barak obama",
+		"barak obamma", // 1-char token edit
+	}
+	c := token.BuildCorpus(raw, token.WhitespaceAndPunct)
+	// Jaccard: overlap {barak} of {barak,obama,obamma} -> 1/3.
+	pairs := SelfJoin(c, 0.5)
+	if len(pairs) != 0 {
+		t.Fatalf("set join at 0.5 should miss the edited pair, got %v", pairs)
+	}
+	// NSLD sees a single character edit: 2*1/(10+11+1) ≈ 0.09.
+	if d := core.NSLD(c.Strings[0], c.Strings[1]); d > 0.1 {
+		t.Fatalf("NSLD should be small: %v", d)
+	}
+}
+
+func TestExactDuplicatesAtSimOne(t *testing.T) {
+	raw := []string{"a b c", "c b a", "a b", "x y"}
+	c := token.BuildCorpus(raw, token.WhitespaceAndPunct)
+	pairs := SelfJoin(c, 1.0)
+	if len(pairs) != 1 || pairs[0].A != 0 || pairs[0].B != 1 {
+		t.Fatalf("sim=1.0: got %v, want only (0,1)", pairs)
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	c := token.BuildCorpus(nil, token.WhitespaceAndPunct)
+	if got := SelfJoin(c, 0.5); len(got) != 0 {
+		t.Fatal("empty corpus joins to nothing")
+	}
+	c = token.BuildCorpus([]string{"solo name"}, token.WhitespaceAndPunct)
+	if got := SelfJoin(c, 0.5); len(got) != 0 {
+		t.Fatal("single record joins to nothing")
+	}
+}

@@ -1,0 +1,10 @@
+// Package strdist implements the character-level string distances the paper
+// builds on: the Levenshtein Distance (LD, Definition 1) and the Normalized
+// Levenshtein Distance (NLD, Definition 2, after Li & Liu 2007), together
+// with the length/threshold bounds of Lemmas 3, 8, 9 and 10 that drive the
+// PassJoin/MassJoin candidate generation and the TSJ filters.
+//
+// All distances operate on Unicode code points (runes), not bytes, so names
+// in any script are compared the way the paper's tokenizer intends. Hot paths
+// accept pre-converted []rune values to avoid repeated decoding.
+package strdist

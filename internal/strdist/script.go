@@ -1,0 +1,134 @@
+package strdist
+
+// EditOp is one character-level edit operation of Definition 1.
+type EditOp struct {
+	// Kind is one of Match, Substitute, Insert, Delete.
+	Kind OpKind
+	// PosA is the rune position in the source string (for Match,
+	// Substitute, Delete); PosB in the target (for Match, Substitute,
+	// Insert).
+	PosA, PosB int
+	// From/To are the runes involved (zero value when not applicable).
+	From, To rune
+}
+
+// OpKind enumerates edit operation kinds.
+type OpKind int8
+
+const (
+	// Match consumes one equal rune from both strings at zero cost.
+	Match OpKind = iota
+	// Substitute rewrites one rune.
+	Substitute
+	// Insert adds the target rune missing from the source.
+	Insert
+	// Delete removes a source rune absent from the target.
+	Delete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Match:
+		return "match"
+	case Substitute:
+		return "substitute"
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// EditScript returns a minimum-length sequence of edit operations
+// transforming a into b, together with its cost (= LD(a, b)). Matches are
+// included so the script is a full alignment; filtering them out leaves
+// exactly LD(a, b) operations. Useful for explaining to a human reviewer
+// *why* two names were linked.
+//
+// The script is deterministic: on ties the traceback prefers Match/
+// Substitute over Delete over Insert.
+func EditScript(a, b string) ([]EditOp, int) {
+	ra, rb := []rune(a), []rune(b)
+	n, m := len(ra), len(rb)
+	// Full DP matrix (script extraction needs the traceback).
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+		dp[i][0] = int32(i)
+	}
+	for j := 0; j <= m; j++ {
+		dp[0][j] = int32(j)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cost := int32(1)
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			best := dp[i-1][j-1] + cost
+			if d := dp[i-1][j] + 1; d < best {
+				best = d
+			}
+			if d := dp[i][j-1] + 1; d < best {
+				best = d
+			}
+			dp[i][j] = best
+		}
+	}
+	// Traceback.
+	var rev []EditOp
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && ra[i-1] == rb[j-1] && dp[i][j] == dp[i-1][j-1]:
+			rev = append(rev, EditOp{Kind: Match, PosA: i - 1, PosB: j - 1, From: ra[i-1], To: rb[j-1]})
+			i--
+			j--
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+1:
+			rev = append(rev, EditOp{Kind: Substitute, PosA: i - 1, PosB: j - 1, From: ra[i-1], To: rb[j-1]})
+			i--
+			j--
+		case i > 0 && dp[i][j] == dp[i-1][j]+1:
+			rev = append(rev, EditOp{Kind: Delete, PosA: i - 1, PosB: j, From: ra[i-1]})
+			i--
+		default:
+			rev = append(rev, EditOp{Kind: Insert, PosA: i, PosB: j - 1, To: rb[j-1]})
+			j--
+		}
+	}
+	// Reverse in place.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev, int(dp[n][m])
+}
+
+// ApplyScript replays a script produced by EditScript(a, b) onto a,
+// returning b. It exists to let tests and callers validate scripts.
+func ApplyScript(a string, script []EditOp) string {
+	out := make([]rune, 0, len(a))
+	for _, op := range script {
+		switch op.Kind {
+		case Match:
+			out = append(out, op.From)
+		case Substitute, Insert:
+			out = append(out, op.To)
+		case Delete:
+			// consumed, nothing emitted
+		}
+	}
+	return string(out)
+}
+
+// ScriptCost counts the non-Match operations (= the edit distance the
+// script realizes).
+func ScriptCost(script []EditOp) int {
+	n := 0
+	for _, op := range script {
+		if op.Kind != Match {
+			n++
+		}
+	}
+	return n
+}

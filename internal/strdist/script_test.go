@@ -1,0 +1,93 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEditScriptKnown(t *testing.T) {
+	script, cost := EditScript("kitten", "sitting")
+	if cost != 3 {
+		t.Fatalf("cost = %d, want 3", cost)
+	}
+	if got := ApplyScript("kitten", script); got != "sitting" {
+		t.Fatalf("ApplyScript = %q, want sitting", got)
+	}
+	if ScriptCost(script) != 3 {
+		t.Fatalf("ScriptCost = %d, want 3", ScriptCost(script))
+	}
+}
+
+func TestEditScriptEmptyCases(t *testing.T) {
+	script, cost := EditScript("", "abc")
+	if cost != 3 || len(script) != 3 {
+		t.Fatalf("insert-only script: cost=%d len=%d", cost, len(script))
+	}
+	for _, op := range script {
+		if op.Kind != Insert {
+			t.Fatalf("expected inserts only, got %v", op.Kind)
+		}
+	}
+	script, cost = EditScript("abc", "")
+	if cost != 3 {
+		t.Fatalf("delete-only cost = %d", cost)
+	}
+	if got := ApplyScript("abc", script); got != "" {
+		t.Fatalf("ApplyScript = %q, want empty", got)
+	}
+	script, cost = EditScript("", "")
+	if cost != 0 || len(script) != 0 {
+		t.Fatal("empty-to-empty must be a no-op")
+	}
+}
+
+func TestEditScriptIdentity(t *testing.T) {
+	script, cost := EditScript("same", "same")
+	if cost != 0 {
+		t.Fatalf("cost = %d", cost)
+	}
+	for _, op := range script {
+		if op.Kind != Match {
+			t.Fatalf("identity script contains %v", op.Kind)
+		}
+	}
+}
+
+// TestEditScriptRandomRoundTrip: the script always replays a into b, its
+// cost always equals the Levenshtein distance, and positions are sane.
+func TestEditScriptRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for i := 0; i < 3000; i++ {
+		a, b := string(randomRunes(rng, 12)), string(randomRunes(rng, 12))
+		script, cost := EditScript(a, b)
+		if want := Levenshtein(a, b); cost != want {
+			t.Fatalf("EditScript cost %d != LD %d for %q -> %q", cost, want, a, b)
+		}
+		if ScriptCost(script) != cost {
+			t.Fatalf("ScriptCost mismatch for %q -> %q", a, b)
+		}
+		if got := ApplyScript(a, script); got != b {
+			t.Fatalf("replay produced %q, want %q (from %q)", got, b, a)
+		}
+	}
+}
+
+func TestEditScriptUnicode(t *testing.T) {
+	script, cost := EditScript("日本語", "日本")
+	if cost != 1 {
+		t.Fatalf("cost = %d, want 1 (rune-level)", cost)
+	}
+	if got := ApplyScript("日本語", script); got != "日本" {
+		t.Fatalf("replay = %q", got)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		Match: "match", Substitute: "substitute", Insert: "insert", Delete: "delete",
+	} {
+		if k.String() != want {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package token
+
+import "sort"
+
+// StringID identifies a tokenized string within a Corpus. The joining
+// pipeline ships IDs (augmented with lengths and histograms) instead of the
+// strings themselves, exactly as Sec. III-E prescribes "for efficiency".
+type StringID int32
+
+// TokenID identifies a distinct token within a Corpus's token space.
+type TokenID int32
+
+// Corpus is a set of tokenized strings R = {r^t_1, ..., r^t_S} together
+// with its token space R^t (Sec. III-D): the set of all distinct tokens of
+// all tokenized strings, each with the number of strings containing it.
+type Corpus struct {
+	// Strings holds the tokenized strings, indexed by StringID.
+	Strings []TokenizedString
+	// Tokens holds the distinct token space, indexed by TokenID, sorted
+	// lexicographically for determinism.
+	Tokens []string
+	// TokenRunes caches the decoded form of each distinct token.
+	TokenRunes [][]rune
+	// Freq[t] is the number of tokenized strings containing token t at
+	// least once (document frequency, used for the max-frequency cutoff M
+	// of Sec. III-G.2 and for the IDF weights of the fuzzy set measures).
+	Freq []int32
+	// Members[s] lists the distinct TokenIDs of string s, ascending.
+	Members [][]TokenID
+	tokenID map[string]TokenID
+}
+
+// BuildCorpus tokenizes raw strings and assembles the corpus and its token
+// space. The i-th raw string receives StringID i.
+func BuildCorpus(raw []string, tok Tokenizer) *Corpus {
+	c := &Corpus{
+		Strings: make([]TokenizedString, len(raw)),
+		tokenID: make(map[string]TokenID),
+	}
+	// First pass: tokenize and collect the distinct token space.
+	distinct := make(map[string]struct{})
+	for i, s := range raw {
+		c.Strings[i] = tok(s)
+		for _, t := range c.Strings[i].Tokens {
+			distinct[t] = struct{}{}
+		}
+	}
+	c.Tokens = make([]string, 0, len(distinct))
+	for t := range distinct {
+		c.Tokens = append(c.Tokens, t)
+	}
+	sort.Strings(c.Tokens)
+	c.TokenRunes = make([][]rune, len(c.Tokens))
+	for id, t := range c.Tokens {
+		c.tokenID[t] = TokenID(id)
+		c.TokenRunes[id] = []rune(t)
+	}
+	// Second pass: membership lists and document frequencies.
+	c.Freq = make([]int32, len(c.Tokens))
+	c.Members = make([][]TokenID, len(c.Strings))
+	for i, ts := range c.Strings {
+		seen := make(map[TokenID]struct{}, len(ts.Tokens))
+		ids := make([]TokenID, 0, len(ts.Tokens))
+		for _, t := range ts.Tokens {
+			id := c.tokenID[t]
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		c.Members[i] = ids
+		for _, id := range ids {
+			c.Freq[id]++
+		}
+	}
+	return c
+}
+
+// BuildCorpusFromTokenized assembles a corpus from already-tokenized
+// strings (used by generators that produce token multisets directly).
+func BuildCorpusFromTokenized(strs []TokenizedString) *Corpus {
+	raw := make([]string, len(strs))
+	for i, ts := range strs {
+		raw[i] = ts.String()
+	}
+	return BuildCorpus(raw, Whitespace)
+}
+
+// TokenIDOf returns the TokenID for a token string, if present.
+func (c *Corpus) TokenIDOf(t string) (TokenID, bool) {
+	id, ok := c.tokenID[t]
+	return id, ok
+}
+
+// NumStrings returns |R|.
+func (c *Corpus) NumStrings() int { return len(c.Strings) }
+
+// NumTokens returns |R^t|, the distinct token-space size.
+func (c *Corpus) NumTokens() int { return len(c.Tokens) }
+
+// TotalPairs returns the number of unordered string pairs |R|*(|R|-1)/2 the
+// self-join would naively compare (the paper quotes 1.967e15 for its 44.4M
+// names).
+func (c *Corpus) TotalPairs() float64 {
+	n := float64(len(c.Strings))
+	return n * (n - 1) / 2
+}

@@ -1,0 +1,90 @@
+package token
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(77))}
+}
+
+func TestQuickTokenizeOrderInvariance(t *testing.T) {
+	// Re-joining a tokenized string's tokens in any rotation and
+	// re-tokenizing yields the same multiset.
+	f := func(s string, rot uint8) bool {
+		ts := WhitespaceAndPunct(s)
+		if ts.Count() == 0 {
+			return true
+		}
+		k := int(rot) % ts.Count()
+		rotated := append(append([]string{}, ts.Tokens[k:]...), ts.Tokens[:k]...)
+		return New(rotated).Equal(ts)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTokenizeIdempotent(t *testing.T) {
+	// Tokenizing the canonical rendition reproduces the multiset.
+	f := func(s string) bool {
+		ts := WhitespaceAndPunct(s)
+		return WhitespaceAndPunct(ts.String()).Equal(ts)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAggregateLenMatchesTokens(t *testing.T) {
+	f := func(s string) bool {
+		ts := WhitespaceAndPunct(s)
+		sum := 0
+		for _, tok := range ts.Tokens {
+			sum += len([]rune(tok))
+		}
+		if sum != ts.AggregateLen() {
+			return false
+		}
+		h := ts.LengthHistogram()
+		hsum := 0
+		for i, l := range h {
+			hsum += l
+			if i > 0 && h[i] < h[i-1] {
+				return false // histogram must be sorted
+			}
+		}
+		return hsum == sum
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyInjective(t *testing.T) {
+	// Equal keys imply equal multisets and vice versa.
+	f := func(a, b string) bool {
+		ta, tb := WhitespaceAndPunct(a), WhitespaceAndPunct(b)
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTokensContainNoSeparators(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range WhitespaceAndPunct(s).Tokens {
+			if tok == "" || strings.ContainsAny(tok, " \t\n.,-!'\x1f") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

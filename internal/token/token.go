@@ -1,0 +1,127 @@
+// Package token implements the tokenized-string model of Sec. II-A: a
+// tokenizer t(·) mapping a string to a finite multiset of tokens, plus the
+// derived quantities the paper's algorithms consume — the token count
+// T(x^t), the aggregate token length L(x^t), and per-string token-length
+// histograms (used by the TSJ distance-lower-bound filter of Sec. III-E.2).
+package token
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// TokenizedString is a tokenized string x^t = {x^t1, ..., x^tm}: a finite
+// multiset of tokens. Tokens are stored sorted so that two equal multisets
+// compare equal element-wise and hashing/keying is deterministic; multiset
+// semantics (duplicates allowed) are preserved.
+type TokenizedString struct {
+	// Tokens holds the multiset in sorted order.
+	Tokens []string
+	// runes caches the decoded form of each token, aligned with Tokens.
+	runes [][]rune
+	// aggLen caches L(x^t) in runes.
+	aggLen int
+}
+
+// New builds a TokenizedString from an arbitrary (unsorted) multiset of
+// tokens. Empty tokens are dropped: per Definition 3 the set-level edit
+// operations add and remove empty tokens freely, so a stored ε token never
+// changes any SLD/NSLD value.
+func New(tokens []string) TokenizedString {
+	kept := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if t != "" {
+			kept = append(kept, t)
+		}
+	}
+	sort.Strings(kept)
+	ts := TokenizedString{Tokens: kept}
+	ts.index()
+	return ts
+}
+
+// index populates the cached rune forms and aggregate length.
+func (ts *TokenizedString) index() {
+	ts.runes = make([][]rune, len(ts.Tokens))
+	ts.aggLen = 0
+	for i, t := range ts.Tokens {
+		r := []rune(t)
+		ts.runes[i] = r
+		ts.aggLen += len(r)
+	}
+}
+
+// Count returns T(x^t), the number of tokens.
+func (ts TokenizedString) Count() int { return len(ts.Tokens) }
+
+// AggregateLen returns L(x^t) = Σ_i |x^ti| in runes.
+func (ts TokenizedString) AggregateLen() int { return ts.aggLen }
+
+// TokenRunes returns the decoded form of token i. The caller must not
+// mutate the returned slice.
+func (ts TokenizedString) TokenRunes(i int) []rune { return ts.runes[i] }
+
+// String renders the multiset as a space-joined string (tokens are sorted,
+// so this is a canonical form).
+func (ts TokenizedString) String() string { return strings.Join(ts.Tokens, " ") }
+
+// Key returns a canonical representation usable as a map key. Tokens are
+// joined with a unit separator, which the tokenizer never emits inside a
+// token.
+func (ts TokenizedString) Key() string { return strings.Join(ts.Tokens, "\x1f") }
+
+// Equal reports whether two tokenized strings are the same multiset.
+func (ts TokenizedString) Equal(o TokenizedString) bool {
+	if len(ts.Tokens) != len(o.Tokens) {
+		return false
+	}
+	for i := range ts.Tokens {
+		if ts.Tokens[i] != o.Tokens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LengthHistogram returns the multiset of token lengths in ascending order.
+// This is the histogram the TSJ length-based filters ship with each
+// tokenized-string identifier (Sec. III-E).
+func (ts TokenizedString) LengthHistogram() []int {
+	h := make([]int, len(ts.runes))
+	for i, r := range ts.runes {
+		h[i] = len(r)
+	}
+	sort.Ints(h)
+	return h
+}
+
+// Tokenizer is a function mapping a raw string to its tokenized form.
+type Tokenizer func(string) TokenizedString
+
+// Whitespace tokenizes on Unicode whitespace only.
+func Whitespace(s string) TokenizedString {
+	return New(strings.Fields(s))
+}
+
+// WhitespaceAndPunct is the paper's evaluation tokenizer (Sec. V: "The
+// names were tokenized using whitespaces and punctuation characters") with
+// case folding: any run of non-letter, non-digit runes separates tokens,
+// and tokens are lower-cased so that "Obama" and "obama" compare equal.
+func WhitespaceAndPunct(s string) TokenizedString {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	for i, f := range fields {
+		fields[i] = strings.ToLower(f)
+	}
+	return New(fields)
+}
+
+// CaseSensitivePunct is WhitespaceAndPunct without case folding, for
+// applications where case carries signal.
+func CaseSensitivePunct(s string) TokenizedString {
+	return New(strings.FieldsFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}))
+}

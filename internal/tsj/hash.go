@@ -1,0 +1,54 @@
+package tsj
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/token"
+)
+
+// hashID fingerprints a string id, standing in for the paper's HASH
+// fingerprint function over strings (ids are unique per string, as
+// Sec. III-C notes "identifiers of the tokenized strings ... are used").
+func hashID(id token.StringID) uint64 {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(id))
+	h := fnv.New64a()
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// groupKey implements the grouping-on-one-string load-balancing rule of
+// Sec. III-G.3 verbatim: for a pair (τ, υ), τ becomes the key if and only
+// if int(HASH(τ) < HASH(υ)) == (HASH(τ)+HASH(υ)) % 2; otherwise υ does.
+// The parity term flips roughly half the orderings so that hot strings do
+// not always become keys.
+func groupKey(a, b token.StringID) (key, val token.StringID) {
+	ha, hb := hashID(a), hashID(b)
+	lt := uint64(0)
+	if ha < hb {
+		lt = 1
+	}
+	if lt == (ha+hb)%2 {
+		return a, b
+	}
+	return b, a
+}
+
+// pairKey packs an ordered pair of string ids into one comparable value.
+func pairKey(a, b token.StringID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// unpackPair reverses pairKey.
+func unpackPair(k uint64) (a, b token.StringID) {
+	return token.StringID(k >> 32), token.StringID(uint32(k))
+}
+
+// normPair orders a pair ascending.
+func normPair(a, b token.StringID) (token.StringID, token.StringID) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}

@@ -1,0 +1,250 @@
+package tsj
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/mapreduce"
+	"repro/internal/massjoin"
+	"repro/internal/token"
+)
+
+// Join performs the bipartite NSLD join of the paper's problem statement
+// (Sec. II-B): given R and P as one combined corpus whose first boundary
+// strings are R and the rest are P, it returns every pair
+// (A ∈ [0, boundary), B ∈ [boundary, n)) with NSLD <= opts.Threshold.
+// Result.B is reported relative to the combined corpus (subtract boundary
+// for a P-relative index).
+//
+// The pipeline is the self-join's with cross-side candidate enumeration:
+// shared-token reducers pair R-side with P-side postings, and the
+// similar-token expansion keeps only cross-side pairs. The self-join
+// symmetry optimization (Sec. III-G.1) does not apply; the token-space
+// NLD join runs bipartite over the two sides' token spaces.
+func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats, error) {
+	if opts.Threshold < 0 || opts.Threshold >= 1 {
+		return nil, nil, errors.New("tsj: threshold must be in [0, 1)")
+	}
+	if boundary < 0 || boundary > combined.NumStrings() {
+		return nil, nil, errors.New("tsj: boundary out of range")
+	}
+	c := combined
+	nr := token.StringID(boundary)
+	st := &Stats{}
+	ver := &verifier{corpus: c, opts: opts}
+	engCfg := func(name string) mapreduce.Config {
+		return mapreduce.Config{Name: name, MapTasks: opts.MapTasks, Parallelism: opts.Parallelism}
+	}
+
+	sids := make([]token.StringID, c.NumStrings())
+	for i := range sids {
+		sids[i] = token.StringID(i)
+	}
+
+	// ---- Job 0: token document frequencies ------------------------------
+	type tokenFreq struct {
+		id   token.TokenID
+		freq int
+	}
+	freqs, st0 := mapreduce.Run(engCfg("tsj-join-token-freq"), sids,
+		func(sid token.StringID, ctx *mapreduce.MapCtx[token.TokenID, struct{}]) {
+			for _, tid := range c.Members[sid] {
+				ctx.Emit(tid, struct{}{})
+			}
+		},
+		func(tid token.TokenID, vals []struct{}, ctx *mapreduce.ReduceCtx[tokenFreq]) {
+			ctx.Emit(tokenFreq{tid, len(vals)})
+		},
+	)
+	st.Pipeline.Add(st0)
+
+	dropped := make([]bool, c.NumTokens())
+	for _, tf := range freqs {
+		if opts.MaxTokenFreq > 0 && tf.freq > opts.MaxTokenFreq {
+			dropped[tf.id] = true
+			st.DroppedTokens++
+		}
+	}
+	st.KeptTokens = c.NumTokens() - st.DroppedTokens
+
+	// Preamble: token-less strings pair across the boundary at NSLD 0.
+	var results []Result
+	var emptyR, emptyP []token.StringID
+	for _, sid := range sids {
+		if len(c.Members[sid]) == 0 {
+			if sid < nr {
+				emptyR = append(emptyR, sid)
+			} else {
+				emptyP = append(emptyP, sid)
+			}
+		}
+	}
+	for _, a := range emptyR {
+		for _, b := range emptyP {
+			results = append(results, Result{A: a, B: b})
+			st.EmptyStringPairs++
+		}
+	}
+
+	// ---- Job 1: shared-token candidates ---------------------------------
+	sharedCands, st1 := mapreduce.Run(engCfg("tsj-join-shared-token"), sids,
+		func(sid token.StringID, ctx *mapreduce.MapCtx[token.TokenID, token.StringID]) {
+			for _, tid := range c.Members[sid] {
+				if !dropped[tid] {
+					ctx.Emit(tid, sid)
+				}
+			}
+		},
+		func(tid token.TokenID, vals []token.StringID, ctx *mapreduce.ReduceCtx[uint64]) {
+			var left, right []token.StringID
+			for _, v := range vals {
+				if v < nr {
+					left = append(left, v)
+				} else {
+					right = append(right, v)
+				}
+			}
+			sort.Slice(left, func(i, j int) bool { return left[i] < left[j] })
+			sort.Slice(right, func(i, j int) bool { return right[i] < right[j] })
+			for _, a := range left {
+				for _, b := range right {
+					ctx.Emit(pairKey(a, b))
+				}
+			}
+			ctx.AddCost(float64(len(left)) * float64(len(right)) * 0.05)
+		},
+	)
+	st.Pipeline.Add(st1)
+	st.SharedTokenCandidates = int64(len(sharedCands))
+	candidates := sharedCands
+
+	// ---- Jobs 2a+2b: similar-token candidates ----------------------------
+	if opts.Matching == FuzzyTokenMatching {
+		candidates = append(candidates, similarTokenCandidatesBipartite(c, nr, dropped, opts, st)...)
+	}
+
+	// ---- Job 3: dedup + filter + verify ----------------------------------
+	var verified []Result
+	var st3 *mapreduce.Stats
+	switch opts.Dedup {
+	case GroupOnBothStrings:
+		verified, st3 = mapreduce.Run(engCfg("tsj-join-dedup-verify-bothstrings"), candidates,
+			func(cand uint64, ctx *mapreduce.MapCtx[uint64, struct{}]) {
+				ctx.Emit(cand, struct{}{})
+			},
+			func(k uint64, vals []struct{}, ctx *mapreduce.ReduceCtx[Result]) {
+				a, b := unpackPair(k)
+				ver.verifyPair(a, b, ctx)
+			},
+		)
+	default: // GroupOnOneString
+		verified, st3 = mapreduce.Run(engCfg("tsj-join-dedup-verify-onestring"), candidates,
+			func(cand uint64, ctx *mapreduce.MapCtx[token.StringID, token.StringID]) {
+				a, b := unpackPair(cand)
+				k, v := groupKey(a, b)
+				ctx.Emit(k, v)
+			},
+			func(k token.StringID, partners []token.StringID, ctx *mapreduce.ReduceCtx[Result]) {
+				seen := make(map[token.StringID]struct{}, len(partners))
+				for _, p := range partners {
+					if _, dup := seen[p]; dup {
+						continue
+					}
+					seen[p] = struct{}{}
+					// Restore (R, P) orientation.
+					a, b := k, p
+					if a > b {
+						a, b = b, a
+					}
+					ver.verifyPair(a, b, ctx)
+				}
+			},
+		)
+	}
+	st.Pipeline.Add(st3)
+	st.DedupedCandidates = ver.lengthPruned.Load() + ver.lbPruned.Load() + ver.verified.Load()
+	st.LengthPruned = ver.lengthPruned.Load()
+	st.LBPruned = ver.lbPruned.Load()
+	st.Verified = ver.verified.Load()
+	st.Results = ver.results.Load() + st.EmptyStringPairs
+
+	results = append(results, verified...)
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].A != results[j].A {
+			return results[i].A < results[j].A
+		}
+		return results[i].B < results[j].B
+	})
+	return results, st, nil
+}
+
+// similarTokenCandidatesBipartite NLD-joins the R-side token space against
+// the P-side token space with the bipartite MassJoin, then expands similar
+// token pairs through cross-side postings.
+func similarTokenCandidatesBipartite(c *token.Corpus, nr token.StringID, dropped []bool, opts Options, st *Stats) []uint64 {
+	// Postings split by side; a token may have postings on both.
+	postR := make([][]token.StringID, c.NumTokens())
+	postP := make([][]token.StringID, c.NumTokens())
+	for sid, mem := range c.Members {
+		for _, tid := range mem {
+			if token.StringID(sid) < nr {
+				postR[tid] = append(postR[tid], token.StringID(sid))
+			} else {
+				postP[tid] = append(postP[tid], token.StringID(sid))
+			}
+		}
+	}
+
+	// Token spaces per side (kept tokens that occur on that side).
+	var rIdx, pIdx []token.TokenID
+	var rRunes, pRunes [][]rune
+	for tid := 0; tid < c.NumTokens(); tid++ {
+		if dropped[tid] {
+			continue
+		}
+		if len(postR[tid]) > 0 {
+			rIdx = append(rIdx, token.TokenID(tid))
+			rRunes = append(rRunes, c.TokenRunes[tid])
+		}
+		if len(postP[tid]) > 0 {
+			pIdx = append(pIdx, token.TokenID(tid))
+			pRunes = append(pRunes, c.TokenRunes[tid])
+		}
+	}
+
+	mjCfg := massjoin.Config{
+		MultiMatchAware: opts.MultiMatchAware,
+		MapTasks:        opts.MapTasks,
+		Parallelism:     opts.Parallelism,
+		NamePrefix:      "tsj-join-similar-token",
+	}
+	pairs, pipe := massjoin.JoinNLD(rRunes, pRunes, opts.Threshold, mjCfg)
+	st.Pipeline.Merge(pipe)
+	st.SimilarTokenPairs = int64(len(pairs))
+
+	// Combiner: collapse duplicate candidates at expansion time (see the
+	// self-join counterpart for the rationale).
+	seen := make(map[uint64]struct{})
+	var cands []uint64
+	var raw int64
+	for _, p := range pairs {
+		ta, tb := rIdx[p.A], pIdx[p.B]
+		if ta == tb {
+			// The identical token on both sides: covered by Job 1.
+			continue
+		}
+		for _, sa := range postR[ta] {
+			for _, sb := range postP[tb] {
+				raw++
+				k := pairKey(sa, sb)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				cands = append(cands, k)
+			}
+		}
+	}
+	st.SimilarTokenCandidates = raw
+	return cands
+}

@@ -1,0 +1,167 @@
+package tsj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// buildBipartite merges two raw-name slices into one corpus with a
+// boundary, mirroring how the public API drives Join.
+func buildBipartite(r, p []string) (*token.Corpus, int) {
+	combined := append(append([]string{}, r...), p...)
+	return token.BuildCorpus(combined, token.WhitespaceAndPunct), len(r)
+}
+
+func bruteBipartite(c *token.Corpus, nr int, t float64) map[[2]int]int {
+	want := make(map[[2]int]int)
+	for i := 0; i < nr; i++ {
+		for j := nr; j < c.NumStrings(); j++ {
+			sld := core.SLD(c.Strings[i], c.Strings[j])
+			if core.WithinNSLD(sld, c.Strings[i].AggregateLen(), c.Strings[j].AggregateLen(), t) {
+				want[[2]int{i, j}] = sld
+			}
+		}
+	}
+	return want
+}
+
+func TestJoinBipartiteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for _, threshold := range []float64{0.1, 0.2} {
+		for _, dedup := range []Dedup{GroupOnOneString, GroupOnBothStrings} {
+			rc := nameCorpus(rng, 70)
+			pc := nameCorpus(rng, 70)
+			rNames := make([]string, rc.NumStrings())
+			for i, s := range rc.Strings {
+				rNames[i] = s.String()
+			}
+			pNames := make([]string, pc.NumStrings())
+			for i, s := range pc.Strings {
+				pNames[i] = s.String()
+			}
+			c, nr := buildBipartite(rNames, pNames)
+			opts := DefaultOptions()
+			opts.Threshold = threshold
+			opts.MaxTokenFreq = 0
+			opts.Dedup = dedup
+			got, st, err := Join(c, nr, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteBipartite(c, nr, threshold)
+			gs := resultSet(got)
+			if len(gs) != len(want) {
+				t.Fatalf("T=%v dedup=%v: got %d pairs, want %d\n%s",
+					threshold, dedup, len(gs), len(want), describeDiff(want, gs, c))
+			}
+			for k, sld := range want {
+				if g, ok := gs[k]; !ok || g != sld {
+					t.Fatalf("pair %v: got (%d,%v), want %d", k, g, ok, sld)
+				}
+			}
+			// Every result crosses the boundary.
+			for _, r := range got {
+				if int(r.A) >= nr || int(r.B) < nr {
+					t.Fatalf("pair %+v does not cross the boundary %d", r, nr)
+				}
+			}
+			if st.Results != int64(len(got)) {
+				t.Fatalf("stats mismatch: %d vs %d", st.Results, len(got))
+			}
+		}
+	}
+}
+
+func TestJoinNoSameSidePairs(t *testing.T) {
+	// Two identical names on the R side must NOT pair with each other.
+	c, nr := buildBipartite(
+		[]string{"anna lee", "anna lee"},
+		[]string{"anna leigh", "bob ross"},
+	)
+	opts := DefaultOptions()
+	// NSLD(anna lee, anna leigh): LD(lee, leigh) = 3, so 6/19 ≈ 0.316.
+	opts.Threshold = 0.35
+	opts.MaxTokenFreq = 0
+	got, _, err := Join(c, nr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if int(r.A) >= nr || int(r.B) < nr {
+			t.Fatalf("same-side pair leaked: %+v", r)
+		}
+	}
+	// Both "anna lee" copies join "anna leigh".
+	gs := resultSet(got)
+	for _, want := range [][2]int{{0, 2}, {1, 2}} {
+		if _, ok := gs[want]; !ok {
+			t.Fatalf("missing %v in %v", want, gs)
+		}
+	}
+}
+
+func TestJoinExactTokenMatchingSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	rc := nameCorpus(rng, 80)
+	rNames := make([]string, rc.NumStrings())
+	for i, s := range rc.Strings {
+		rNames[i] = s.String()
+	}
+	// P side: perturbed copies of R names.
+	pNames := make([]string, len(rNames))
+	for i, n := range rNames {
+		pNames[i] = perturbName(rng, n)
+	}
+	c, nr := buildBipartite(rNames, pNames)
+	base := DefaultOptions()
+	base.Threshold = 0.2
+	base.MaxTokenFreq = 0
+	full, _, err := Join(c, nr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := base
+	ex.Matching = ExactTokenMatching
+	approx, _, err := Join(c, nr, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := resultSet(full)
+	for k := range resultSet(approx) {
+		if _, ok := fs[k]; !ok {
+			t.Fatalf("exact-token-matching invented pair %v", k)
+		}
+	}
+}
+
+func TestJoinEmptyStringsAcrossBoundary(t *testing.T) {
+	c, nr := buildBipartite([]string{"...", "john smith"}, []string{"!!!", "---"})
+	opts := DefaultOptions()
+	got, st, err := Join(c, nr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single empty R string pairs with both empty P strings; the two
+	// empty P strings do NOT pair with each other (same side).
+	if st.EmptyStringPairs != 2 || len(got) != 2 {
+		t.Fatalf("got %d pairs, EmptyStringPairs=%d, want 2/2: %+v", len(got), st.EmptyStringPairs, got)
+	}
+}
+
+func TestJoinBoundaryValidation(t *testing.T) {
+	c, _ := buildBipartite([]string{"a"}, []string{"b"})
+	opts := DefaultOptions()
+	if _, _, err := Join(c, 5, opts); err == nil {
+		t.Fatal("out-of-range boundary must error")
+	}
+	if _, _, err := Join(c, -1, opts); err == nil {
+		t.Fatal("negative boundary must error")
+	}
+	opts.Threshold = 1.5
+	if _, _, err := Join(c, 1, opts); err == nil {
+		t.Fatal("bad threshold must error")
+	}
+}

@@ -1,0 +1,141 @@
+// Package tsj implements the Tokenized-String Joiner of Sec. III: a
+// MapReduce generate-filter-verify framework for NSLD self-joins and joins
+// of tokenized-string corpora.
+//
+// The pipeline stages map one-to-one onto the paper's:
+//
+//  1. token-frequency job — computes document frequencies and drops
+//     high-frequency tokens (Sec. III-G.2, parameter M);
+//  2. shared-token candidate generation (Sec. III-C);
+//  3. similar-token candidate generation (Sec. III-D) — an NLD-join of the
+//     token space via MassJoin, then a postings expansion from similar
+//     token pairs to candidate string pairs (skipped entirely under the
+//     exact-token-matching approximation of Sec. III-G.4);
+//  4. de-duplication using either grouping strategy of Sec. III-G.3, fused
+//     with filtering (Sec. III-E: length filter and histogram
+//     distance-lower-bound filter) and final verification (Sec. III-F:
+//     exact SLD by Hungarian matching, or the greedy-token-aligning
+//     approximation of Sec. III-G.5).
+//
+// Every job reports task-cost statistics so the simulated cluster can
+// reproduce the paper's scalability figures.
+package tsj
+
+import (
+	"repro/internal/token"
+)
+
+// Matching selects the candidate-generation strategy.
+type Matching int
+
+const (
+	// FuzzyTokenMatching generates both shared-token and similar-token
+	// candidates; with unlimited M it is exact (Theorem 3).
+	FuzzyTokenMatching Matching = iota
+	// ExactTokenMatching generates only shared-token candidates
+	// (Sec. III-G.4). Precision stays 1.0; recall may drop.
+	ExactTokenMatching
+)
+
+func (m Matching) String() string {
+	switch m {
+	case FuzzyTokenMatching:
+		return "fuzzy-token-matching"
+	case ExactTokenMatching:
+		return "exact-token-matching"
+	}
+	return "unknown"
+}
+
+// Aligning selects the verification alignment algorithm.
+type Aligning int
+
+const (
+	// HungarianAligning computes the exact SLD (min-weight perfect
+	// matching).
+	HungarianAligning Aligning = iota
+	// GreedyAligning uses the greedy-token-aligning approximation
+	// (Sec. III-G.5); it can only overestimate SLD, so precision stays
+	// 1.0.
+	GreedyAligning
+)
+
+func (a Aligning) String() string {
+	switch a {
+	case HungarianAligning:
+		return "hungarian"
+	case GreedyAligning:
+		return "greedy-token-aligning"
+	}
+	return "unknown"
+}
+
+// Dedup selects the candidate de-duplication strategy of Sec. III-G.3.
+type Dedup int
+
+const (
+	// GroupOnOneString keys candidates by one of the two strings (chosen
+	// by the hash-parity rule) and verifies all of a string's partners in
+	// one reducer: few large tasks.
+	GroupOnOneString Dedup = iota
+	// GroupOnBothStrings keys candidates by the pair: many tiny tasks
+	// with better load balancing but more worker instantiations.
+	GroupOnBothStrings
+)
+
+func (d Dedup) String() string {
+	switch d {
+	case GroupOnOneString:
+		return "grouping-on-one-string"
+	case GroupOnBothStrings:
+		return "grouping-on-both-strings"
+	}
+	return "unknown"
+}
+
+// Options configures a TSJ join. The zero value is a valid exact fuzzy
+// join at threshold 0 — callers normally set at least Threshold.
+type Options struct {
+	// Threshold is the NSLD threshold T.
+	Threshold float64
+	// MaxTokenFreq is M: tokens contained in more than M strings are
+	// dropped from candidate generation. <= 0 means unlimited.
+	MaxTokenFreq int
+	// Matching selects fuzzy (default) or exact token matching.
+	Matching Matching
+	// Aligning selects Hungarian (default) or greedy alignment.
+	Aligning Aligning
+	// Dedup selects the grouping strategy (default: one string).
+	Dedup Dedup
+	// MultiMatchAware controls the MassJoin substring selection.
+	// Disabled only for ablation.
+	MultiMatchAware bool
+	// DisableLengthFilter / DisableLBFilter switch off the Sec. III-E
+	// filters (ablation only; results are unaffected, work grows).
+	DisableLengthFilter bool
+	DisableLBFilter     bool
+	// MapTasks / Parallelism forward to the MapReduce engine.
+	MapTasks    int
+	Parallelism int
+}
+
+// DefaultOptions returns the paper's default configuration: T = 0.1,
+// M = 1000, fuzzy matching, Hungarian alignment, grouping-on-one-string.
+func DefaultOptions() Options {
+	return Options{
+		Threshold:       0.1,
+		MaxTokenFreq:    1000,
+		Matching:        FuzzyTokenMatching,
+		Aligning:        HungarianAligning,
+		Dedup:           GroupOnOneString,
+		MultiMatchAware: true,
+	}
+}
+
+// Result is one joined pair: string ids with A < B, the (possibly
+// greedy-overestimated) SLD used for the decision, and its NSLD.
+type Result struct {
+	A, B token.StringID
+	SLD  int
+	NSLD float64
+}

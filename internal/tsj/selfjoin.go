@@ -1,0 +1,236 @@
+package tsj
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/mapreduce"
+	"repro/internal/massjoin"
+	"repro/internal/token"
+)
+
+// SelfJoin performs the NSLD self-join of a corpus: it returns every
+// unordered pair (A < B) of tokenized strings with NSLD <= opts.Threshold
+// that the configured strategies discover, plus full pipeline statistics.
+//
+// With FuzzyTokenMatching, Hungarian alignment and unlimited MaxTokenFreq
+// the join is exact (Theorem 3 guarantees candidate completeness; the
+// filters are lossless). The approximations only ever lose recall —
+// precision is always 1.0 because every emitted pair was verified.
+func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
+	if opts.Threshold < 0 || opts.Threshold >= 1 {
+		return nil, nil, errors.New("tsj: threshold must be in [0, 1)")
+	}
+	st := &Stats{}
+	ver := &verifier{corpus: c, opts: opts}
+	engCfg := func(name string) mapreduce.Config {
+		return mapreduce.Config{Name: name, MapTasks: opts.MapTasks, Parallelism: opts.Parallelism}
+	}
+
+	// All string ids, the universal job input.
+	sids := make([]token.StringID, c.NumStrings())
+	for i := range sids {
+		sids[i] = token.StringID(i)
+	}
+
+	// ---- Job 0: token document frequencies (Sec. III-G.2) ---------------
+	// Computes freq(token) = #strings containing it and marks tokens above
+	// the cutoff M as dropped.
+	type tokenFreq struct {
+		id   token.TokenID
+		freq int
+	}
+	freqs, st0 := mapreduce.Run(engCfg("tsj-token-freq"), sids,
+		func(sid token.StringID, ctx *mapreduce.MapCtx[token.TokenID, struct{}]) {
+			for _, tid := range c.Members[sid] {
+				ctx.Emit(tid, struct{}{})
+			}
+		},
+		func(tid token.TokenID, vals []struct{}, ctx *mapreduce.ReduceCtx[tokenFreq]) {
+			ctx.Emit(tokenFreq{tid, len(vals)})
+		},
+	)
+	st.Pipeline.Add(st0)
+
+	dropped := make([]bool, c.NumTokens())
+	maxFreq := opts.MaxTokenFreq
+	for _, tf := range freqs {
+		if maxFreq > 0 && tf.freq > maxFreq {
+			dropped[tf.id] = true
+			st.DroppedTokens++
+		}
+	}
+	st.KeptTokens = c.NumTokens() - st.DroppedTokens
+
+	// Preamble: token-less strings. They share no token with anything, but
+	// pairs of them have NSLD 0 and belong in an exact result set.
+	var results []Result
+	var empties []token.StringID
+	for _, sid := range sids {
+		if len(c.Members[sid]) == 0 {
+			empties = append(empties, sid)
+		}
+	}
+	for i := 0; i < len(empties); i++ {
+		for j := i + 1; j < len(empties); j++ {
+			results = append(results, Result{A: empties[i], B: empties[j]})
+			st.EmptyStringPairs++
+		}
+	}
+
+	// ---- Job 1: shared-token candidate generation (Sec. III-C) ----------
+	// map: r^t_s -> [<r^ti_s, r^t_s>]; reduce on token z: all pairs.
+	sharedCands, st1 := mapreduce.Run(engCfg("tsj-shared-token"), sids,
+		func(sid token.StringID, ctx *mapreduce.MapCtx[token.TokenID, token.StringID]) {
+			for _, tid := range c.Members[sid] {
+				if !dropped[tid] {
+					ctx.Emit(tid, sid)
+				}
+			}
+		},
+		func(tid token.TokenID, vals []token.StringID, ctx *mapreduce.ReduceCtx[uint64]) {
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for i := 0; i < len(vals); i++ {
+				for j := i + 1; j < len(vals); j++ {
+					ctx.Emit(pairKey(vals[i], vals[j]))
+				}
+			}
+			// Quadratic pair enumeration beyond the default linear charge.
+			n := float64(len(vals))
+			ctx.AddCost(n * n * 0.05)
+		},
+	)
+	st.Pipeline.Add(st1)
+	st.SharedTokenCandidates = int64(len(sharedCands))
+	candidates := sharedCands
+
+	// ---- Jobs 2a+2b: similar-token candidates (Sec. III-D) --------------
+	if opts.Matching == FuzzyTokenMatching {
+		similar := similarTokenCandidates(c, dropped, opts, st)
+		candidates = append(candidates, similar...)
+	}
+
+	// ---- Job 3: de-duplicate + filter + verify (Sec. III-E/F/G.3) -------
+	var verified []Result
+	var st3 *mapreduce.Stats
+	switch opts.Dedup {
+	case GroupOnBothStrings:
+		// One reducer instance per candidate pair: the shuffle key is the
+		// pair itself, so duplicates collapse into one group.
+		verified, st3 = mapreduce.Run(engCfg("tsj-dedup-verify-bothstrings"), candidates,
+			func(cand uint64, ctx *mapreduce.MapCtx[uint64, struct{}]) {
+				ctx.Emit(cand, struct{}{})
+			},
+			func(k uint64, vals []struct{}, ctx *mapreduce.ReduceCtx[Result]) {
+				a, b := unpackPair(k)
+				ver.verifyPair(a, b, ctx)
+			},
+		)
+	default: // GroupOnOneString
+		// One reducer instance per string: the key side of each pair is
+		// chosen by the hash-parity rule; the reducer de-duplicates its
+		// partner list with a hash set and verifies each partner.
+		verified, st3 = mapreduce.Run(engCfg("tsj-dedup-verify-onestring"), candidates,
+			func(cand uint64, ctx *mapreduce.MapCtx[token.StringID, token.StringID]) {
+				a, b := unpackPair(cand)
+				k, v := groupKey(a, b)
+				ctx.Emit(k, v)
+			},
+			func(k token.StringID, partners []token.StringID, ctx *mapreduce.ReduceCtx[Result]) {
+				seen := make(map[token.StringID]struct{}, len(partners))
+				for _, p := range partners {
+					if _, dup := seen[p]; dup {
+						continue
+					}
+					seen[p] = struct{}{}
+					a, b := normPair(k, p)
+					ver.verifyPair(a, b, ctx)
+				}
+			},
+		)
+	}
+	st.Pipeline.Add(st3)
+	st.DedupedCandidates = int64(st3.ReduceKeys)
+	if opts.Dedup == GroupOnOneString {
+		// Keys are strings, not pairs; count deduped pairs from the
+		// verifier instead.
+		st.DedupedCandidates = ver.lengthPruned.Load() + ver.lbPruned.Load() + ver.verified.Load()
+	}
+
+	st.LengthPruned = ver.lengthPruned.Load()
+	st.LBPruned = ver.lbPruned.Load()
+	st.Verified = ver.verified.Load()
+	st.Results = ver.results.Load() + st.EmptyStringPairs
+
+	results = append(results, verified...)
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].A != results[j].A {
+			return results[i].A < results[j].A
+		}
+		return results[i].B < results[j].B
+	})
+	return results, st, nil
+}
+
+// similarTokenCandidates runs the token-space NLD join (MassJoin) and
+// expands each similar token pair through the postings lists into
+// candidate string pairs (Sec. III-D). The expansion is fused into the
+// next job's map phase: its cost is exactly the number of candidate
+// records produced, which the dedup job's map accounting charges.
+func similarTokenCandidates(c *token.Corpus, dropped []bool, opts Options, st *Stats) []uint64 {
+	// Compact the kept token space for the join.
+	keptIdx := make([]token.TokenID, 0, c.NumTokens())
+	keptRunes := make([][]rune, 0, c.NumTokens())
+	for tid := 0; tid < c.NumTokens(); tid++ {
+		if !dropped[tid] {
+			keptIdx = append(keptIdx, token.TokenID(tid))
+			keptRunes = append(keptRunes, c.TokenRunes[tid])
+		}
+	}
+
+	mjCfg := massjoin.Config{
+		MultiMatchAware: opts.MultiMatchAware,
+		MapTasks:        opts.MapTasks,
+		Parallelism:     opts.Parallelism,
+		NamePrefix:      "tsj-similar-token",
+	}
+	pairs, pipe := massjoin.SelfJoinNLD(keptRunes, opts.Threshold, mjCfg)
+	st.Pipeline.Merge(pipe)
+	st.SimilarTokenPairs = int64(len(pairs))
+
+	// Postings: token -> string ids containing it (inverted Members).
+	postings := make([][]token.StringID, c.NumTokens())
+	for sid, mem := range c.Members {
+		for _, tid := range mem {
+			postings[tid] = append(postings[tid], token.StringID(sid))
+		}
+	}
+
+	// Combiner: collapse duplicate candidates at expansion time (the
+	// standard MapReduce combiner optimization). The dedup job still runs
+	// — hot postings overlap heavily, and pre-collapsing keeps the
+	// shuffled record count proportional to the distinct pair count.
+	seen := make(map[uint64]struct{})
+	var cands []uint64
+	var raw int64
+	for _, p := range pairs {
+		ta, tb := keptIdx[p.A], keptIdx[p.B]
+		for _, sa := range postings[ta] {
+			for _, sb := range postings[tb] {
+				if sa == sb {
+					continue
+				}
+				a, b := normPair(sa, sb)
+				raw++
+				k := pairKey(a, b)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				cands = append(cands, k)
+			}
+		}
+	}
+	st.SimilarTokenCandidates = raw
+	return cands
+}

@@ -1,0 +1,48 @@
+package tsj
+
+import (
+	"fmt"
+
+	"repro/internal/mapreduce"
+)
+
+// Stats reports what every stage of a TSJ join did, plus the per-job task
+// costs consumed by the simulated cluster.
+type Stats struct {
+	Pipeline mapreduce.Pipeline
+
+	// DroppedTokens is the number of distinct tokens above the
+	// MaxTokenFreq cutoff M.
+	DroppedTokens int
+	// KeptTokens is the distinct token-space size after the cutoff.
+	KeptTokens int
+
+	// SharedTokenCandidates / SimilarTokenCandidates count raw candidate
+	// pairs emitted by each generation strategy (before dedup).
+	SharedTokenCandidates  int64
+	SimilarTokenCandidates int64
+	// SimilarTokenPairs is the number of similar (non-identical) token
+	// pairs found by the token-space NLD join.
+	SimilarTokenPairs int64
+	// DedupedCandidates counts distinct candidate pairs reaching the
+	// filter/verify stage.
+	DedupedCandidates int64
+	// LengthPruned / LBPruned count candidates discarded by each filter.
+	LengthPruned int64
+	LBPruned     int64
+	// Verified counts exact SLD computations performed.
+	Verified int64
+	// Results counts emitted similar pairs.
+	Results int64
+	// EmptyStringPairs counts pairs of token-less strings (NSLD = 0)
+	// emitted by the preamble.
+	EmptyStringPairs int64
+}
+
+// String renders a multi-line summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned len=%d lb=%d | verified=%d results=%d",
+		s.KeptTokens, s.DroppedTokens, s.SharedTokenCandidates, s.SimilarTokenCandidates,
+		s.SimilarTokenPairs, s.DedupedCandidates, s.LengthPruned, s.LBPruned, s.Verified, s.Results)
+}

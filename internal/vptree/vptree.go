@@ -1,0 +1,235 @@
+// Package vptree provides a vantage-point tree over any metric space —
+// the K-nearest-neighbor substrate the paper motivates: "By proving NSLD
+// is a metric, it can be leveraged in all flavors of K-nearest-neighbor
+// queries on metric spaces" (Sec. II-D).
+//
+// The tree supports exact range queries and exact k-NN queries for any
+// distance satisfying the metric axioms; correctness relies on the
+// triangle inequality (Theorem 2 for NSLD).
+package vptree
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+)
+
+// Metric is a distance function satisfying the metric axioms.
+type Metric[T any] func(a, b T) float64
+
+// Tree is an immutable vantage-point tree.
+type Tree[T any] struct {
+	items []T
+	d     Metric[T]
+	root  *node
+}
+
+type node struct {
+	idx     int     // vantage point (index into items)
+	radius  float64 // median distance splitting inside/outside
+	inside  *node   // d(x, vp) <= radius
+	outside *node   // d(x, vp) > radius
+}
+
+// New builds a tree over items with the given metric. Construction is
+// deterministic for a given seed: vantage points are chosen by seeded
+// random sampling (a common, robust strategy).
+func New[T any](items []T, d Metric[T], seed int64) *Tree[T] {
+	t := &Tree[T]{items: items, d: d}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(idx, rng)
+	return t
+}
+
+func (t *Tree[T]) build(idx []int, rng *rand.Rand) *node {
+	if len(idx) == 0 {
+		return nil
+	}
+	if len(idx) == 1 {
+		return &node{idx: idx[0], radius: 0}
+	}
+	// Pick a vantage point and move it out of the working set.
+	vi := rng.Intn(len(idx))
+	idx[0], idx[vi] = idx[vi], idx[0]
+	vp := idx[0]
+	rest := idx[1:]
+
+	// Distances to the vantage point; split at the median.
+	type distIdx struct {
+		d float64
+		i int
+	}
+	dists := make([]distIdx, len(rest))
+	for k, i := range rest {
+		dists[k] = distIdx{t.d(t.items[vp], t.items[i]), i}
+	}
+	sort.Slice(dists, func(a, b int) bool {
+		if dists[a].d != dists[b].d {
+			return dists[a].d < dists[b].d
+		}
+		return dists[a].i < dists[b].i
+	})
+	mid := len(dists) / 2
+	radius := dists[mid].d
+	// inside: strictly the first half by sorted order (d <= radius).
+	insideIdx := make([]int, 0, mid+1)
+	outsideIdx := make([]int, 0, len(dists)-mid)
+	for _, di := range dists {
+		if di.d <= radius && len(insideIdx) <= mid {
+			insideIdx = append(insideIdx, di.i)
+		} else {
+			outsideIdx = append(outsideIdx, di.i)
+		}
+	}
+	n := &node{idx: vp, radius: radius}
+	n.inside = t.build(insideIdx, rng)
+	n.outside = t.build(outsideIdx, rng)
+	return n
+}
+
+// Within returns the indices of all items with d(query, item) <= r,
+// sorted by distance then index, along with the distances.
+func (t *Tree[T]) Within(query T, r float64) (idx []int, dists []float64) {
+	type hit struct {
+		i int
+		d float64
+	}
+	var hits []hit
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		dv := t.d(query, t.items[n.idx])
+		if dv <= r {
+			hits = append(hits, hit{n.idx, dv})
+		}
+		// Triangle-inequality pruning: the inside ball can contain a hit
+		// only if dv - radius <= r; the outside region only if
+		// radius - dv <= r.
+		if dv-n.radius <= r {
+			walk(n.inside)
+		}
+		if n.radius-dv <= r {
+			walk(n.outside)
+		}
+	}
+	walk(t.root)
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].d != hits[b].d {
+			return hits[a].d < hits[b].d
+		}
+		return hits[a].i < hits[b].i
+	})
+	idx = make([]int, len(hits))
+	dists = make([]float64, len(hits))
+	for k, h := range hits {
+		idx[k] = h.i
+		dists[k] = h.d
+	}
+	return idx, dists
+}
+
+// maxHeap of (dist, idx) for k-NN.
+type knnHeap []struct {
+	d float64
+	i int
+}
+
+func (h knnHeap) Len() int { return len(h) }
+func (h knnHeap) Less(a, b int) bool {
+	if h[a].d != h[b].d {
+		return h[a].d > h[b].d // max-heap on distance
+	}
+	return h[a].i > h[b].i
+}
+func (h knnHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *knnHeap) Push(x interface{}) {
+	*h = append(*h, x.(struct {
+		d float64
+		i int
+	}))
+}
+func (h *knnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Nearest returns the k nearest items to query (ties broken by index),
+// sorted by distance.
+func (t *Tree[T]) Nearest(query T, k int) (idx []int, dists []float64) {
+	if k <= 0 || t.root == nil {
+		return nil, nil
+	}
+	h := &knnHeap{}
+	tau := func() float64 {
+		if h.Len() < k {
+			return 1e308
+		}
+		return (*h)[0].d
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		dv := t.d(query, t.items[n.idx])
+		if h.Len() < k || dv < tau() {
+			heap.Push(h, struct {
+				d float64
+				i int
+			}{dv, n.idx})
+			if h.Len() > k {
+				heap.Pop(h)
+			}
+		}
+		// Query ball B(query, tau) intersects the inside region iff
+		// dv - tau <= radius, and the outside region iff
+		// dv + tau >= radius (triangle inequality both ways). Search the
+		// nearer side first so tau tightens before the far side is
+		// examined; tau is re-read between branches.
+		if dv <= n.radius {
+			if dv-tau() <= n.radius {
+				walk(n.inside)
+			}
+			if dv+tau() >= n.radius {
+				walk(n.outside)
+			}
+		} else {
+			if dv+tau() >= n.radius {
+				walk(n.outside)
+			}
+			if dv-tau() <= n.radius {
+				walk(n.inside)
+			}
+		}
+	}
+	walk(t.root)
+	out := make([]struct {
+		d float64
+		i int
+	}, h.Len())
+	for k := len(out) - 1; k >= 0; k-- {
+		out[k] = heap.Pop(h).(struct {
+			d float64
+			i int
+		})
+	}
+	idx = make([]int, len(out))
+	dists = make([]float64, len(out))
+	for k2, o := range out {
+		idx[k2] = o.i
+		dists[k2] = o.d
+	}
+	return idx, dists
+}
+
+// Len returns the number of indexed items.
+func (t *Tree[T]) Len() int { return len(t.items) }

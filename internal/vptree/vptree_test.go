@@ -1,0 +1,144 @@
+package vptree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+func absMetric(a, b float64) float64 { return math.Abs(a - b) }
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for iter := 0; iter < 10; iter++ {
+		items := make([]float64, 400)
+		for i := range items {
+			items[i] = rng.Float64() * 100
+		}
+		tree := New(items, absMetric, int64(iter))
+		for q := 0; q < 20; q++ {
+			query := rng.Float64() * 100
+			r := rng.Float64() * 5
+			gotIdx, gotD := tree.Within(query, r)
+			var want []int
+			for i, v := range items {
+				if absMetric(query, v) <= r {
+					want = append(want, i)
+				}
+			}
+			if len(gotIdx) != len(want) {
+				t.Fatalf("Within: got %d, want %d", len(gotIdx), len(want))
+			}
+			wantSet := make(map[int]bool)
+			for _, i := range want {
+				wantSet[i] = true
+			}
+			for k, i := range gotIdx {
+				if !wantSet[i] {
+					t.Fatalf("extra result %d", i)
+				}
+				if k > 0 && gotD[k] < gotD[k-1] {
+					t.Fatal("results not sorted by distance")
+				}
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for iter := 0; iter < 10; iter++ {
+		items := make([]float64, 300)
+		for i := range items {
+			items[i] = rng.Float64() * 100
+		}
+		tree := New(items, absMetric, int64(iter))
+		for q := 0; q < 20; q++ {
+			query := rng.Float64() * 100
+			k := 1 + rng.Intn(10)
+			gotIdx, gotD := tree.Nearest(query, k)
+			if len(gotIdx) != k {
+				t.Fatalf("Nearest returned %d, want %d", len(gotIdx), k)
+			}
+			// Brute-force k-th smallest distance.
+			all := make([]float64, len(items))
+			for i, v := range items {
+				all[i] = absMetric(query, v)
+			}
+			sort.Float64s(all)
+			for j := 0; j < k; j++ {
+				if math.Abs(gotD[j]-all[j]) > 1e-12 {
+					t.Fatalf("kNN distance %d: got %v, want %v", j, gotD[j], all[j])
+				}
+			}
+		}
+	}
+}
+
+func TestNearestWithNSLD(t *testing.T) {
+	raw := []string{
+		"barak obama", "barack obama", "barak h obama", "john smith",
+		"jon smith", "mary huang", "marie huang", "wei chen",
+	}
+	strs := make([]token.TokenizedString, len(raw))
+	for i, s := range raw {
+		strs[i] = token.WhitespaceAndPunct(s)
+	}
+	metric := func(a, b token.TokenizedString) float64 { return core.NSLD(a, b) }
+	tree := New(strs, metric, 1)
+	query := token.WhitespaceAndPunct("barak obama")
+	idx, dists := tree.Nearest(query, 3)
+	if idx[0] != 0 || dists[0] != 0 {
+		t.Fatalf("nearest to exact match must be itself: %v %v", idx, dists)
+	}
+	// The two other obama variants must be the next neighbors.
+	rest := map[int]bool{idx[1]: true, idx[2]: true}
+	if !rest[1] || !rest[2] {
+		t.Fatalf("expected obama variants as 2-NN/3-NN, got %v", idx)
+	}
+	// Range query at the paper's default threshold.
+	within, _ := tree.Within(query, 0.1)
+	for _, i := range within {
+		if core.NSLD(query, strs[i]) > 0.1 {
+			t.Fatalf("Within returned far item %d", i)
+		}
+	}
+	if len(within) < 2 {
+		t.Fatalf("expected at least the identical and 1-edit variants, got %v", within)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	empty := New(nil, absMetric, 1)
+	if idx, _ := empty.Nearest(1, 3); len(idx) != 0 {
+		t.Fatal("empty tree must return nothing")
+	}
+	if idx, _ := empty.Within(1, 3); len(idx) != 0 {
+		t.Fatal("empty tree must return nothing")
+	}
+	single := New([]float64{5}, absMetric, 1)
+	idx, d := single.Nearest(5.1, 4)
+	if len(idx) != 1 || idx[0] != 0 || math.Abs(d[0]-0.1) > 1e-12 {
+		t.Fatalf("single-item tree: %v %v", idx, d)
+	}
+	if idx, _ := single.Nearest(5, 0); len(idx) != 0 {
+		t.Fatal("k=0 must return nothing")
+	}
+}
+
+func TestDuplicateItems(t *testing.T) {
+	items := []float64{3, 3, 3, 3, 7}
+	tree := New(items, absMetric, 2)
+	idx, _ := tree.Within(3, 0)
+	if len(idx) != 4 {
+		t.Fatalf("duplicates: got %d hits, want 4", len(idx))
+	}
+	nIdx, nD := tree.Nearest(3, 5)
+	if len(nIdx) != 5 || nD[4] != 4 {
+		t.Fatalf("kNN over duplicates: %v %v", nIdx, nD)
+	}
+}

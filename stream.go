@@ -1,0 +1,57 @@
+package tsjoin
+
+import "repro/internal/stream"
+
+// Matcher is an incremental NSLD matcher: strings are added one at a time
+// and each Add returns the previously-added strings within the threshold.
+// It is the online complement of the batch SelfJoin — the same
+// generate-filter-verify structure maintained incrementally — and is
+// exact under the default configuration.
+//
+// Typical use: screening account sign-ups against everything seen so far.
+type Matcher struct {
+	m *stream.Matcher
+}
+
+// MatcherOptions configures an incremental Matcher.
+type MatcherOptions struct {
+	// Threshold is the NSLD threshold T in [0, 1).
+	Threshold float64
+	// MaxTokenFreq is M (0 = unlimited); see Options.MaxTokenFreq.
+	MaxTokenFreq int
+	// Greedy switches verification to greedy-token-aligning (faster,
+	// recall may drop, never false positives).
+	Greedy bool
+	// ExactTokensOnly disables the similar-token candidate path (the
+	// exact-token-matching approximation).
+	ExactTokensOnly bool
+	// Tokenizer overrides the default whitespace+punctuation tokenizer.
+	Tokenizer Tokenizer
+}
+
+// Match is one incremental hit: the earlier string's sequence number and
+// the verified distances.
+type Match = stream.Match
+
+// NewMatcher creates an empty incremental matcher.
+func NewMatcher(opts MatcherOptions) (*Matcher, error) {
+	m, err := stream.NewMatcher(stream.Options{
+		Threshold:       opts.Threshold,
+		MaxTokenFreq:    opts.MaxTokenFreq,
+		Greedy:          opts.Greedy,
+		ExactTokensOnly: opts.ExactTokensOnly,
+		Tokenizer:       opts.Tokenizer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher{m: m}, nil
+}
+
+// Add matches s against every previously added string, then indexes s.
+// The new string's id is Len()-1 after the call. Matches are sorted by
+// id. Not safe for concurrent use.
+func (m *Matcher) Add(s string) []Match { return m.m.Add(s) }
+
+// Len returns the number of indexed strings.
+func (m *Matcher) Len() int { return m.m.Len() }

@@ -1,0 +1,217 @@
+package tsjoin
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistanceFunctions(t *testing.T) {
+	if got := LD("Thomson", "Thompson"); got != 1 {
+		t.Errorf("LD = %d, want 1", got)
+	}
+	if got := NLD("Thomson", "Thompson"); got != 0.125 {
+		t.Errorf("NLD = %v, want 0.125", got)
+	}
+	// Paper Sec. II-D example under explicit tokens.
+	x := NewTokenizedString([]string{"chan", "kalan"})
+	y := NewTokenizedString([]string{"chank", "alan"})
+	if got := SLDTokens(x, y); got != 2 {
+		t.Errorf("SLDTokens = %d, want 2", got)
+	}
+	if got := NSLDTokens(x, y); got != 0.2 {
+		t.Errorf("NSLDTokens = %v, want 0.2", got)
+	}
+	// Token order and punctuation are irrelevant.
+	if got := NSLD("Obama, Barak", "barak obama"); got != 0 {
+		t.Errorf("NSLD of shuffled/punctuated = %v, want 0", got)
+	}
+	if got := SLD("Barak Obama", "Burak Ubama"); got != 2 {
+		t.Errorf("SLD = %d, want 2", got)
+	}
+}
+
+func TestSelfJoinQuickstart(t *testing.T) {
+	names := []string{
+		"Barak Obama",
+		"Obamma, Boraak H.",
+		"Burak Ubama",
+		"John Smith",
+		"Smith, John",
+	}
+	pairs, err := SelfJoin(names, Options{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[[2]int]float64)
+	for _, p := range pairs {
+		got[[2]int{p.A, p.B}] = p.NSLD
+	}
+	// The obama variants join to the seed (the (1,2) variant pair is at
+	// NSLD 10/28 ≈ 0.357, beyond T=0.3); the two john smiths are
+	// distance 0.
+	for _, want := range [][2]int{{0, 1}, {0, 2}, {3, 4}} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing pair %v in %v", want, got)
+		}
+	}
+	if d := got[[2]int{3, 4}]; d != 0 {
+		t.Errorf("shuffled name distance = %v, want 0", d)
+	}
+	// No cross-ring pairs.
+	if len(pairs) != 3 {
+		t.Errorf("got %d pairs, want 3: %v", len(pairs), got)
+	}
+}
+
+func TestSelfJoinStatsExposed(t *testing.T) {
+	names := []string{"a b", "a c", "b c"}
+	_, st, err := SelfJoinStats(names, Options{Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SharedTokenCandidates == 0 {
+		t.Error("expected shared-token candidates")
+	}
+	if len(st.Pipeline.Jobs) == 0 {
+		t.Error("expected pipeline jobs")
+	}
+}
+
+func TestSelfJoinOptionsValidation(t *testing.T) {
+	if _, err := SelfJoin([]string{"x"}, Options{Threshold: 1.5}); err == nil {
+		t.Fatal("invalid threshold must error")
+	}
+}
+
+func TestIndexNearestAndWithin(t *testing.T) {
+	names := []string{
+		"barak obama", "barack obama", "boraak obamma",
+		"john smith", "jon smyth", "mary huang",
+	}
+	ix := NewIndex(names)
+	if ix.Len() != len(names) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	nn := ix.Nearest("barak obama", 3)
+	if len(nn) != 3 || nn[0].ID != 0 || nn[0].Distance != 0 {
+		t.Fatalf("Nearest = %+v", nn)
+	}
+	for i := 1; i < len(nn); i++ {
+		if nn[i].Distance < nn[i-1].Distance {
+			t.Fatal("neighbors not sorted")
+		}
+	}
+	within := ix.Within("jhn smith", 0.3)
+	if len(within) == 0 {
+		t.Fatal("expected john smith variants within 0.3")
+	}
+	for _, n := range within {
+		if NSLD("jhn smith", n.Name) != n.Distance {
+			t.Fatalf("distance mismatch for %q", n.Name)
+		}
+		if n.Distance > 0.3 {
+			t.Fatalf("out-of-range neighbor %+v", n)
+		}
+	}
+}
+
+func TestNSLDMetricSanity(t *testing.T) {
+	a, b, c := "barak obama", "burak obama", "john smith"
+	if NSLD(a, a) != 0 {
+		t.Error("identity violated")
+	}
+	if NSLD(a, b) != NSLD(b, a) {
+		t.Error("symmetry violated")
+	}
+	if NSLD(a, b)+NSLD(b, c) < NSLD(a, c)-1e-12 {
+		t.Error("triangle inequality violated")
+	}
+	if d := NSLD(a, c); d <= 0 || d > 1 {
+		t.Errorf("range violated: %v", d)
+	}
+}
+
+func TestApproximateModes(t *testing.T) {
+	names := []string{"anna lee", "anna leigh", "ana lee", "bob ross", "bob r0ss"}
+	exactPairs, err := SelfJoin(names, Options{Threshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Options{
+		{Threshold: 0.25, Matching: ExactTokenMatching},
+		{Threshold: 0.25, Aligning: GreedyAligning},
+		{Threshold: 0.25, Dedup: GroupOnBothStrings},
+	} {
+		pairs, err := SelfJoin(names, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) > len(exactPairs) {
+			t.Fatalf("approximation found more pairs than exact: %+v", mode)
+		}
+		// Precision 1: every pair is truly within threshold.
+		for _, p := range pairs {
+			if math.Abs(NSLD(names[p.A], names[p.B])-p.NSLD) > 1e-9 && p.SLD != 0 {
+				// Greedy may overestimate SLD but never accepts a pair
+				// whose greedy distance exceeds the threshold; recheck
+				// against the exact distance.
+				if NSLD(names[p.A], names[p.B]) > 0.25 {
+					t.Fatalf("false positive %+v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalMatcherAPI(t *testing.T) {
+	m, err := NewMatcher(MatcherOptions{Threshold: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Add("barak obama"); len(got) != 0 {
+		t.Fatalf("first add: %v", got)
+	}
+	got := m.Add("barak obamma")
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("edited name must match: %v", got)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if _, err := NewMatcher(MatcherOptions{Threshold: 2}); err == nil {
+		t.Fatal("bad threshold must error")
+	}
+}
+
+// TestIncrementalMatchesBatch: streaming all names and unioning the match
+// edges reproduces the batch self-join exactly.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	names := []string{
+		"anna lee", "ana lee", "anna leigh", "bob ross",
+		"bob r0ss", "ross bob", "carol wu", "carrol wu",
+	}
+	const threshold = 0.2
+	batch, err := SelfJoin(names, Options{Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchSet := make(map[[2]int]int)
+	for _, p := range batch {
+		batchSet[[2]int{p.A, p.B}] = p.SLD
+	}
+	m, _ := NewMatcher(MatcherOptions{Threshold: threshold})
+	streamSet := make(map[[2]int]int)
+	for i, n := range names {
+		for _, g := range m.Add(n) {
+			streamSet[[2]int{g.ID, i}] = g.SLD
+		}
+	}
+	if len(streamSet) != len(batchSet) {
+		t.Fatalf("stream %d pairs vs batch %d", len(streamSet), len(batchSet))
+	}
+	for k, sld := range batchSet {
+		if s, ok := streamSet[k]; !ok || s != sld {
+			t.Fatalf("pair %v: stream (%d,%v), batch %d", k, s, ok, sld)
+		}
+	}
+}
