@@ -1,0 +1,28 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: all build test race bench lint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/stream/... ./internal/tsj/...
+
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkShardedAdd -benchtime=1x .
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+ci: build lint test race bench

@@ -8,6 +8,10 @@ package tsjoin
 // full default workload and prints the tables recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -152,6 +156,72 @@ func BenchmarkIndexNearest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.Nearest(names[i%len(names)], 5)
+	}
+}
+
+// --- Concurrent streaming benchmarks ---------------------------------------
+
+// benchShardCounts sweeps 1, 4 and NumCPU shards (deduplicated), the
+// comparison the serving-layer scaling claim is stated over.
+func benchShardCounts() []int {
+	var out []int
+	for _, n := range []int{1, 4, runtime.NumCPU()} {
+		if !slices.Contains(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BenchmarkShardedAdd streams a namegen corpus through a fresh
+// ConcurrentMatcher per iteration; adds/s is the serving-side ingest
+// throughput at each shard count.
+func BenchmarkShardedAdd(b *testing.B) {
+	names := namegen.Generate(namegen.Config{Seed: 3, NumNames: 1500})
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := NewConcurrentMatcher(ConcurrentMatcherOptions{
+					MatcherOptions: MatcherOptions{Threshold: 0.15},
+					Shards:         shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.AddAll(names)
+				m.Close()
+			}
+			b.ReportMetric(float64(len(names)*b.N)/b.Elapsed().Seconds(), "adds/s")
+		})
+	}
+}
+
+// BenchmarkShardedQuery measures concurrent read throughput: the index is
+// built once, then parallel clients issue Query against it.
+func BenchmarkShardedQuery(b *testing.B) {
+	names := namegen.Generate(namegen.Config{Seed: 3, NumNames: 2000})
+	for _, shards := range benchShardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m, err := NewConcurrentMatcher(ConcurrentMatcherOptions{
+				MatcherOptions: MatcherOptions{Threshold: 0.15},
+				Shards:         shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			m.AddAll(names)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % len(names)
+					m.Query(names[i])
+				}
+			})
+		})
 	}
 }
 

@@ -7,6 +7,12 @@
 //	tsjexp -fig all            # every figure at the default workload
 //	tsjexp -fig 1 -n 20000     # Fig. 1 on a 20k-name corpus
 //	tsjexp -fig 7 -hmj 5000    # Fig. 7 with a 5k-name HMJ comparison
+//
+// Load-generator mode measures the concurrent ShardedMatcher's throughput
+// against shard count (the serving-layer scaling story behind tsjserve):
+//
+//	tsjexp -load                          # sweep 1,2,4,GOMAXPROCS shards
+//	tsjexp -load -n 50000 -clients 16 -shards 1,4,8,16
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -23,10 +31,29 @@ func main() {
 	log.SetPrefix("tsjexp: ")
 
 	fig := flag.String("fig", "all", "figure to reproduce: 1..7 or 'all'")
-	n := flag.Int("n", 0, "corpus size (default: the workload default, 10000)")
+	n := flag.Int("n", 0, "corpus size (default: 10000 for figures, 20000 for -load)")
 	hmjN := flag.Int("hmj", 0, "corpus size for the HMJ comparison in fig 7 (default 4000)")
 	seed := flag.Int64("seed", 42, "workload seed")
+	load := flag.Bool("load", false, "load-generator mode: ShardedMatcher throughput vs shard count")
+	clients := flag.Int("clients", 0, "load mode: concurrent clients (default 2*GOMAXPROCS)")
+	shardList := flag.String("shards", "", "load mode: comma-separated shard counts (default 1,2,4,GOMAXPROCS)")
+	queriesPerAdd := flag.Int("qpa", 1, "load mode: queries issued per add (0 for a write-only stream)")
 	flag.Parse()
+
+	if *load {
+		cfg := experiments.StreamLoadConfig{
+			Seed:          *seed,
+			NumNames:      *n,
+			Clients:       *clients,
+			QueriesPerAdd: *queriesPerAdd,
+		}
+		var err error
+		if cfg.ShardCounts, err = parseShardList(*shardList); err != nil {
+			log.Fatal(err)
+		}
+		experiments.StreamLoad(cfg).Render(os.Stdout)
+		return
+	}
 
 	w := experiments.DefaultWorkload()
 	w.Seed = *seed
@@ -60,4 +87,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1..7 or all)\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// parseShardList parses "1,4,8" into shard counts ("" means defaults).
+func parseShardList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want positive integers, e.g. -shards 1,4,8)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -1,0 +1,208 @@
+// Command tsjserve serves an incremental NSLD matcher over HTTP/JSON —
+// the sign-up-screening scenario as a service. Every request body is
+// JSON; matches reference the sequence number (id) the matched string
+// received when it was added.
+//
+// Endpoints:
+//
+//	POST /add    {"name": "Barak Obama"}
+//	             -> {"id": 17, "matches": [{"id": 3, "sld": 1, "nsld": 0.08}]}
+//	POST /query  {"name": "Barak Obama"}        match without indexing
+//	             -> {"matches": [...]}
+//	POST /join   {"names": ["a", "b", ...]}     atomic batch add
+//	             -> {"first": 18, "results": [{"id": 18, "matches": [...]}, ...]}
+//	GET  /stats  -> {"strings": 19, "shards": 8, "adds": 19, "queries": 7,
+//	                 "tokens_per_shard": [..]}
+//	GET  /healthz -> ok
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain before the worker pool is released.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	tsjoin "repro"
+)
+
+// maxBodyBytes bounds request bodies; a /join batch of ~10k names fits.
+const maxBodyBytes = 4 << 20
+
+// server wires a ConcurrentMatcher to the HTTP API.
+type server struct {
+	m *tsjoin.ConcurrentMatcher
+}
+
+// wireMatch is the JSON form of one match.
+type wireMatch struct {
+	ID   int     `json:"id"`
+	SLD  int     `json:"sld"`
+	NSLD float64 `json:"nsld"`
+}
+
+func toWire(ms []tsjoin.Match) []wireMatch {
+	out := make([]wireMatch, len(ms))
+	for i, m := range ms {
+		out[i] = wireMatch{ID: m.ID, SLD: m.SLD, NSLD: m.NSLD}
+	}
+	return out
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/add", s.handleAdd)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/join", s.handleJoin)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// decode parses a JSON body into v, enforcing method and size limits.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	id, matches := s.m.Add(req.Name)
+	writeJSON(w, struct {
+		ID      int         `json:"id"`
+		Matches []wireMatch `json:"matches"`
+	}{id, toWire(matches)})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	writeJSON(w, struct {
+		Matches []wireMatch `json:"matches"`
+	}{toWire(s.m.Query(req.Name))})
+}
+
+func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Names []string `json:"names"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	first, matches := s.m.AddAll(req.Names)
+	type result struct {
+		ID      int         `json:"id"`
+		Matches []wireMatch `json:"matches"`
+	}
+	results := make([]result, len(matches))
+	for i, ms := range matches {
+		results[i] = result{ID: first + i, Matches: toWire(ms)}
+	}
+	writeJSON(w, struct {
+		First   int      `json:"first"`
+		Results []result `json:"results"`
+	}{first, results})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Stats()
+	writeJSON(w, struct {
+		Strings        int   `json:"strings"`
+		Shards         int   `json:"shards"`
+		Adds           int64 `json:"adds"`
+		Queries        int64 `json:"queries"`
+		TokensPerShard []int `json:"tokens_per_shard"`
+	}{st.Strings, st.Shards, st.Adds, st.Queries, st.TokensPerShard})
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsjserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	threshold := flag.Float64("threshold", 0.1, "NSLD threshold T in [0, 1)")
+	maxFreq := flag.Int("maxfreq", 0, "max token frequency M (0 = unlimited)")
+	shards := flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
+	greedy := flag.Bool("greedy", false, "greedy-token-aligning verification")
+	exactTokens := flag.Bool("exact-tokens", false, "exact-token matching only")
+	flag.Parse()
+
+	m, err := tsjoin.NewConcurrentMatcher(tsjoin.ConcurrentMatcherOptions{
+		MatcherOptions: tsjoin.MatcherOptions{
+			Threshold:       *threshold,
+			MaxTokenFreq:    *maxFreq,
+			Greedy:          *greedy,
+			ExactTokensOnly: *exactTokens,
+		},
+		Shards: *shards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           (&server{m: m}).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (threshold=%g shards=%d)", *addr, *threshold, m.Shards())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	tsjoin "repro"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *tsjoin.ConcurrentMatcher) {
+	t.Helper()
+	m, err := tsjoin.NewConcurrentMatcher(tsjoin.ConcurrentMatcherOptions{
+		MatcherOptions: tsjoin.MatcherOptions{Threshold: 0.2},
+		Shards:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	ts := httptest.NewServer((&server{m: m}).handler())
+	t.Cleanup(ts.Close)
+	return ts, m
+}
+
+func post(t *testing.T, url, body string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestServeAddQueryStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var add struct {
+		ID      int         `json:"id"`
+		Matches []wireMatch `json:"matches"`
+	}
+	post(t, ts.URL+"/add", `{"name": "barak obama"}`, &add)
+	if add.ID != 0 || len(add.Matches) != 0 {
+		t.Fatalf("first add: %+v", add)
+	}
+	post(t, ts.URL+"/add", `{"name": "barak obamma"}`, &add)
+	if add.ID != 1 || len(add.Matches) != 1 || add.Matches[0].ID != 0 {
+		t.Fatalf("second add must match the first: %+v", add)
+	}
+
+	var query struct {
+		Matches []wireMatch `json:"matches"`
+	}
+	post(t, ts.URL+"/query", `{"name": "barrak obama"}`, &query)
+	if len(query.Matches) != 2 {
+		t.Fatalf("query must match both variants: %+v", query)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Strings int   `json:"strings"`
+		Shards  int   `json:"shards"`
+		Adds    int64 `json:"adds"`
+		Queries int64 `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Strings != 2 || stats.Shards != 3 || stats.Adds != 2 || stats.Queries != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestServeJoinBatch(t *testing.T) {
+	ts, m := newTestServer(t)
+	var join struct {
+		First   int `json:"first"`
+		Results []struct {
+			ID      int         `json:"id"`
+			Matches []wireMatch `json:"matches"`
+		} `json:"results"`
+	}
+	post(t, ts.URL+"/join", `{"names": ["john smith", "jon smith", "ann lee"]}`, &join)
+	if join.First != 0 || len(join.Results) != 3 {
+		t.Fatalf("join: %+v", join)
+	}
+	if got := join.Results[1]; got.ID != 1 || len(got.Matches) != 1 || got.Matches[0].ID != 0 {
+		t.Fatalf("batch element must match earlier batch element: %+v", got)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d after join", m.Len())
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if resp := post(t, ts.URL+"/add", `{not json`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/add", `{"nmae": "typo"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /add: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,72 @@
+package tsjoin
+
+import "repro/internal/stream"
+
+// ConcurrentMatcher is the concurrent incremental NSLD matcher: the
+// inverted and segment indexes are partitioned across N shards by token
+// hash, each arrival's candidate generation fans out to the shards
+// through a persistent worker pool, and verification runs in parallel.
+// Results are identical to the sequential Matcher's for any shard count.
+//
+// Adds are serialized with each other (ids are assigned in arrival
+// order); Query runs concurrently with everything, so mixed Add/Query
+// traffic scales with the shard count. This is the serving-layer building
+// block behind cmd/tsjserve.
+type ConcurrentMatcher struct {
+	m *stream.ShardedMatcher
+}
+
+// ConcurrentMatcherOptions configures a ConcurrentMatcher.
+type ConcurrentMatcherOptions struct {
+	MatcherOptions
+	// Shards is the index partition count and parallelism knob
+	// (0 = GOMAXPROCS).
+	Shards int
+}
+
+// MatcherStats is a snapshot of a ConcurrentMatcher's state and traffic.
+type MatcherStats = stream.ShardedStats
+
+// NewConcurrentMatcher creates an empty concurrent matcher. Call Close
+// when done to release the worker pool.
+func NewConcurrentMatcher(opts ConcurrentMatcherOptions) (*ConcurrentMatcher, error) {
+	m, err := stream.NewShardedMatcher(stream.Options{
+		Threshold:       opts.Threshold,
+		MaxTokenFreq:    opts.MaxTokenFreq,
+		Greedy:          opts.Greedy,
+		ExactTokensOnly: opts.ExactTokensOnly,
+		Tokenizer:       opts.Tokenizer,
+	}, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentMatcher{m: m}, nil
+}
+
+// Add matches s against every previously added string, then indexes it,
+// returning the new string's id and the matches sorted by id. Safe for
+// concurrent use.
+func (m *ConcurrentMatcher) Add(s string) (id int, matches []Match) { return m.m.Add(s) }
+
+// AddAll adds a batch atomically with respect to other writers: the batch
+// occupies the dense id range [first, first+len(names)). Element i holds
+// the matches of names[i], including matches to earlier batch elements.
+func (m *ConcurrentMatcher) AddAll(names []string) (first int, matches [][]Match) {
+	return m.m.AddAll(names)
+}
+
+// Query matches s against everything added so far without indexing it.
+// Safe for concurrent use with Adds and other Queries.
+func (m *ConcurrentMatcher) Query(s string) []Match { return m.m.Query(s) }
+
+// Len returns the number of indexed strings.
+func (m *ConcurrentMatcher) Len() int { return m.m.Len() }
+
+// Shards returns the index partition count.
+func (m *ConcurrentMatcher) Shards() int { return m.m.Shards() }
+
+// Stats snapshots the matcher's state and traffic counters.
+func (m *ConcurrentMatcher) Stats() MatcherStats { return m.m.Stats() }
+
+// Close stops the worker pool. The matcher must not be used afterwards.
+func (m *ConcurrentMatcher) Close() { m.m.Close() }

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/namegen"
+	"repro/internal/stream"
+)
+
+// StreamLoadConfig parameterizes the serving-layer load generator behind
+// `tsjexp -load`: a synthetic sign-up stream driven at the ShardedMatcher
+// by concurrent clients, measured per shard count.
+type StreamLoadConfig struct {
+	// Seed/NumNames generate the workload (defaults 42 / 20000).
+	Seed     int64
+	NumNames int
+	// Clients is the number of concurrent client goroutines (default
+	// 2*GOMAXPROCS — some writers, some readers; capped at NumNames so
+	// every client has work).
+	Clients int
+	// QueriesPerAdd interleaves reads with the write stream: each client
+	// issues this many Queries after every Add (0 = write-only).
+	QueriesPerAdd int
+	// Threshold is the NSLD threshold (default 0.1).
+	Threshold float64
+	// ShardCounts lists the shard counts to sweep (default 1, 2, 4,
+	// GOMAXPROCS deduplicated).
+	ShardCounts []int
+}
+
+func (c StreamLoadConfig) withDefaults() StreamLoadConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.NumNames <= 0 {
+		c.NumNames = 20000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Clients > c.NumNames {
+		c.Clients = c.NumNames
+	}
+	if c.QueriesPerAdd < 0 {
+		c.QueriesPerAdd = 0
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.1
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = defaultShardCounts()
+	}
+	return c
+}
+
+func defaultShardCounts() []int {
+	var out []int
+	for _, n := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if !slices.Contains(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StreamLoad runs the load generator: for each shard count it replays the
+// same synthetic stream from Clients goroutines (each Add followed by
+// QueriesPerAdd Queries of a random earlier name) and reports wall-clock
+// throughput. The first row is the baseline; the last column is the
+// speedup over it.
+func StreamLoad(cfg StreamLoadConfig) *Table {
+	cfg = cfg.withDefaults()
+	names := namegen.Generate(namegen.Config{Seed: cfg.Seed, NumNames: cfg.NumNames})
+
+	t := &Table{
+		ID: "load",
+		Title: fmt.Sprintf(
+			"ShardedMatcher throughput vs shards (%d names, %d clients, %d queries/add, T=%g, GOMAXPROCS=%d)",
+			cfg.NumNames, cfg.Clients, cfg.QueriesPerAdd, cfg.Threshold, runtime.GOMAXPROCS(0)),
+		Header: []string{"shards", "elapsed", "adds/s", "queries/s", "ops/s", "speedup"},
+	}
+	var base float64
+	for _, shards := range cfg.ShardCounts {
+		elapsed, adds, queries := runStreamLoad(cfg, names, shards)
+		secs := elapsed.Seconds()
+		ops := float64(adds+queries) / secs
+		if base == 0 {
+			base = ops
+		}
+		t.AddRow(shards,
+			fmt.Sprintf("%.3fs", secs),
+			fmt.Sprintf("%.0f", float64(adds)/secs),
+			fmt.Sprintf("%.0f", float64(queries)/secs),
+			fmt.Sprintf("%.0f", ops),
+			fmt.Sprintf("%.2fx", ops/base))
+	}
+	t.Notes = append(t.Notes,
+		"same stream each row; speedup is ops/s over the first row")
+	return t
+}
+
+// runStreamLoad drives one shard count and returns the wall time and the
+// operation counts.
+func runStreamLoad(cfg StreamLoadConfig, names []string, shards int) (time.Duration, int, int) {
+	m, err := stream.NewShardedMatcher(stream.Options{Threshold: cfg.Threshold}, shards)
+	if err != nil {
+		panic(err)
+	}
+	defer m.Close()
+
+	// Balanced split covering every name: client c works on
+	// names[c*N/C : (c+1)*N/C].
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slice := names[c*len(names)/cfg.Clients : (c+1)*len(names)/cfg.Clients]
+			for i, n := range slice {
+				m.Add(n)
+				for q := 0; q < cfg.QueriesPerAdd; q++ {
+					// Probe a name this client already inserted: a mixed
+					// read/write stream with guaranteed hits.
+					m.Query(slice[(i*7+q)%(i+1)])
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return elapsed, len(names), len(names) * cfg.QueriesPerAdd
+}

@@ -1,0 +1,251 @@
+package stream
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/strdist"
+	"repro/internal/token"
+)
+
+// probeToken is one distinct token of an arriving string, carried with its
+// cached rune form so neither matching nor indexing re-decodes it.
+type probeToken struct {
+	s string
+	r []rune
+}
+
+// distinctProbe extracts the distinct tokens of ts. Tokens are stored
+// sorted, so deduplication is a neighbor scan and the probe order is
+// deterministic.
+func distinctProbe(ts token.TokenizedString) []probeToken {
+	probe := make([]probeToken, 0, ts.Count())
+	for i, t := range ts.Tokens {
+		if i > 0 && t == ts.Tokens[i-1] {
+			continue
+		}
+		probe = append(probe, probeToken{s: t, r: ts.TokenRunes(i)})
+	}
+	return probe
+}
+
+// tokenIndex is one partition of the incremental generate-filter index:
+// the shared-token inverted index plus the Pass-Join style segment index
+// over the token space. The sequential Matcher owns a single partition
+// holding every token; the ShardedMatcher owns N partitions, each holding
+// the tokens that hash to it. The type itself is not goroutine-safe —
+// callers serialize access (the ShardedMatcher guards each partition with
+// a RWMutex).
+type tokenIndex struct {
+	threshold float64
+	maxFreq   int
+	exactOnly bool
+
+	// tokenIDs interns distinct token strings to partition-local ids.
+	tokenIDs   map[string]int32
+	tokenRunes [][]rune
+	// postings maps token id -> ids of strings containing it.
+	postings [][]int32
+	// freq tracks per-token document frequency.
+	freq []int32
+
+	// segIndex maps (tokenLen, targetLen, segIdx, chunk) -> token ids,
+	// mirroring the MassJoin candidate keys. Only index-side entries are
+	// stored; probes generate substrings on the fly.
+	segIndex map[segKey][]int32
+}
+
+type segKey struct {
+	tokenLen, targetLen int16
+	seg                 int16
+	chunk               string
+}
+
+func newTokenIndex(opt Options) *tokenIndex {
+	return &tokenIndex{
+		threshold: opt.Threshold,
+		maxFreq:   opt.MaxTokenFreq,
+		exactOnly: opt.ExactTokensOnly,
+		tokenIDs:  make(map[string]int32),
+		segIndex:  make(map[segKey][]int32),
+	}
+}
+
+// tokens returns the number of distinct tokens interned in this partition.
+func (ix *tokenIndex) tokens() int { return len(ix.tokenRunes) }
+
+// insert registers string id under every probe token, interning tokens
+// (and indexing their segments) on first sight.
+func (ix *tokenIndex) insert(probe []probeToken, id int32) {
+	for _, p := range probe {
+		tid, ok := ix.tokenIDs[p.s]
+		if !ok {
+			tid = int32(len(ix.tokenRunes))
+			ix.tokenIDs[p.s] = tid
+			ix.tokenRunes = append(ix.tokenRunes, p.r)
+			ix.postings = append(ix.postings, nil)
+			ix.freq = append(ix.freq, 0)
+			if !ix.exactOnly {
+				ix.indexTokenSegments(tid, p.r)
+			}
+		}
+		ix.postings[tid] = append(ix.postings[tid], id)
+		ix.freq[tid]++
+	}
+}
+
+// indexTokenSegments registers a new distinct token's segments for every
+// compatible probe length (the MassJoin index side).
+func (ix *tokenIndex) indexTokenSegments(tid int32, r []rune) {
+	l := len(r)
+	maxLy := strdist.MaxLenWithin(ix.threshold, l)
+	minLy := strdist.MinLenWithin(ix.threshold, l)
+	for ly := minLy; ly <= maxLy; ly++ {
+		tau := strdist.MaxLDWithin(ix.threshold, l, ly)
+		if tau < 0 {
+			continue
+		}
+		for i, sg := range evenPartition(l, tau+1) {
+			k := segKey{int16(l), int16(ly), int16(i), string(r[sg[0] : sg[0]+sg[1]])}
+			ix.segIndex[k] = append(ix.segIndex[k], tid)
+		}
+	}
+}
+
+// candidates feeds every indexed string id sharing a token with the probe
+// — or, unless exact-token matching is on, containing a token within the
+// NLD threshold of a probe token — to emit. The same id may be emitted
+// more than once; callers deduplicate.
+func (ix *tokenIndex) candidates(probe []probeToken, emit func(int32)) {
+	for _, p := range probe {
+		// Shared-token candidates.
+		if tid, ok := ix.tokenIDs[p.s]; ok {
+			if ix.maxFreq <= 0 || int(ix.freq[tid]) <= ix.maxFreq {
+				for _, cand := range ix.postings[tid] {
+					emit(cand)
+				}
+			}
+		}
+		// Similar-token candidates: probe the segment index.
+		if !ix.exactOnly {
+			ix.probeSimilar(p.r, emit)
+		}
+	}
+}
+
+// probeSimilar finds indexed tokens with NLD <= T to the probe token and
+// feeds their postings to emit.
+func (ix *tokenIndex) probeSimilar(r []rune, emit func(int32)) {
+	ly := len(r)
+	minLs := strdist.MinLenWithin(ix.threshold, ly)
+	maxLs := strdist.MaxLenWithin(ix.threshold, ly)
+	checked := make(map[int32]struct{})
+	for ls := minLs; ls <= maxLs; ls++ {
+		tau := strdist.MaxLDWithin(ix.threshold, ls, ly)
+		if tau < 0 {
+			continue
+		}
+		for i, sg := range evenPartition(ls, tau+1) {
+			lo, hi := substringWindow(ls, ly, tau, i, sg)
+			for q := lo; q <= hi; q++ {
+				k := segKey{int16(ls), int16(ly), int16(i), string(r[q : q+sg[1]])}
+				for _, tid := range ix.segIndex[k] {
+					if _, done := checked[tid]; done {
+						continue
+					}
+					checked[tid] = struct{}{}
+					if ix.maxFreq > 0 && int(ix.freq[tid]) > ix.maxFreq {
+						continue
+					}
+					other := ix.tokenRunes[tid]
+					if !ix.tokenNLDWithin(other, r, ls, ly, tau) {
+						continue
+					}
+					for _, cand := range ix.postings[tid] {
+						emit(cand)
+					}
+				}
+			}
+		}
+	}
+}
+
+// tokenNLDWithin verifies NLD(x, y) <= T with a banded Levenshtein
+// computation (cheap for short tokens).
+func (ix *tokenIndex) tokenNLDWithin(x, y []rune, lx, ly, tau int) bool {
+	d, ok := strdist.LevenshteinBounded(x, y, tau)
+	if !ok {
+		return false
+	}
+	return strdist.WithinNLD(d, lx, ly, ix.threshold)
+}
+
+// verifyPair runs the Sec. III-E filters and the SLD verification for one
+// candidate pair, shared by the sequential and sharded matchers.
+func verifyPair(ts, other token.TokenizedString, cand int32, opt *Options) (Match, bool) {
+	t := opt.Threshold
+	if core.LengthPrune(ts.AggregateLen(), other.AggregateLen(), t) {
+		return Match{}, false
+	}
+	if core.LowerBoundPrune(ts, other, t) {
+		return Match{}, false
+	}
+	var sld int
+	if opt.Greedy {
+		sld = core.SLDGreedy(ts, other)
+	} else {
+		sld = core.SLD(ts, other)
+	}
+	if !core.WithinNSLD(sld, ts.AggregateLen(), other.AggregateLen(), t) {
+		return Match{}, false
+	}
+	return Match{
+		ID:   int(cand),
+		SLD:  sld,
+		NSLD: core.NSLDFromSLD(sld, ts.AggregateLen(), other.AggregateLen()),
+	}, true
+}
+
+// sortMatches orders matches by id (the contract of Add and Query).
+func sortMatches(out []Match) {
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}
+
+// evenPartition mirrors passjoin.EvenPartition as [start, len] pairs
+// (duplicated locally to keep this package's hot path allocation-free and
+// dependency-light).
+func evenPartition(l, parts int) [][2]int {
+	segs := make([][2]int, parts)
+	base, rem := l/parts, l%parts
+	pos := 0
+	for i := 0; i < parts; i++ {
+		ln := base
+		if i >= parts-rem {
+			ln++
+		}
+		segs[i] = [2]int{pos, ln}
+		pos += ln
+	}
+	return segs
+}
+
+// substringWindow mirrors passjoin.SubstringWindow (multi-match-aware).
+func substringWindow(ls, lr, tau, i int, sg [2]int) (lo, hi int) {
+	delta := lr - ls
+	p := sg[0]
+	lo = p - i
+	if v := p + delta - (tau - i); v > lo {
+		lo = v
+	}
+	hi = p + i
+	if v := p + delta + (tau - i); v < hi {
+		hi = v
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if max := lr - sg[1]; hi > max {
+		hi = max
+	}
+	return lo, hi
+}

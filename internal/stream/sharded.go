@@ -1,0 +1,347 @@
+package stream
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/token"
+)
+
+// ShardedMatcher is the concurrent incremental joiner: the inverted and
+// segment indexes are partitioned across N shards by token hash (the
+// MassJoin/PASS-JOIN partitioning carried over to the online path), and a
+// persistent worker pool fans each arrival's candidate generation out to
+// the shards and verifies the merged candidates in parallel.
+//
+// Semantics are exactly those of the sequential Matcher: driven serially,
+// Add returns the identical match set (sorted by id) for any shard count.
+// Concurrently, writers are serialized with each other — ids are assigned
+// in arrival order — while Query (match-without-insert) runs lock-free
+// against writers except for brief per-shard read locks, so mixed
+// Add/Query traffic scales with shards.
+//
+// Close releases the worker pool; the matcher must not be used after.
+type ShardedMatcher struct {
+	opt    Options
+	shards []*shard
+	pool   *workerPool
+
+	// addMu serializes writers so ids are dense and match results are
+	// deterministic; it is never held by pool workers.
+	addMu sync.Mutex
+	// mu guards the strings and emptyIDs slice headers. Elements are
+	// immutable once appended, so readers may retain snapshots.
+	mu       sync.RWMutex
+	strings  []token.TokenizedString
+	emptyIDs []int32
+
+	adds    atomic.Int64
+	queries atomic.Int64
+	closed  sync.Once
+}
+
+// shard is one index partition and its reader/writer guard.
+type shard struct {
+	mu sync.RWMutex
+	ix *tokenIndex
+}
+
+// ShardedStats is a snapshot of a ShardedMatcher's state and traffic.
+type ShardedStats struct {
+	// Strings is the number of indexed strings.
+	Strings int
+	// Shards is the partition count.
+	Shards int
+	// Adds and Queries count the operations served so far.
+	Adds, Queries int64
+	// TokensPerShard is the distinct-token count of each partition — a
+	// direct view of the hash partitioning's balance.
+	TokensPerShard []int
+}
+
+// NewShardedMatcher creates an empty concurrent matcher with the given
+// shard count (<= 0 means GOMAXPROCS). The worker pool holds one
+// goroutine per shard, so the shard count is also the parallelism knob.
+func NewShardedMatcher(opt Options, shards int) (*ShardedMatcher, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	m := &ShardedMatcher{
+		opt:    opt,
+		shards: make([]*shard, shards),
+		pool:   newWorkerPool(shards),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{ix: newTokenIndex(opt)}
+	}
+	return m, nil
+}
+
+// Shards returns the partition count.
+func (m *ShardedMatcher) Shards() int { return len(m.shards) }
+
+// Len returns the number of indexed strings.
+func (m *ShardedMatcher) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.strings)
+}
+
+// Stats snapshots the matcher.
+func (m *ShardedMatcher) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:         len(m.shards),
+		Adds:           m.adds.Load(),
+		Queries:        m.queries.Load(),
+		TokensPerShard: make([]int, len(m.shards)),
+	}
+	m.mu.RLock()
+	st.Strings = len(m.strings)
+	m.mu.RUnlock()
+	for i, sh := range m.shards {
+		sh.mu.RLock()
+		st.TokensPerShard[i] = sh.ix.tokens()
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Close stops the worker pool. The matcher must not be used afterwards.
+func (m *ShardedMatcher) Close() {
+	m.closed.Do(m.pool.close)
+}
+
+// Add matches s against everything previously added, then indexes it,
+// returning the new string's id and the matches sorted by id. Safe for
+// concurrent use; concurrent Adds are serialized in arrival order.
+func (m *ShardedMatcher) Add(s string) (int, []Match) {
+	ts := m.opt.Tokenizer(s)
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
+	return m.addTokenized(ts)
+}
+
+// AddAll adds a batch atomically with respect to other writers: the batch
+// occupies the dense id range [first, first+len(names)). Element i of the
+// returned slice holds the matches of names[i] — including matches to
+// earlier names of the same batch.
+func (m *ShardedMatcher) AddAll(names []string) (first int, matches [][]Match) {
+	toks := make([]token.TokenizedString, len(names))
+	for i, s := range names {
+		toks[i] = m.opt.Tokenizer(s)
+	}
+	matches = make([][]Match, len(names))
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
+	m.mu.RLock()
+	first = len(m.strings)
+	m.mu.RUnlock()
+	for i, ts := range toks {
+		_, matches[i] = m.addTokenized(ts)
+	}
+	return first, matches
+}
+
+// Query matches s against everything added so far without indexing it.
+// Safe for concurrent use with Adds and other Queries; it observes every
+// string whose Add completed before the call, and may observe a string
+// being added concurrently.
+func (m *ShardedMatcher) Query(s string) []Match {
+	m.queries.Add(1)
+	ts := m.opt.Tokenizer(s)
+	return m.match(ts, distinctProbe(ts))
+}
+
+// addTokenized runs one insertion; the caller holds addMu.
+func (m *ShardedMatcher) addTokenized(ts token.TokenizedString) (int, []Match) {
+	m.adds.Add(1)
+	probe := distinctProbe(ts)
+	matches := m.match(ts, probe)
+
+	// ---- Index the new string -------------------------------------------
+	// Strings first, postings second: a concurrent Query that discovers id
+	// in a shard's postings is then guaranteed to find strings[id].
+	m.mu.Lock()
+	id := int32(len(m.strings))
+	m.strings = append(m.strings, ts)
+	if ts.Count() == 0 {
+		m.emptyIDs = append(m.emptyIDs, id)
+	}
+	m.mu.Unlock()
+	if ts.Count() == 0 {
+		return int(id), matches
+	}
+	if n := len(m.shards); n == 1 {
+		sh := m.shards[0]
+		sh.mu.Lock()
+		sh.ix.insert(probe, id)
+		sh.mu.Unlock()
+	} else {
+		// Group the tokens by owning shard, then take each write lock once.
+		per := make([][]probeToken, len(m.shards))
+		for _, p := range probe {
+			si := shardOf(p.s, len(m.shards))
+			per[si] = append(per[si], p)
+		}
+		for si, ps := range per {
+			if len(ps) == 0 {
+				continue
+			}
+			sh := m.shards[si]
+			sh.mu.Lock()
+			sh.ix.insert(ps, id)
+			sh.mu.Unlock()
+		}
+	}
+	return int(id), matches
+}
+
+// match generates candidates on every shard through the worker pool,
+// merges and deduplicates them, and verifies in parallel. probe holds
+// ts's distinct tokens (computed once by the caller, who may reuse it for
+// indexing). Matches are returned sorted by id.
+func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []Match {
+	if ts.Count() == 0 {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		out := make([]Match, len(m.emptyIDs))
+		for i, e := range m.emptyIDs {
+			out[i] = Match{ID: int(e)}
+		}
+		return out
+	}
+
+	// ---- Generate: fan out to the shards --------------------------------
+	// Every shard resolves the full probe: exact-token lookups miss on
+	// non-owner shards (a token is interned only where it hashes), and the
+	// segment index must be probed everywhere because a similar token may
+	// live on any shard. A single shard skips the pool round-trip.
+	var wg sync.WaitGroup
+	var cands []int32
+	if len(m.shards) == 1 {
+		sh := m.shards[0]
+		sh.mu.RLock()
+		sh.ix.candidates(probe, func(cand int32) { cands = append(cands, cand) })
+		sh.mu.RUnlock()
+	} else {
+		perShard := make([][]int32, len(m.shards))
+		wg.Add(len(m.shards))
+		for i := range m.shards {
+			sh, out := m.shards[i], &perShard[i]
+			m.pool.submit(func() {
+				defer wg.Done()
+				var local []int32
+				sh.mu.RLock()
+				sh.ix.candidates(probe, func(cand int32) { local = append(local, cand) })
+				sh.mu.RUnlock()
+				*out = local
+			})
+		}
+		wg.Wait()
+		total := 0
+		for _, r := range perShard {
+			total += len(r)
+		}
+		cands = make([]int32, 0, total)
+		for _, r := range perShard {
+			cands = append(cands, r...)
+		}
+	}
+
+	// ---- Merge and deduplicate ------------------------------------------
+	if len(cands) == 0 {
+		return nil
+	}
+	slices.Sort(cands)
+	cands = slices.Compact(cands)
+
+	// Snapshot the strings after generation: every candidate id was
+	// appended to strings before it reached any posting list.
+	m.mu.RLock()
+	strs := m.strings
+	m.mu.RUnlock()
+
+	// ---- Verify ----------------------------------------------------------
+	// Candidates are ascending and chunks are contiguous, so concatenating
+	// per-chunk results in chunk order keeps the output sorted by id.
+	const minPerChunk = 16
+	chunks := len(cands) / minPerChunk
+	if chunks > len(m.shards) {
+		chunks = len(m.shards)
+	}
+	if chunks <= 1 {
+		var out []Match
+		for _, cand := range cands {
+			if mt, ok := verifyPair(ts, strs[cand], cand, &m.opt); ok {
+				out = append(out, mt)
+			}
+		}
+		return out
+	}
+	parts := make([][]Match, chunks)
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * len(cands) / chunks
+		hi := (c + 1) * len(cands) / chunks
+		part, chunk := &parts[c], cands[lo:hi]
+		m.pool.submit(func() {
+			defer wg.Done()
+			var out []Match
+			for _, cand := range chunk {
+				if mt, ok := verifyPair(ts, strs[cand], cand, &m.opt); ok {
+					out = append(out, mt)
+				}
+			}
+			*part = out
+		})
+	}
+	wg.Wait()
+	var out []Match
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// shardOf assigns a token to a shard by FNV-1a hash.
+func shardOf(s string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// workerPool is a fixed set of persistent goroutines executing submitted
+// closures; it exists so per-operation fan-out does not pay goroutine
+// startup on the hot path.
+type workerPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan func())}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) submit(f func()) { p.jobs <- f }
+
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -15,14 +15,16 @@
 // The matcher is exact under fuzzy matching + Hungarian alignment with
 // unlimited token frequency: Add(i) returns precisely the earlier strings
 // within the threshold of string i.
+//
+// Two implementations share the index machinery (tokenIndex in index.go):
+// Matcher is the single-threaded original; ShardedMatcher (sharded.go)
+// partitions the index by token hash across N shards and serves
+// concurrent Add/Query traffic through a persistent worker pool.
 package stream
 
 import (
 	"errors"
-	"sort"
 
-	"repro/internal/core"
-	"repro/internal/strdist"
 	"repro/internal/token"
 )
 
@@ -43,6 +45,17 @@ type Options struct {
 	Tokenizer token.Tokenizer
 }
 
+// validate normalizes the options shared by both matcher implementations.
+func (opt *Options) validate() error {
+	if opt.Threshold < 0 || opt.Threshold >= 1 {
+		return errors.New("stream: threshold must be in [0, 1)")
+	}
+	if opt.Tokenizer == nil {
+		opt.Tokenizer = token.WhitespaceAndPunct
+	}
+	return nil
+}
+
 // Match is one hit returned by Add.
 type Match struct {
 	// ID is the previously added string's sequence number.
@@ -52,48 +65,24 @@ type Match struct {
 	NSLD float64
 }
 
-// Matcher is the incremental joiner. Not safe for concurrent use.
+// Matcher is the incremental joiner. Not safe for concurrent use; see
+// ShardedMatcher for the concurrent variant.
 type Matcher struct {
 	opt     Options
 	strings []token.TokenizedString
-
-	// tokens interns distinct token strings.
-	tokenIDs   map[string]int32
-	tokenRunes [][]rune
-	// postings maps token id -> ids of strings containing it.
-	postings [][]int32
-	// freq tracks per-token document frequency.
-	freq []int32
-
-	// segIndex maps (tokenLen, targetLen, segIdx, chunk) -> token ids,
-	// mirroring the MassJoin candidate keys. Only index-side entries are
-	// stored; probes generate substrings on the fly.
-	segIndex map[segKey][]int32
+	ix      *tokenIndex
 
 	emptyIDs []int32 // token-less strings
 	seen     []uint32
 	gen      uint32
 }
 
-type segKey struct {
-	tokenLen, targetLen int16
-	seg                 int16
-	chunk               string
-}
-
 // NewMatcher validates options and creates an empty matcher.
 func NewMatcher(opt Options) (*Matcher, error) {
-	if opt.Threshold < 0 || opt.Threshold >= 1 {
-		return nil, errors.New("stream: threshold must be in [0, 1)")
+	if err := opt.validate(); err != nil {
+		return nil, err
 	}
-	if opt.Tokenizer == nil {
-		opt.Tokenizer = token.WhitespaceAndPunct
-	}
-	return &Matcher{
-		opt:      opt,
-		tokenIDs: make(map[string]int32),
-		segIndex: make(map[segKey][]int32),
-	}, nil
+	return &Matcher{opt: opt, ix: newTokenIndex(opt)}, nil
 }
 
 // Len returns the number of indexed strings.
@@ -105,8 +94,9 @@ func (m *Matcher) Len() int { return len(m.strings) }
 func (m *Matcher) Add(s string) []Match {
 	ts := m.opt.Tokenizer(s)
 	id := int32(len(m.strings))
+	probe := distinctProbe(ts)
 
-	matches := m.match(ts)
+	matches := m.match(ts, probe)
 
 	// ---- Index the new string -------------------------------------------
 	m.strings = append(m.strings, ts)
@@ -115,51 +105,20 @@ func (m *Matcher) Add(s string) []Match {
 		m.emptyIDs = append(m.emptyIDs, id)
 		return matches
 	}
-	distinct := make(map[string]struct{}, ts.Count())
-	for _, t := range ts.Tokens {
-		if _, dup := distinct[t]; dup {
-			continue
-		}
-		distinct[t] = struct{}{}
-		tid, ok := m.tokenIDs[t]
-		if !ok {
-			tid = int32(len(m.tokenRunes))
-			m.tokenIDs[t] = tid
-			r := []rune(t)
-			m.tokenRunes = append(m.tokenRunes, r)
-			m.postings = append(m.postings, nil)
-			m.freq = append(m.freq, 0)
-			if !m.opt.ExactTokensOnly {
-				m.indexTokenSegments(tid, r)
-			}
-		}
-		m.postings[tid] = append(m.postings[tid], id)
-		m.freq[tid]++
-	}
+	m.ix.insert(probe, id)
 	return matches
 }
 
-// indexTokenSegments registers a new distinct token's segments for every
-// compatible probe length (the MassJoin index side).
-func (m *Matcher) indexTokenSegments(tid int32, r []rune) {
-	l := len(r)
-	maxLy := strdist.MaxLenWithin(m.opt.Threshold, l)
-	minLy := strdist.MinLenWithin(m.opt.Threshold, l)
-	for ly := minLy; ly <= maxLy; ly++ {
-		tau := strdist.MaxLDWithin(m.opt.Threshold, l, ly)
-		if tau < 0 {
-			continue
-		}
-		for i, sg := range evenPartition(l, tau+1) {
-			k := segKey{int16(l), int16(ly), int16(i), string(r[sg[0] : sg[0]+sg[1]])}
-			m.segIndex[k] = append(m.segIndex[k], tid)
-		}
-	}
+// Query matches a raw string against everything previously added without
+// indexing it. Like Add, it is not safe for concurrent use.
+func (m *Matcher) Query(s string) []Match {
+	ts := m.opt.Tokenizer(s)
+	return m.match(ts, distinctProbe(ts))
 }
 
-// match generates, filters and verifies candidates for ts against the
-// current index.
-func (m *Matcher) match(ts token.TokenizedString) []Match {
+// match generates, filters and verifies candidates for ts (with probe its
+// distinct tokens) against the current index.
+func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 	m.gen++
 	var out []Match
 	if ts.Count() == 0 {
@@ -168,140 +127,15 @@ func (m *Matcher) match(ts token.TokenizedString) []Match {
 		}
 		return out
 	}
-
-	consider := func(cand int32) {
+	m.ix.candidates(probe, func(cand int32) {
 		if m.seen[cand] == m.gen {
 			return
 		}
 		m.seen[cand] = m.gen
-		other := m.strings[cand]
-		t := m.opt.Threshold
-		if core.LengthPrune(ts.AggregateLen(), other.AggregateLen(), t) {
-			return
+		if mt, ok := verifyPair(ts, m.strings[cand], cand, &m.opt); ok {
+			out = append(out, mt)
 		}
-		if core.LowerBoundPrune(ts, other, t) {
-			return
-		}
-		var sld int
-		if m.opt.Greedy {
-			sld = core.SLDGreedy(ts, other)
-		} else {
-			sld = core.SLD(ts, other)
-		}
-		if core.WithinNSLD(sld, ts.AggregateLen(), other.AggregateLen(), t) {
-			out = append(out, Match{
-				ID:   int(cand),
-				SLD:  sld,
-				NSLD: core.NSLDFromSLD(sld, ts.AggregateLen(), other.AggregateLen()),
-			})
-		}
-	}
-
-	distinct := make(map[string]struct{}, ts.Count())
-	for _, t := range ts.Tokens {
-		if _, dup := distinct[t]; dup {
-			continue
-		}
-		distinct[t] = struct{}{}
-		// Shared-token candidates.
-		if tid, ok := m.tokenIDs[t]; ok {
-			if m.opt.MaxTokenFreq <= 0 || int(m.freq[tid]) <= m.opt.MaxTokenFreq {
-				for _, cand := range m.postings[tid] {
-					consider(cand)
-				}
-			}
-		}
-		// Similar-token candidates: probe the segment index.
-		if !m.opt.ExactTokensOnly {
-			m.probeSimilar([]rune(t), consider)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	})
+	sortMatches(out)
 	return out
-}
-
-// probeSimilar finds indexed tokens with NLD <= T to the probe token and
-// feeds their postings to consider.
-func (m *Matcher) probeSimilar(r []rune, consider func(int32)) {
-	ly := len(r)
-	minLs := strdist.MinLenWithin(m.opt.Threshold, ly)
-	maxLs := strdist.MaxLenWithin(m.opt.Threshold, ly)
-	checked := make(map[int32]struct{})
-	for ls := minLs; ls <= maxLs; ls++ {
-		tau := strdist.MaxLDWithin(m.opt.Threshold, ls, ly)
-		if tau < 0 {
-			continue
-		}
-		for i, sg := range evenPartition(ls, tau+1) {
-			lo, hi := substringWindow(ls, ly, tau, i, sg)
-			for q := lo; q <= hi; q++ {
-				k := segKey{int16(ls), int16(ly), int16(i), string(r[q : q+sg[1]])}
-				for _, tid := range m.segIndex[k] {
-					if _, done := checked[tid]; done {
-						continue
-					}
-					checked[tid] = struct{}{}
-					if m.opt.MaxTokenFreq > 0 && int(m.freq[tid]) > m.opt.MaxTokenFreq {
-						continue
-					}
-					other := m.tokenRunes[tid]
-					if !m.tokenNLDWithin(other, r, ls, ly, tau) {
-						continue
-					}
-					for _, cand := range m.postings[tid] {
-						consider(cand)
-					}
-				}
-			}
-		}
-	}
-}
-
-// tokenNLDWithin verifies NLD(x, y) <= T with a banded Levenshtein
-// computation (cheap for short tokens).
-func (m *Matcher) tokenNLDWithin(x, y []rune, lx, ly, tau int) bool {
-	d, ok := strdist.LevenshteinBounded(x, y, tau)
-	if !ok {
-		return false
-	}
-	return strdist.WithinNLD(d, lx, ly, m.opt.Threshold)
-}
-
-// evenPartition mirrors passjoin.EvenPartition as [start, len] pairs
-// (duplicated locally to keep this package's hot path allocation-free and
-// dependency-light).
-func evenPartition(l, parts int) [][2]int {
-	segs := make([][2]int, parts)
-	base, rem := l/parts, l%parts
-	pos := 0
-	for i := 0; i < parts; i++ {
-		ln := base
-		if i >= parts-rem {
-			ln++
-		}
-		segs[i] = [2]int{pos, ln}
-		pos += ln
-	}
-	return segs
-}
-
-// substringWindow mirrors passjoin.SubstringWindow (multi-match-aware).
-func substringWindow(ls, lr, tau, i int, sg [2]int) (lo, hi int) {
-	delta := lr - ls
-	p := sg[0]
-	lo = p - i
-	if v := p + delta - (tau - i); v > lo {
-		lo = v
-	}
-	hi = p + i
-	if v := p + delta + (tau - i); v < hi {
-		hi = v
-	}
-	if lo < 0 {
-		lo = 0
-	}
-	if max := lr - sg[1]; hi > max {
-		hi = max
-	}
-	return lo, hi
 }

@@ -50,8 +50,12 @@ func NewMatcher(opts MatcherOptions) (*Matcher, error) {
 
 // Add matches s against every previously added string, then indexes s.
 // The new string's id is Len()-1 after the call. Matches are sorted by
-// id. Not safe for concurrent use.
+// id. Not safe for concurrent use; see ConcurrentMatcher.
 func (m *Matcher) Add(s string) []Match { return m.m.Add(s) }
+
+// Query matches s against every previously added string without indexing
+// it. Not safe for concurrent use; see ConcurrentMatcher.
+func (m *Matcher) Query(s string) []Match { return m.m.Query(s) }
 
 // Len returns the number of indexed strings.
 func (m *Matcher) Len() int { return m.m.Len() }
