@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint ci
+.PHONY: all build test race bench bench-verify equivalence-guard lint ci
 
 all: build
 
@@ -13,10 +13,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/stream/... ./internal/tsj/...
+	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/...
 
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkShardedAdd -benchtime=1x .
+
+bench-verify:
+	$(GO) test -run='^$$' -bench='SLD|Verify' -benchtime=1x -benchmem .
+
+equivalence-guard:
+	@out=$$($(GO) test -v -run TestBoundedEquivalence ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
+	if ! echo "$$out" | grep -q -- '--- PASS: TestBoundedEquivalence'; then \
+		echo "no TestBoundedEquivalence tests ran"; exit 1; fi; \
+	if echo "$$out" | grep -q -- '--- SKIP: TestBoundedEquivalence'; then \
+		echo "TestBoundedEquivalence tests were skipped"; exit 1; fi; \
+	echo "bounded-equivalence guard: ok"
 
 lint:
 	$(GO) vet ./...
@@ -25,4 +36,4 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: build lint test race bench
+ci: build lint test race equivalence-guard bench bench-verify

@@ -149,8 +149,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards         int   `json:"shards"`
 		Adds           int64 `json:"adds"`
 		Queries        int64 `json:"queries"`
+		Verified       int64 `json:"verified"`
+		BudgetPruned   int64 `json:"budget_pruned"`
 		TokensPerShard []int `json:"tokens_per_shard"`
-	}{st.Strings, st.Shards, st.Adds, st.Queries, st.TokensPerShard})
+	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.TokensPerShard})
 }
 
 func main() {

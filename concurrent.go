@@ -31,11 +31,12 @@ type MatcherStats = stream.ShardedStats
 // when done to release the worker pool.
 func NewConcurrentMatcher(opts ConcurrentMatcherOptions) (*ConcurrentMatcher, error) {
 	m, err := stream.NewShardedMatcher(stream.Options{
-		Threshold:       opts.Threshold,
-		MaxTokenFreq:    opts.MaxTokenFreq,
-		Greedy:          opts.Greedy,
-		ExactTokensOnly: opts.ExactTokensOnly,
-		Tokenizer:       opts.Tokenizer,
+		Threshold:            opts.Threshold,
+		MaxTokenFreq:         opts.MaxTokenFreq,
+		Greedy:               opts.Greedy,
+		ExactTokensOnly:      opts.ExactTokensOnly,
+		DisableBoundedVerify: opts.DisableBoundedVerification,
+		Tokenizer:            opts.Tokenizer,
 	}, opts.Shards)
 	if err != nil {
 		return nil, err

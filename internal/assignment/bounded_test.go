@@ -1,0 +1,75 @@
+package assignment
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBoundedEquivalenceHungarian: for random matrices and every budget,
+// HungarianBounded agrees with Hungarian whenever the optimum is within
+// budget — same total — and correctly reports exceeded otherwise.
+func TestBoundedEquivalenceHungarian(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + r.Intn(7)
+		cost := randMatrix(r, n, 12)
+		_, want := Hungarian(cost)
+		for max := -1; max <= want+3; max++ {
+			got, ok := HungarianBounded(cost, max)
+			if max < 0 || want <= max {
+				if !ok || got != want {
+					t.Fatalf("n=%d max=%d: got (%d,%v), want (%d,true)", n, max, got, ok, want)
+				}
+			} else if ok || got <= max {
+				t.Fatalf("n=%d max=%d want=%d: got (%d,%v), want exceeded with bound > max",
+					n, max, want, got, ok)
+			}
+		}
+	}
+}
+
+// TestBoundedEquivalenceGreedy is the greedy counterpart: the bound
+// applies to the greedy total (tie-broken identically), so bounded greedy
+// accepts exactly the matrices unbounded greedy totals within budget.
+func TestBoundedEquivalenceGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + r.Intn(7)
+		cost := randMatrix(r, n, 12)
+		_, want := Greedy(cost)
+		for max := -1; max <= want+3; max++ {
+			got, ok := GreedyBounded(cost, max)
+			if max < 0 || want <= max {
+				if !ok || got != want {
+					t.Fatalf("n=%d max=%d: got (%d,%v), want (%d,true)", n, max, got, ok, want)
+				}
+			} else if ok || got <= max {
+				t.Fatalf("n=%d max=%d want=%d: got (%d,%v), want exceeded with bound > max",
+					n, max, want, got, ok)
+			}
+		}
+	}
+}
+
+// TestScratchReuseAcrossSizes drives one Scratch through interleaved
+// solve sizes to prove the grown arrays are reset correctly between
+// calls.
+func TestScratchReuseAcrossSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var s Scratch
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + r.Intn(9)
+		cost := randMatrix(r, n, 12)
+		flat := flatten(cost)
+		_, want := Hungarian(cost)
+		got, ok, _ := s.HungarianFlat(flat, n, -1)
+		if !ok || got != want {
+			t.Fatalf("iter=%d n=%d: HungarianFlat got (%d,%v), want (%d,true)", iter, n, got, ok, want)
+		}
+		_, wantG := Greedy(cost)
+		gotG, okG, _ := s.GreedyFlat(flat, n, -1)
+		if !okG || gotG != wantG {
+			t.Fatalf("iter=%d n=%d: GreedyFlat got (%d,%v), want (%d,true)", iter, n, gotG, okG, wantG)
+		}
+	}
+}

@@ -25,13 +25,14 @@ func Hungarian(cost [][]int) (rowToCol []int, total int) {
 	v := make([]int, n+1)
 	p := make([]int, n+1)
 	way := make([]int, n+1)
+	minv := make([]int, n+1)
+	used := make([]bool, n+1)
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]int, n+1)
-		used := make([]bool, n+1)
 		for j := range minv {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/strdist"
+	"repro/internal/token"
+)
+
+// DefaultTokenLDCacheEntries caps a TokenLDCache at ~24 MB of map
+// storage; hot batch joins typically need far fewer distinct token pairs.
+const DefaultTokenLDCacheEntries = 1 << 20
+
+// TokenLDCache memoizes token-pair Levenshtein distances keyed by
+// (TokenID, TokenID). Batch joins re-verify the same token pairs many
+// times — hot postings put identical tokens in thousands of candidate
+// pairs — so the memo turns repeat cost-matrix cells into a map probe.
+//
+// Entries record either the exact distance or, when a bounded computation
+// gave up at budget b, the fact LD > b; a later probe with a larger
+// budget recomputes and upgrades the entry. The cache is not safe for
+// concurrent use: it belongs to a single Verifier (one per worker).
+type TokenLDCache struct {
+	// Hits and Misses count probes answered from / missing the memo.
+	Hits, Misses int64
+
+	m          map[uint64]int32
+	maxEntries int
+}
+
+// NewTokenLDCache creates a cache capped at maxEntries entries
+// (<= 0 means DefaultTokenLDCacheEntries). Once full, new pairs are
+// computed but not remembered.
+func NewTokenLDCache(maxEntries int) *TokenLDCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultTokenLDCacheEntries
+	}
+	return &TokenLDCache{m: make(map[uint64]int32), maxEntries: maxEntries}
+}
+
+// Len returns the number of memoized token pairs.
+func (c *TokenLDCache) Len() int { return len(c.m) }
+
+// ld returns the (budget-capped when max >= 0) distance between the two
+// tokens, from the memo when possible. Entries encode an exact distance d
+// as d >= 0 and the bounded fact "LD > b" as -(b+1).
+func (c *TokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row *[]int) int {
+	if a > b {
+		a, b = b, a
+		ar, br = br, ar
+	}
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	e, hit := c.m[key]
+	if hit {
+		if e >= 0 {
+			c.Hits++
+			if max >= 0 && int(e) > max {
+				return max + 1
+			}
+			return int(e)
+		}
+		if lb := int(-e) - 1; max >= 0 && lb >= max {
+			c.Hits++ // LD > lb >= max: capped without recomputing
+			return max + 1
+		}
+		// Known only as LD > lb with lb < max: recompute at the larger
+		// budget and upgrade the entry below.
+	}
+	c.Misses++
+	var d int
+	var exact bool
+	if max < 0 {
+		d = strdist.LevenshteinRunesScratch(ar, br, row)
+		exact = true
+	} else {
+		d, exact = strdist.LevenshteinBoundedScratch(ar, br, max, row)
+	}
+	if hit || len(c.m) < c.maxEntries {
+		if exact {
+			c.m[key] = int32(d)
+		} else {
+			c.m[key] = int32(-(max + 1)) // LD > max
+		}
+	}
+	return d
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/assignment"
+	"repro/internal/strdist"
+	"repro/internal/token"
+)
+
+// MaxSLDWithin returns the SLD budget implied by the NSLD threshold: the
+// largest sld a pair with aggregate lengths la, lb can have while still
+// satisfying NSLD <= t. Rearranging WithinNSLD (2*sld <= t*(la+lb+sld))
+// gives sld <= t*(la+lb)/(2-t); the float seed is then snapped to the
+// exact WithinNSLD boundary so bounded and exact verification agree on
+// every pair, including ones that land on the threshold.
+func MaxSLDWithin(t float64, la, lb int) int {
+	if t < 0 {
+		return -1
+	}
+	if t >= 2 {
+		// Degenerate: WithinNSLD holds for every sld; SLD never exceeds
+		// la+lb (delete every token of one side, grow every token of the
+		// other).
+		return la + lb
+	}
+	b := int(t * float64(la+lb) / (2 - t))
+	if b < 0 {
+		b = 0
+	}
+	for WithinNSLD(b+1, la, lb, t) {
+		b++
+	}
+	for b > 0 && !WithinNSLD(b, la, lb, t) {
+		b--
+	}
+	return b
+}
+
+// Verifier is a reusable, threshold-aware verification engine for the
+// Sec. III-F decision NSLD <= T. Instead of computing the exact, unbounded
+// SLD for every surviving candidate, it derives an SLD budget from the
+// threshold (MaxSLDWithin) and rejects a pair the moment any lower bound
+// exceeds it: per-cell token distances run the banded Levenshtein capped
+// at budget+1, matrix construction aborts when the sum of per-row minima
+// (a valid assignment lower bound) exceeds the budget, and the alignment
+// itself — Hungarian or greedy — terminates as soon as its growing
+// partial-matching cost proves the total will.
+//
+// All scratch (the flattened cost matrix, Levenshtein DP row, Hungarian
+// potentials and paths, greedy edge list) is owned by the Verifier and
+// reused across calls, so a long-lived per-worker Verifier performs zero
+// steady-state allocations. A Verifier is NOT safe for concurrent use;
+// give each worker its own (the batch and stream layers keep theirs in
+// sync.Pools; the zero value is ready to use).
+//
+// Exactness: for every pair, the bounded verdict equals the exact one
+// (accept iff SLD <= budget, or greedy-SLD <= budget under Greedy), and
+// an accepted pair's reported distance is the exact (greedy) SLD. The cap
+// arguments: a capped cell costs budget+1, so any assignment using one
+// already exceeds the budget; an accepted matching therefore uses only
+// uncapped — exact — cells.
+type Verifier struct {
+	// Greedy switches the alignment to the greedy-token-aligning
+	// approximation (Sec. III-G.5) instead of the exact Hungarian.
+	Greedy bool
+	// Cache optionally memoizes token-pair Levenshtein distances across
+	// pairs; see TokenLDCache. Only consulted when the caller supplies
+	// corpus token ids (VerifyIDs).
+	Cache *TokenLDCache
+
+	cost    []int // flattened k x k cost matrix
+	levRow  []int // Levenshtein DP row
+	scratch assignment.Scratch
+}
+
+// Verify decides NSLD(x, y) <= t with the threshold-derived budget.
+// Returns the setwise distance (exact — or the greedy upper bound under
+// Greedy — whenever within is true), whether the pair is within the
+// threshold, and whether it was rejected early (before the alignment
+// completed) by the budget.
+func (v *Verifier) Verify(x, y token.TokenizedString, t float64) (sld int, within, pruned bool) {
+	if t < 0 {
+		// No sld satisfies WithinNSLD; don't let MaxSLDWithin's -1 read
+		// as "unbounded" in verify.
+		return 0, false, true
+	}
+	return v.verify(x, y, nil, nil, MaxSLDWithin(t, x.AggregateLen(), y.AggregateLen()))
+}
+
+// VerifyIDs is Verify with corpus-stable token ids aligned to the token
+// multisets (xIDs[i] identifies x's i-th token), enabling the token-LD
+// cache: hot postings re-verify the same token pairs many times in a
+// batch join, and the memo turns the repeat cells into a map probe.
+func (v *Verifier) VerifyIDs(x, y token.TokenizedString, xIDs, yIDs []token.TokenID, t float64) (sld int, within, pruned bool) {
+	if t < 0 {
+		return 0, false, true
+	}
+	return v.verify(x, y, xIDs, yIDs, MaxSLDWithin(t, x.AggregateLen(), y.AggregateLen()))
+}
+
+// SLDBounded returns SLD(x, y) and true if it is at most max; otherwise
+// it returns a value exceeding max and false. max < 0 computes the exact
+// SLD unbounded (always true).
+func (v *Verifier) SLDBounded(x, y token.TokenizedString, max int) (int, bool) {
+	sld, ok, _ := v.verify(x, y, nil, nil, max)
+	return sld, ok
+}
+
+// verify runs the budgeted pipeline: trivial sides, matrix construction
+// with the row-minima abort, then the budget-aware alignment. max < 0
+// means unbounded.
+func (v *Verifier) verify(x, y token.TokenizedString, xIDs, yIDs []token.TokenID, max int) (sld int, within, pruned bool) {
+	if x.Count() == 0 {
+		d := y.AggregateLen()
+		return d, max < 0 || d <= max, false
+	}
+	if y.Count() == 0 {
+		d := x.AggregateLen()
+		return d, max < 0 || d <= max, false
+	}
+	k, lower, ok := v.buildCost(x, y, xIDs, yIDs, max)
+	if !ok {
+		return lower, false, true
+	}
+	var total int
+	var early bool
+	if v.Greedy {
+		total, ok, early = v.scratch.GreedyFlat(v.cost, k, max)
+	} else {
+		total, ok, early = v.scratch.HungarianFlat(v.cost, k, max)
+	}
+	return total, ok, !ok && early
+}
+
+// buildCost fills the flattened padded cost matrix of Sec. III-F
+// (costMatrix) with budget-capped cells. While building it accumulates
+// the sum of per-row minima — each row must be matched to some column, so
+// the sum is a lower bound on any assignment — and aborts the moment that
+// bound exceeds the budget, returning ok = false and the bound.
+func (v *Verifier) buildCost(x, y token.TokenizedString, xIDs, yIDs []token.TokenID, max int) (k, lower int, ok bool) {
+	m, n := x.Count(), y.Count()
+	k = m
+	if n > k {
+		k = n
+	}
+	if cap(v.cost) < k*k {
+		v.cost = make([]int, k*k, 2*k*k)
+	}
+	v.cost = v.cost[:k*k]
+	cap1 := max + 1 // cell cap; any assignment using a capped cell busts the budget
+	rowMinSum := 0
+	for i := 0; i < k; i++ {
+		rowMin := int(^uint(0) >> 2)
+		row := v.cost[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			var c int
+			switch {
+			case i < m && j < n:
+				c = v.tokenLD(x.TokenRunes(i), y.TokenRunes(j), xIDs, yIDs, i, j, max)
+			case i < m:
+				c = len(x.TokenRunes(i)) // delete whole token into ε
+			case j < n:
+				c = len(y.TokenRunes(j)) // grow ε into the token
+			default:
+				c = 0 // ε matched to ε
+			}
+			if max >= 0 && c > cap1 {
+				c = cap1
+			}
+			row[j] = c
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		rowMinSum += rowMin
+		if max >= 0 && rowMinSum > max {
+			return k, rowMinSum, false
+		}
+	}
+	return k, rowMinSum, true
+}
+
+// tokenLD returns the (budget-capped when max >= 0) Levenshtein distance
+// between tokens i of x and j of y, consulting the cache when ids are
+// available.
+func (v *Verifier) tokenLD(xr, yr []rune, xIDs, yIDs []token.TokenID, i, j, max int) int {
+	if v.Cache != nil && xIDs != nil && yIDs != nil {
+		return v.Cache.ld(xIDs[i], yIDs[j], xr, yr, max, &v.levRow)
+	}
+	if max < 0 {
+		return strdist.LevenshteinRunesScratch(xr, yr, &v.levRow)
+	}
+	d, _ := strdist.LevenshteinBoundedScratch(xr, yr, max, &v.levRow)
+	return d
+}
+
+// SLDBounded returns SLD(x, y) and true if it is at most max; otherwise a
+// value exceeding max and false. This convenience form allocates a
+// throwaway Verifier via an internal pool; hot paths should hold their
+// own Verifier.
+func SLDBounded(x, y token.TokenizedString, max int) (int, bool) {
+	v := pkgVerifiers.Get().(*Verifier)
+	v.Greedy = false
+	d, ok := v.SLDBounded(x, y, max)
+	pkgVerifiers.Put(v)
+	return d, ok
+}
+
+var pkgVerifiers = sync.Pool{New: func() any { return &Verifier{} }}

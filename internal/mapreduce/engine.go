@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Config controls one MapReduce job execution.
@@ -100,6 +101,8 @@ func Run[I any, K comparable, V any, O any](
 ) ([]O, *Stats) {
 	cfg = cfg.withDefaults(len(input))
 	st := &Stats{Name: cfg.Name}
+	start := time.Now()
+	defer func() { st.WallTime = time.Since(start) }()
 
 	// ---- Map phase ------------------------------------------------------
 	type kv struct {

@@ -1,6 +1,10 @@
 package mapreduce
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // Stats captures the per-task work measurements of one MapReduce job.
 // Work is measured in abstract units (≈ records touched, plus any
@@ -24,6 +28,10 @@ type Stats struct {
 
 	MapWork    float64
 	ReduceWork float64
+
+	// WallTime is the real in-process duration of the job (not the
+	// simulated-cluster time), measured by Run.
+	WallTime time.Duration
 }
 
 // TotalWork returns all work units charged to the job. When the aggregate
@@ -77,6 +85,18 @@ func (p *Pipeline) TotalWork() float64 {
 		w += j.TotalWork()
 	}
 	return w
+}
+
+// WallTimeOf sums the wall time of the jobs whose name contains substr
+// (e.g. "dedup-verify" isolates the TSJ verify stage).
+func (p *Pipeline) WallTimeOf(substr string) time.Duration {
+	var d time.Duration
+	for _, j := range p.Jobs {
+		if strings.Contains(j.Name, substr) {
+			d += j.WallTime
+		}
+	}
+	return d
 }
 
 // TotalShuffled sums shuffled records across all jobs.

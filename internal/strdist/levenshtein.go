@@ -11,40 +11,11 @@ func Levenshtein(a, b string) int {
 //
 // The implementation is the classic two-row dynamic program over the
 // (len(a)+1) x (len(b)+1) edit matrix, O(len(a)*len(b)) time and
-// O(min(len(a),len(b))) space.
+// O(min(len(a),len(b))) space. Allocation-free callers thread their own DP
+// row through LevenshteinRunesScratch.
 func LevenshteinRunes(a, b []rune) int {
-	// Keep the row as short as possible.
-	if len(a) < len(b) {
-		a, b = b, a
-	}
-	if len(b) == 0 {
-		return len(a)
-	}
-	row := make([]int, len(b)+1)
-	for j := range row {
-		row[j] = j
-	}
-	for i := 1; i <= len(a); i++ {
-		prev := row[0] // row[i-1][0]
-		row[0] = i
-		for j := 1; j <= len(b); j++ {
-			cur := row[j] // row[i-1][j]
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			best := prev + cost              // substitution / match
-			if d := row[j-1] + 1; d < best { // insertion
-				best = d
-			}
-			if d := cur + 1; d < best { // deletion
-				best = d
-			}
-			prev = cur
-			row[j] = best
-		}
-	}
-	return row[len(b)]
+	var row []int
+	return LevenshteinRunesScratch(a, b, &row)
 }
 
 // LevenshteinBounded returns LD(a, b) if it is at most max, and reports
@@ -55,79 +26,9 @@ func LevenshteinRunes(a, b []rune) int {
 // only fills the diagonal band of half-width max, O(max*min(len(a),len(b)))
 // time. This is the verifier used by PassJoin, MassJoin and the TSJ
 // filters, where max is derived from the NLD threshold via Lemma 8.
+// Allocation-free callers thread their own DP row through
+// LevenshteinBoundedScratch.
 func LevenshteinBounded(a, b []rune, max int) (int, bool) {
-	if max < 0 {
-		return max + 1, false
-	}
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	// Length difference alone is a lower bound on LD.
-	if len(b)-len(a) > max {
-		return max + 1, false
-	}
-	if len(a) == 0 {
-		return len(b), true
-	}
-	// row[j] = edit distance between a[:i] and b[:j], within the band
-	// |j - i| <= max. Cells outside the band are conceptually +inf.
-	const inf = int(^uint(0) >> 2)
-	row := make([]int, len(b)+1)
-	for j := 0; j <= len(b) && j <= max; j++ {
-		row[j] = j
-	}
-	for j := max + 1; j <= len(b); j++ {
-		row[j] = inf
-	}
-	for i := 1; i <= len(a); i++ {
-		lo := i - max
-		if lo < 1 {
-			lo = 1
-		}
-		hi := i + max
-		if hi > len(b) {
-			hi = len(b)
-		}
-		// prev holds row[i-1][lo-1]; the cell left of the band start.
-		prev := inf
-		if lo-1 >= 0 && lo-1 >= i-1-max {
-			prev = row[lo-1]
-		}
-		if lo == 1 {
-			prev = i - 1 // column 0 of the previous row
-		}
-		if i-max-1 >= 0 {
-			// Column lo-1 is outside the band for row i.
-			row[lo-1] = inf
-		} else {
-			row[0] = i
-		}
-		rowMin := inf
-		for j := lo; j <= hi; j++ {
-			cur := row[j] // row[i-1][j] (inf when outside previous band)
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
-			}
-			best := prev + cost
-			if d := row[j-1] + 1; d < best {
-				best = d
-			}
-			if d := cur + 1; d < best {
-				best = d
-			}
-			prev = cur
-			row[j] = best
-			if best < rowMin {
-				rowMin = best
-			}
-		}
-		if rowMin > max {
-			return max + 1, false
-		}
-	}
-	if d := row[len(b)]; d <= max {
-		return d, true
-	}
-	return max + 1, false
+	var row []int
+	return LevenshteinBoundedScratch(a, b, max, &row)
 }

@@ -1,0 +1,140 @@
+package strdist
+
+// growRow returns a slice of length n backed by row's storage when it is
+// large enough, reallocating (amortized, power-of-two) otherwise. The
+// scratch-threaded DP variants below use it so that a reused row reaches a
+// steady state with zero allocations.
+func growRow(row []int, n int) []int {
+	if cap(row) >= n {
+		return row[:n]
+	}
+	c := cap(row) * 2
+	if c < n {
+		c = n
+	}
+	if c < 16 {
+		c = 16
+	}
+	return make([]int, n, c)
+}
+
+// LevenshteinRunesScratch is LevenshteinRunes with a caller-owned DP row:
+// *row is grown as needed and retained across calls, so a hot loop that
+// reuses the same scratch performs no allocations in steady state.
+func LevenshteinRunesScratch(a, b []rune, row *[]int) int {
+	// Keep the row as short as possible.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	r := growRow(*row, len(b)+1)
+	*row = r
+	for j := range r {
+		r[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := r[0] // row[i-1][0]
+		r[0] = i
+		for j := 1; j <= len(b); j++ {
+			cur := r[j] // row[i-1][j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost            // substitution / match
+			if d := r[j-1] + 1; d < best { // insertion
+				best = d
+			}
+			if d := cur + 1; d < best { // deletion
+				best = d
+			}
+			prev = cur
+			r[j] = best
+		}
+	}
+	return r[len(b)]
+}
+
+// LevenshteinBoundedScratch is LevenshteinBounded with a caller-owned DP
+// row (see LevenshteinRunesScratch). It returns LD(a, b) if it is at most
+// max, reporting whether it was; when the distance exceeds max it returns
+// max+1, false.
+func LevenshteinBoundedScratch(a, b []rune, max int, row *[]int) (int, bool) {
+	if max < 0 {
+		return max + 1, false
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// Length difference alone is a lower bound on LD.
+	if len(b)-len(a) > max {
+		return max + 1, false
+	}
+	if len(a) == 0 {
+		return len(b), true
+	}
+	// r[j] = edit distance between a[:i] and b[:j], within the band
+	// |j - i| <= max. Cells outside the band are conceptually +inf.
+	const inf = int(^uint(0) >> 2)
+	r := growRow(*row, len(b)+1)
+	*row = r
+	for j := 0; j <= len(b) && j <= max; j++ {
+		r[j] = j
+	}
+	for j := max + 1; j <= len(b); j++ {
+		r[j] = inf
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - max
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + max
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// prev holds row[i-1][lo-1]; the cell left of the band start.
+		prev := inf
+		if lo-1 >= 0 && lo-1 >= i-1-max {
+			prev = r[lo-1]
+		}
+		if lo == 1 {
+			prev = i - 1 // column 0 of the previous row
+		}
+		if i-max-1 >= 0 {
+			// Column lo-1 is outside the band for row i.
+			r[lo-1] = inf
+		} else {
+			r[0] = i
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cur := r[j] // row[i-1][j] (inf when outside previous band)
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost
+			if d := r[j-1] + 1; d < best {
+				best = d
+			}
+			if d := cur + 1; d < best {
+				best = d
+			}
+			prev = cur
+			r[j] = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if rowMin > max {
+			return max + 1, false
+		}
+	}
+	if d := r[len(b)]; d <= max {
+		return d, true
+	}
+	return max + 1, false
+}

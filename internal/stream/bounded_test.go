@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/namegen"
+)
+
+// streamAll adds every name to a fresh sequential matcher and returns the
+// per-add match sets.
+func streamAll(t *testing.T, names []string, opt Options) ([][]Match, MatcherStats) {
+	t.Helper()
+	m, err := NewMatcher(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]Match, len(names))
+	for i, n := range names {
+		out[i] = m.Add(n)
+	}
+	return out, m.Stats()
+}
+
+// TestBoundedEquivalenceStream: the sequential matcher returns
+// byte-identical match sets with bounded verification on and off, for
+// both aligners, and populates BudgetPruned when on.
+func TestBoundedEquivalenceStream(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 41, NumNames: 220})
+	for _, greedy := range []bool{false, true} {
+		for _, th := range []float64{0.15, 0.3} {
+			exact, est := streamAll(t, names, Options{
+				Threshold: th, Greedy: greedy, DisableBoundedVerify: true,
+			})
+			bounded, bst := streamAll(t, names, Options{
+				Threshold: th, Greedy: greedy,
+			})
+			if !reflect.DeepEqual(exact, bounded) {
+				t.Fatalf("t=%.2f greedy=%v: bounded match sets differ", th, greedy)
+			}
+			if est.BudgetPruned != 0 {
+				t.Fatalf("t=%.2f greedy=%v: BudgetPruned=%d with bounding disabled",
+					th, greedy, est.BudgetPruned)
+			}
+			if bst.BudgetPruned == 0 || bst.BudgetPruned > bst.Verified {
+				t.Fatalf("t=%.2f greedy=%v: BudgetPruned=%d out of range (Verified=%d)",
+					th, greedy, bst.BudgetPruned, bst.Verified)
+			}
+			if bst.Verified != est.Verified {
+				t.Fatalf("t=%.2f greedy=%v: bounding changed Verified (%d vs %d)",
+					th, greedy, bst.Verified, est.Verified)
+			}
+		}
+	}
+}
+
+// TestBoundedEquivalenceSharded: the sharded matcher agrees with the
+// sequential one under bounded verification at several shard counts, and
+// its stats report the budget's work.
+func TestBoundedEquivalenceSharded(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 42, NumNames: 200})
+	const th = 0.2
+	want, _ := streamAll(t, names, Options{Threshold: th})
+	for _, shards := range []int{1, 3, 8} {
+		m, err := NewShardedMatcher(Options{Threshold: th}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]Match, len(names))
+		for i, n := range names {
+			_, got[i] = m.Add(n)
+		}
+		st := m.Stats()
+		m.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: bounded sharded match sets differ from sequential", shards)
+		}
+		if st.BudgetPruned == 0 || st.BudgetPruned > st.Verified {
+			t.Fatalf("shards=%d: BudgetPruned=%d out of range (Verified=%d)",
+				shards, st.BudgetPruned, st.Verified)
+		}
+	}
+}

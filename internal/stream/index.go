@@ -180,30 +180,46 @@ func (ix *tokenIndex) tokenNLDWithin(x, y []rune, lx, ly, tau int) bool {
 	return strdist.WithinNLD(d, lx, ly, ix.threshold)
 }
 
+// verifyOutcome reports what the verify stage did with one candidate
+// pair, for the matcher stats.
+type verifyOutcome struct {
+	verified     bool // survived the filters and reached verification
+	budgetPruned bool // rejected early by the threshold-derived SLD budget
+}
+
 // verifyPair runs the Sec. III-E filters and the SLD verification for one
-// candidate pair, shared by the sequential and sharded matchers.
-func verifyPair(ts, other token.TokenizedString, cand int32, opt *Options) (Match, bool) {
+// candidate pair, shared by the sequential and sharded matchers. v is the
+// caller-owned verification engine (per worker), carrying all scratch so
+// steady-state verification allocates nothing.
+func verifyPair(v *core.Verifier, ts, other token.TokenizedString, cand int32, opt *Options) (Match, bool, verifyOutcome) {
 	t := opt.Threshold
 	if core.LengthPrune(ts.AggregateLen(), other.AggregateLen(), t) {
-		return Match{}, false
+		return Match{}, false, verifyOutcome{}
 	}
 	if core.LowerBoundPrune(ts, other, t) {
-		return Match{}, false
+		return Match{}, false, verifyOutcome{}
 	}
 	var sld int
-	if opt.Greedy {
-		sld = core.SLDGreedy(ts, other)
+	var within bool
+	oc := verifyOutcome{verified: true}
+	if opt.DisableBoundedVerify {
+		if opt.Greedy {
+			sld = core.SLDGreedy(ts, other)
+		} else {
+			sld = core.SLD(ts, other)
+		}
+		within = core.WithinNSLD(sld, ts.AggregateLen(), other.AggregateLen(), t)
 	} else {
-		sld = core.SLD(ts, other)
+		sld, within, oc.budgetPruned = v.Verify(ts, other, t)
 	}
-	if !core.WithinNSLD(sld, ts.AggregateLen(), other.AggregateLen(), t) {
-		return Match{}, false
+	if !within {
+		return Match{}, false, oc
 	}
 	return Match{
 		ID:   int(cand),
 		SLD:  sld,
 		NSLD: core.NSLDFromSLD(sld, ts.AggregateLen(), other.AggregateLen()),
-	}, true
+	}, true, oc
 }
 
 // sortMatches orders matches by id (the contract of Add and Query).

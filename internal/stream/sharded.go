@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/token"
 )
 
@@ -37,9 +38,16 @@ type ShardedMatcher struct {
 	strings  []token.TokenizedString
 	emptyIDs []int32
 
-	adds    atomic.Int64
-	queries atomic.Int64
-	closed  sync.Once
+	// verPool lends one verification engine (scratch matrices, Hungarian
+	// state) to each verifying worker, so the hot path stays
+	// allocation-free without sharing unsynchronized scratch.
+	verPool sync.Pool
+
+	adds         atomic.Int64
+	queries      atomic.Int64
+	verified     atomic.Int64
+	budgetPruned atomic.Int64
+	closed       sync.Once
 }
 
 // shard is one index partition and its reader/writer guard.
@@ -56,6 +64,11 @@ type ShardedStats struct {
 	Shards int
 	// Adds and Queries count the operations served so far.
 	Adds, Queries int64
+	// Verified counts candidate pairs that reached verification.
+	Verified int64
+	// BudgetPruned counts verifications rejected early by the
+	// threshold-derived SLD budget (0 when DisableBoundedVerify).
+	BudgetPruned int64
 	// TokensPerShard is the distinct-token count of each partition — a
 	// direct view of the hash partitioning's balance.
 	TokensPerShard []int
@@ -75,6 +88,9 @@ func NewShardedMatcher(opt Options, shards int) (*ShardedMatcher, error) {
 		opt:    opt,
 		shards: make([]*shard, shards),
 		pool:   newWorkerPool(shards),
+	}
+	m.verPool.New = func() any {
+		return &core.Verifier{Greedy: opt.Greedy}
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{ix: newTokenIndex(opt)}
@@ -98,6 +114,8 @@ func (m *ShardedMatcher) Stats() ShardedStats {
 		Shards:         len(m.shards),
 		Adds:           m.adds.Load(),
 		Queries:        m.queries.Load(),
+		Verified:       m.verified.Load(),
+		BudgetPruned:   m.budgetPruned.Load(),
 		TokensPerShard: make([]int, len(m.shards)),
 	}
 	m.mu.RLock()
@@ -275,13 +293,7 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		chunks = len(m.shards)
 	}
 	if chunks <= 1 {
-		var out []Match
-		for _, cand := range cands {
-			if mt, ok := verifyPair(ts, strs[cand], cand, &m.opt); ok {
-				out = append(out, mt)
-			}
-		}
-		return out
+		return m.verifyChunk(ts, strs, cands)
 	}
 	parts := make([][]Match, chunks)
 	wg.Add(chunks)
@@ -291,19 +303,42 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		part, chunk := &parts[c], cands[lo:hi]
 		m.pool.submit(func() {
 			defer wg.Done()
-			var out []Match
-			for _, cand := range chunk {
-				if mt, ok := verifyPair(ts, strs[cand], cand, &m.opt); ok {
-					out = append(out, mt)
-				}
-			}
-			*part = out
+			*part = m.verifyChunk(ts, strs, chunk)
 		})
 	}
 	wg.Wait()
 	var out []Match
 	for _, p := range parts {
 		out = append(out, p...)
+	}
+	return out
+}
+
+// verifyChunk filters and verifies one ascending run of candidate ids
+// with a pooled verification engine, batching the stats counters so the
+// atomics are touched once per chunk, not once per pair.
+func (m *ShardedMatcher) verifyChunk(ts token.TokenizedString, strs []token.TokenizedString, cands []int32) []Match {
+	ver := m.verPool.Get().(*core.Verifier)
+	var out []Match
+	var verified, budgetPruned int64
+	for _, cand := range cands {
+		mt, ok, oc := verifyPair(ver, ts, strs[cand], cand, &m.opt)
+		if oc.verified {
+			verified++
+		}
+		if oc.budgetPruned {
+			budgetPruned++
+		}
+		if ok {
+			out = append(out, mt)
+		}
+	}
+	m.verPool.Put(ver)
+	if verified > 0 {
+		m.verified.Add(verified)
+	}
+	if budgetPruned > 0 {
+		m.budgetPruned.Add(budgetPruned)
 	}
 	return out
 }

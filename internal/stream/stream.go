@@ -25,6 +25,7 @@ package stream
 import (
 	"errors"
 
+	"repro/internal/core"
 	"repro/internal/token"
 )
 
@@ -41,6 +42,12 @@ type Options struct {
 	// ExactTokensOnly disables the similar-token path (the
 	// exact-token-matching approximation).
 	ExactTokensOnly bool
+	// DisableBoundedVerify switches off threshold-aware verification:
+	// by default each surviving candidate is verified under the SLD
+	// budget the threshold implies (core.Verifier) and abandoned as soon
+	// as any lower bound exceeds it. Matches are identical either way;
+	// disabling is for ablation and equivalence testing only.
+	DisableBoundedVerify bool
 	// Tokenizer defaults to whitespace+punctuation.
 	Tokenizer token.Tokenizer
 }
@@ -65,16 +72,32 @@ type Match struct {
 	NSLD float64
 }
 
+// MatcherStats is a snapshot of a sequential Matcher's verification
+// counters.
+type MatcherStats struct {
+	// Strings is the number of indexed strings.
+	Strings int
+	// Verified counts candidate pairs reaching verification.
+	Verified int64
+	// BudgetPruned counts verifications rejected early by the
+	// threshold-derived SLD budget (0 when DisableBoundedVerify).
+	BudgetPruned int64
+}
+
 // Matcher is the incremental joiner. Not safe for concurrent use; see
 // ShardedMatcher for the concurrent variant.
 type Matcher struct {
 	opt     Options
 	strings []token.TokenizedString
 	ix      *tokenIndex
+	ver     core.Verifier // reusable verification engine (single-threaded)
 
 	emptyIDs []int32 // token-less strings
 	seen     []uint32
 	gen      uint32
+
+	verified     int64
+	budgetPruned int64
 }
 
 // NewMatcher validates options and creates an empty matcher.
@@ -82,7 +105,18 @@ func NewMatcher(opt Options) (*Matcher, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return &Matcher{opt: opt, ix: newTokenIndex(opt)}, nil
+	m := &Matcher{opt: opt, ix: newTokenIndex(opt)}
+	m.ver.Greedy = opt.Greedy
+	return m, nil
+}
+
+// Stats snapshots the matcher's verification counters.
+func (m *Matcher) Stats() MatcherStats {
+	return MatcherStats{
+		Strings:      len(m.strings),
+		Verified:     m.verified,
+		BudgetPruned: m.budgetPruned,
+	}
 }
 
 // Len returns the number of indexed strings.
@@ -132,7 +166,14 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 			return
 		}
 		m.seen[cand] = m.gen
-		if mt, ok := verifyPair(ts, m.strings[cand], cand, &m.opt); ok {
+		mt, ok, oc := verifyPair(&m.ver, ts, m.strings[cand], cand, &m.opt)
+		if oc.verified {
+			m.verified++
+		}
+		if oc.budgetPruned {
+			m.budgetPruned++
+		}
+		if ok {
 			out = append(out, mt)
 		}
 	})

@@ -22,6 +22,9 @@ type TokenizedString struct {
 	runes [][]rune
 	// aggLen caches L(x^t) in runes.
 	aggLen int
+	// lenHist caches the ascending token-length histogram, so the
+	// per-candidate-pair lower-bound filter costs no allocation.
+	lenHist []int
 }
 
 // New builds a TokenizedString from an arbitrary (unsorted) multiset of
@@ -41,15 +44,19 @@ func New(tokens []string) TokenizedString {
 	return ts
 }
 
-// index populates the cached rune forms and aggregate length.
+// index populates the cached rune forms, aggregate length and length
+// histogram.
 func (ts *TokenizedString) index() {
 	ts.runes = make([][]rune, len(ts.Tokens))
 	ts.aggLen = 0
+	ts.lenHist = make([]int, len(ts.Tokens))
 	for i, t := range ts.Tokens {
 		r := []rune(t)
 		ts.runes[i] = r
 		ts.aggLen += len(r)
+		ts.lenHist[i] = len(r)
 	}
+	sort.Ints(ts.lenHist)
 }
 
 // Count returns T(x^t), the number of tokens.
@@ -86,14 +93,20 @@ func (ts TokenizedString) Equal(o TokenizedString) bool {
 
 // LengthHistogram returns the multiset of token lengths in ascending order.
 // This is the histogram the TSJ length-based filters ship with each
-// tokenized-string identifier (Sec. III-E).
+// tokenized-string identifier (Sec. III-E). The returned slice is the
+// cached histogram; the caller must not mutate it.
 func (ts TokenizedString) LengthHistogram() []int {
-	h := make([]int, len(ts.runes))
-	for i, r := range ts.runes {
-		h[i] = len(r)
+	if ts.lenHist == nil && len(ts.Tokens) > 0 {
+		// A TokenizedString assembled without New (zero value plus
+		// Tokens); fall back to computing on the spot.
+		h := make([]int, len(ts.Tokens))
+		for i, t := range ts.Tokens {
+			h[i] = len([]rune(t))
+		}
+		sort.Ints(h)
+		return h
 	}
-	sort.Ints(h)
-	return h
+	return ts.lenHist
 }
 
 // Tokenizer is a function mapping a raw string to its tokenized form.

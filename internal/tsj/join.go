@@ -31,7 +31,7 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 	c := combined
 	nr := token.StringID(boundary)
 	st := &Stats{}
-	ver := &verifier{corpus: c, opts: opts}
+	ver := newVerifier(c, opts)
 	engCfg := func(name string) mapreduce.Config {
 		return mapreduce.Config{Name: name, MapTasks: opts.MapTasks, Parallelism: opts.Parallelism}
 	}
@@ -134,7 +134,9 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 			},
 			func(k uint64, vals []struct{}, ctx *mapreduce.ReduceCtx[Result]) {
 				a, b := unpackPair(k)
-				ver.verifyPair(a, b, ctx)
+				pv := ver.get()
+				ver.verifyPair(a, b, pv, ctx)
+				ver.put(pv)
 			},
 		)
 	default: // GroupOnOneString
@@ -146,6 +148,7 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 			},
 			func(k token.StringID, partners []token.StringID, ctx *mapreduce.ReduceCtx[Result]) {
 				seen := make(map[token.StringID]struct{}, len(partners))
+				pv := ver.get()
 				for _, p := range partners {
 					if _, dup := seen[p]; dup {
 						continue
@@ -156,8 +159,9 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 					if a > b {
 						a, b = b, a
 					}
-					ver.verifyPair(a, b, ctx)
+					ver.verifyPair(a, b, pv, ctx)
 				}
+				ver.put(pv)
 			},
 		)
 	}
@@ -166,6 +170,7 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 	st.LengthPruned = ver.lengthPruned.Load()
 	st.LBPruned = ver.lbPruned.Load()
 	st.Verified = ver.verified.Load()
+	st.BudgetPruned = ver.budgetPruned.Load()
 	st.Results = ver.results.Load() + st.EmptyStringPairs
 
 	results = append(results, verified...)

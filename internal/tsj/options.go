@@ -114,6 +114,16 @@ type Options struct {
 	// filters (ablation only; results are unaffected, work grows).
 	DisableLengthFilter bool
 	DisableLBFilter     bool
+	// DisableBoundedVerify switches off threshold-aware verification
+	// (core.Verifier): by default the verify stage derives an SLD budget
+	// from the threshold and abandons a pair as soon as any lower bound
+	// exceeds it. Results are byte-identical either way; disabling is for
+	// ablation and equivalence testing only.
+	DisableBoundedVerify bool
+	// DisableTokenLDCache switches off the bounded verifier's token-pair
+	// LD memo (on by default; it only applies when bounded verification
+	// is on). Results are unaffected.
+	DisableTokenLDCache bool
 	// MapTasks / Parallelism forward to the MapReduce engine.
 	MapTasks    int
 	Parallelism int

@@ -22,7 +22,7 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 		return nil, nil, errors.New("tsj: threshold must be in [0, 1)")
 	}
 	st := &Stats{}
-	ver := &verifier{corpus: c, opts: opts}
+	ver := newVerifier(c, opts)
 	engCfg := func(name string) mapreduce.Config {
 		return mapreduce.Config{Name: name, MapTasks: opts.MapTasks, Parallelism: opts.Parallelism}
 	}
@@ -123,7 +123,9 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 			},
 			func(k uint64, vals []struct{}, ctx *mapreduce.ReduceCtx[Result]) {
 				a, b := unpackPair(k)
-				ver.verifyPair(a, b, ctx)
+				pv := ver.get()
+				ver.verifyPair(a, b, pv, ctx)
+				ver.put(pv)
 			},
 		)
 	default: // GroupOnOneString
@@ -138,14 +140,16 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 			},
 			func(k token.StringID, partners []token.StringID, ctx *mapreduce.ReduceCtx[Result]) {
 				seen := make(map[token.StringID]struct{}, len(partners))
+				pv := ver.get()
 				for _, p := range partners {
 					if _, dup := seen[p]; dup {
 						continue
 					}
 					seen[p] = struct{}{}
 					a, b := normPair(k, p)
-					ver.verifyPair(a, b, ctx)
+					ver.verifyPair(a, b, pv, ctx)
 				}
+				ver.put(pv)
 			},
 		)
 	}
@@ -160,6 +164,7 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 	st.LengthPruned = ver.lengthPruned.Load()
 	st.LBPruned = ver.lbPruned.Load()
 	st.Verified = ver.verified.Load()
+	st.BudgetPruned = ver.budgetPruned.Load()
 	st.Results = ver.results.Load() + st.EmptyStringPairs
 
 	results = append(results, verified...)

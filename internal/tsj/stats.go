@@ -30,8 +30,13 @@ type Stats struct {
 	// LengthPruned / LBPruned count candidates discarded by each filter.
 	LengthPruned int64
 	LBPruned     int64
-	// Verified counts exact SLD computations performed.
+	// Verified counts candidate pairs reaching the verification stage
+	// (SLD computations started).
 	Verified int64
+	// BudgetPruned counts verifications the threshold-derived SLD budget
+	// rejected early — before or inside the alignment — rather than by a
+	// completed SLD computation (always 0 with DisableBoundedVerify).
+	BudgetPruned int64
 	// Results counts emitted similar pairs.
 	Results int64
 	// EmptyStringPairs counts pairs of token-less strings (NSLD = 0)
@@ -42,7 +47,7 @@ type Stats struct {
 // String renders a multi-line summary.
 func (s *Stats) String() string {
 	return fmt.Sprintf(
-		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned len=%d lb=%d | verified=%d results=%d",
+		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned len=%d lb=%d budget=%d | verified=%d results=%d",
 		s.KeptTokens, s.DroppedTokens, s.SharedTokenCandidates, s.SimilarTokenCandidates,
-		s.SimilarTokenPairs, s.DedupedCandidates, s.LengthPruned, s.LBPruned, s.Verified, s.Results)
+		s.SimilarTokenPairs, s.DedupedCandidates, s.LengthPruned, s.LBPruned, s.BudgetPruned, s.Verified, s.Results)
 }

@@ -2,6 +2,7 @@ package tsj
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -13,21 +14,71 @@ import (
 // corpus acts as the distributed cache the paper resolves identifiers
 // against ("the tokenized-string identifiers are resolved to the tokenized
 // strings", Sec. III-F). Counters are atomic because reducers run
-// concurrently.
+// concurrently; the per-worker verification engines (scratch matrices,
+// Hungarian state, token-LD caches) live in a pool so reducers never
+// share one and steady-state verification allocates nothing.
 type verifier struct {
 	corpus *token.Corpus
 	opts   Options
+	pool   sync.Pool // *pairVerifier
 
 	lengthPruned atomic.Int64
 	lbPruned     atomic.Int64
 	verified     atomic.Int64
+	budgetPruned atomic.Int64
 	results      atomic.Int64
 }
 
+// pairVerifier is one worker's verification state: the threshold-aware
+// core engine plus the position-aligned token-id buffers that feed its
+// token-LD cache.
+type pairVerifier struct {
+	v          core.Verifier
+	xIDs, yIDs []token.TokenID
+}
+
+// newVerifier builds the stage and its engine pool from the join options.
+func newVerifier(c *token.Corpus, opts Options) *verifier {
+	v := &verifier{corpus: c, opts: opts}
+	v.pool.New = func() any {
+		pv := &pairVerifier{}
+		pv.v.Greedy = opts.Aligning == GreedyAligning
+		if !opts.DisableBoundedVerify && !opts.DisableTokenLDCache {
+			pv.v.Cache = core.NewTokenLDCache(0)
+		}
+		return pv
+	}
+	return v
+}
+
+// expandIDs maps the multiset positions of ts onto corpus TokenIDs:
+// members holds the string's distinct TokenIDs ascending, and both the
+// tokens and the corpus token space are lexicographically sorted, so the
+// distinct index advances exactly when the token changes.
+func expandIDs(ts *token.TokenizedString, members []token.TokenID, buf []token.TokenID) []token.TokenID {
+	buf = buf[:0]
+	di := 0
+	for i, tok := range ts.Tokens {
+		if i > 0 && tok != ts.Tokens[i-1] {
+			di++
+		}
+		buf = append(buf, members[di])
+	}
+	return buf
+}
+
+// get borrows a per-worker verification engine; callers hold it for a
+// whole reduce task (not a single pair) so pool churn stays off the
+// per-pair path and warmed token-LD caches survive longer.
+func (v *verifier) get() *pairVerifier { return v.pool.Get().(*pairVerifier) }
+
+// put returns an engine borrowed with get.
+func (v *verifier) put(pv *pairVerifier) { v.pool.Put(pv) }
+
 // verifyPair runs the Sec. III-E filters and, if the candidate survives,
 // the Sec. III-F verification, emitting a Result when NSLD <= T. The
-// caller guarantees a < b.
-func (v *verifier) verifyPair(a, b token.StringID, ctx *mapreduce.ReduceCtx[Result]) {
+// caller guarantees a < b and supplies a borrowed engine (get/put).
+func (v *verifier) verifyPair(a, b token.StringID, pv *pairVerifier, ctx *mapreduce.ReduceCtx[Result]) {
 	x := &v.corpus.Strings[a]
 	y := &v.corpus.Strings[b]
 	la, lb := x.AggregateLen(), y.AggregateLen()
@@ -64,12 +115,28 @@ func (v *verifier) verifyPair(a, b token.StringID, ctx *mapreduce.ReduceCtx[Resu
 	v.verified.Add(1)
 
 	var sld int
-	if v.opts.Aligning == GreedyAligning {
-		sld = core.SLDGreedy(*x, *y)
+	var within bool
+	if v.opts.DisableBoundedVerify {
+		if v.opts.Aligning == GreedyAligning {
+			sld = core.SLDGreedy(*x, *y)
+		} else {
+			sld = core.SLD(*x, *y)
+		}
+		within = core.WithinNSLD(sld, la, lb, t)
 	} else {
-		sld = core.SLD(*x, *y)
+		var pruned bool
+		if pv.v.Cache != nil {
+			pv.xIDs = expandIDs(x, v.corpus.Members[a], pv.xIDs)
+			pv.yIDs = expandIDs(y, v.corpus.Members[b], pv.yIDs)
+			sld, within, pruned = pv.v.VerifyIDs(*x, *y, pv.xIDs, pv.yIDs, t)
+		} else {
+			sld, within, pruned = pv.v.Verify(*x, *y, t)
+		}
+		if pruned {
+			v.budgetPruned.Add(1)
+		}
 	}
-	if !core.WithinNSLD(sld, la, lb, t) {
+	if !within {
 		return
 	}
 	v.results.Add(1)

@@ -28,13 +28,15 @@ func JoinStats(r, p []string, opts Options) ([]Pair, *Stats, error) {
 	combined = append(combined, p...)
 	c := token.BuildCorpus(combined, tok)
 	jopts := tsj.Options{
-		Threshold:       opts.Threshold,
-		MaxTokenFreq:    opts.MaxTokenFreq,
-		Matching:        opts.Matching,
-		Aligning:        opts.Aligning,
-		Dedup:           opts.Dedup,
-		MultiMatchAware: true,
-		Parallelism:     opts.Parallelism,
+		Threshold:            opts.Threshold,
+		MaxTokenFreq:         opts.MaxTokenFreq,
+		Matching:             opts.Matching,
+		Aligning:             opts.Aligning,
+		Dedup:                opts.Dedup,
+		MultiMatchAware:      true,
+		Parallelism:          opts.Parallelism,
+		DisableBoundedVerify: opts.DisableBoundedVerification,
+		DisableTokenLDCache:  opts.DisableTokenLDCache,
 	}
 	results, st, err := tsj.Join(c, len(r), jopts)
 	if err != nil {

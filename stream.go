@@ -25,6 +25,11 @@ type MatcherOptions struct {
 	// ExactTokensOnly disables the similar-token candidate path (the
 	// exact-token-matching approximation).
 	ExactTokensOnly bool
+	// DisableBoundedVerification switches off threshold-aware
+	// verification (on by default: candidates are verified under the
+	// SLD budget the threshold implies and abandoned as soon as any
+	// lower bound exceeds it). Matches are identical either way.
+	DisableBoundedVerification bool
 	// Tokenizer overrides the default whitespace+punctuation tokenizer.
 	Tokenizer Tokenizer
 }
@@ -36,11 +41,12 @@ type Match = stream.Match
 // NewMatcher creates an empty incremental matcher.
 func NewMatcher(opts MatcherOptions) (*Matcher, error) {
 	m, err := stream.NewMatcher(stream.Options{
-		Threshold:       opts.Threshold,
-		MaxTokenFreq:    opts.MaxTokenFreq,
-		Greedy:          opts.Greedy,
-		ExactTokensOnly: opts.ExactTokensOnly,
-		Tokenizer:       opts.Tokenizer,
+		Threshold:            opts.Threshold,
+		MaxTokenFreq:         opts.MaxTokenFreq,
+		Greedy:               opts.Greedy,
+		ExactTokensOnly:      opts.ExactTokensOnly,
+		DisableBoundedVerify: opts.DisableBoundedVerification,
+		Tokenizer:            opts.Tokenizer,
 	})
 	if err != nil {
 		return nil, err
@@ -59,3 +65,11 @@ func (m *Matcher) Query(s string) []Match { return m.m.Query(s) }
 
 // Len returns the number of indexed strings.
 func (m *Matcher) Len() int { return m.m.Len() }
+
+// SequentialMatcherStats is a snapshot of a Matcher's verification
+// counters.
+type SequentialMatcherStats = stream.MatcherStats
+
+// Stats snapshots the matcher's verification counters (candidates
+// verified, rejections the threshold-derived SLD budget short-circuited).
+func (m *Matcher) Stats() SequentialMatcherStats { return m.m.Stats() }

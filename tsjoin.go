@@ -118,6 +118,17 @@ type Options struct {
 	Tokenizer Tokenizer
 	// Parallelism caps worker goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// DisableBoundedVerification switches off threshold-aware
+	// verification. By default the verify stage derives an SLD budget
+	// from the threshold — maxSLD = floor(T*(L(x)+L(y))/(2-T)) — and
+	// abandons a candidate as soon as any lower bound exceeds it, which
+	// is the hot-path optimization behind the join's verify speed.
+	// Results are identical either way; disable only for ablation.
+	DisableBoundedVerification bool
+	// DisableTokenLDCache switches off the bounded verifier's
+	// token-pair Levenshtein memo (on by default; hot postings re-verify
+	// the same token pairs many times). Results are unaffected.
+	DisableTokenLDCache bool
 }
 
 // Pair is one joined pair of input strings: indices into the input slice
@@ -149,13 +160,15 @@ func SelfJoinStats(names []string, opts Options) ([]Pair, *Stats, error) {
 	}
 	c := token.BuildCorpus(names, tok)
 	jopts := tsj.Options{
-		Threshold:       opts.Threshold,
-		MaxTokenFreq:    opts.MaxTokenFreq,
-		Matching:        opts.Matching,
-		Aligning:        opts.Aligning,
-		Dedup:           opts.Dedup,
-		MultiMatchAware: true,
-		Parallelism:     opts.Parallelism,
+		Threshold:            opts.Threshold,
+		MaxTokenFreq:         opts.MaxTokenFreq,
+		Matching:             opts.Matching,
+		Aligning:             opts.Aligning,
+		Dedup:                opts.Dedup,
+		MultiMatchAware:      true,
+		Parallelism:          opts.Parallelism,
+		DisableBoundedVerify: opts.DisableBoundedVerification,
+		DisableTokenLDCache:  opts.DisableTokenLDCache,
 	}
 	results, st, err := tsj.SelfJoin(c, jopts)
 	if err != nil {
