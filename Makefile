@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-verify equivalence-guard lint ci
+.PHONY: all build test race bench bench-verify bench-candidates equivalence-guard lint ci
 
 all: build
 
@@ -21,13 +21,18 @@ bench:
 bench-verify:
 	$(GO) test -run='^$$' -bench='SLD|Verify' -benchtime=1x -benchmem .
 
+bench-candidates:
+	$(GO) test -run='^$$' -bench='Candidates|Prefix' -benchtime=1x -benchmem .
+
 equivalence-guard:
-	@out=$$($(GO) test -v -run TestBoundedEquivalence ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
-	if ! echo "$$out" | grep -q -- '--- PASS: TestBoundedEquivalence'; then \
-		echo "no TestBoundedEquivalence tests ran"; exit 1; fi; \
-	if echo "$$out" | grep -q -- '--- SKIP: TestBoundedEquivalence'; then \
-		echo "TestBoundedEquivalence tests were skipped"; exit 1; fi; \
-	echo "bounded-equivalence guard: ok"
+	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
+	for pat in TestBoundedEquivalence TestPrefixEquivalence; do \
+		if ! echo "$$out" | grep -q -- "--- PASS: $$pat"; then \
+			echo "no $$pat tests ran"; exit 1; fi; \
+		if echo "$$out" | grep -q -- "--- SKIP: $$pat"; then \
+			echo "$$pat tests were skipped"; exit 1; fi; \
+	done; \
+	echo "equivalence guard (bounded + prefix): ok"
 
 lint:
 	$(GO) vet ./...
@@ -36,4 +41,4 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: build lint test race equivalence-guard bench bench-verify
+ci: build lint test race equivalence-guard bench bench-verify bench-candidates

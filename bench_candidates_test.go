@@ -1,0 +1,90 @@
+package tsjoin
+
+// Candidate-generation benchmarks: the prefix filter's effect on the
+// batch shared-token generator (candidate count and candidate-generation
+// wall time, reported as custom metrics) and on the sharded matcher's
+// query path. CI runs these with -benchtime=1x as a smoke test; real
+// contrasts come from longer -benchtime runs.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/namegen"
+	"repro/internal/tsj"
+)
+
+// benchmarkCandidates runs the batch self-join at the paper's default
+// threshold and reports the raw candidate stream and the wall time of the
+// shared-token generation job.
+func benchmarkCandidates(b *testing.B, disablePrefix bool) {
+	c := benchCorpus(1500)
+	opts := tsj.DefaultOptions()
+	opts.DisablePrefixFilter = disablePrefix
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cands, prefixPruned, genMs, verifyMs float64
+	for i := 0; i < b.N; i++ {
+		_, st, err := tsj.SelfJoin(c, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cands += float64(st.SharedTokenCandidates + st.SimilarTokenCandidates)
+		prefixPruned += float64(st.PrefixPruned)
+		// Candidate generation spans the generation jobs plus the dedup
+		// shuffle of the fused dedup+verify job; its reduce phase is the
+		// filter+verify compute.
+		gen := st.Pipeline.WallTimeOf("shared-token") +
+			st.Pipeline.WallTimeOf("similar-token") +
+			st.Pipeline.MapWallOf("dedup-verify")
+		genMs += float64(gen.Microseconds()) / 1000
+		verifyMs += float64(st.Pipeline.ReduceWallOf("dedup-verify").Microseconds()) / 1000
+	}
+	n := float64(b.N)
+	b.ReportMetric(cands/n, "candidates/op")
+	b.ReportMetric(prefixPruned/n, "prefix-pruned/op")
+	b.ReportMetric(genMs/n, "candgen-ms/op")
+	b.ReportMetric(verifyMs/n, "verify-ms/op")
+}
+
+// BenchmarkCandidatesPrefix measures candidate generation with the
+// threshold-aware prefix filter (the default configuration).
+func BenchmarkCandidatesPrefix(b *testing.B) { benchmarkCandidates(b, false) }
+
+// BenchmarkCandidatesNoPrefix is the ablation: every kept token feeds the
+// posting lists, every co-occurring pair is emitted.
+func BenchmarkCandidatesNoPrefix(b *testing.B) { benchmarkCandidates(b, true) }
+
+// BenchmarkShardedQueryPrefix measures concurrent Query throughput on the
+// sharded matcher with the prefix filter on (default) and off; the
+// prefix-pruned metric shows how many posting entries each configuration
+// skipped.
+func BenchmarkShardedQueryPrefix(b *testing.B) {
+	names := namegen.Generate(namegen.Config{Seed: 3, NumNames: 2000})
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{{"prefix", false}, {"noprefix", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m, err := NewConcurrentMatcher(ConcurrentMatcherOptions{
+				MatcherOptions: MatcherOptions{Threshold: 0.1, DisablePrefixFilter: cfg.disable},
+				Shards:         4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			m.AddAll(names)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % len(names)
+					m.Query(names[i])
+				}
+			})
+			b.ReportMetric(float64(m.Stats().PrefixPruned)/float64(b.N), "prefix-pruned/op")
+		})
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsjexp: ")
 
-	fig := flag.String("fig", "all", "figure to reproduce: 1..7 or 'all'")
+	fig := flag.String("fig", "all", "figure to reproduce: 1..7, 'funnel', or 'all'")
 	n := flag.Int("n", 0, "corpus size (default: 10000 for figures, 20000 for -load)")
 	hmjN := flag.Int("hmj", 0, "corpus size for the HMJ comparison in fig 7 (default 4000)")
 	seed := flag.Int64("seed", 42, "workload seed")
@@ -102,8 +102,10 @@ func main() {
 		experiments.Fig6(w).Render(os.Stdout)
 	case "7":
 		experiments.Fig7(w).Render(os.Stdout)
+	case "funnel":
+		experiments.Funnel(w).Render(os.Stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1..7 or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1..7, funnel, or all)\n", *fig)
 		os.Exit(2)
 	}
 }

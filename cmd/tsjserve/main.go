@@ -12,6 +12,8 @@
 //	POST /join   {"names": ["a", "b", ...]}     atomic batch add
 //	             -> {"first": 18, "results": [{"id": 18, "matches": [...]}, ...]}
 //	GET  /stats  -> {"strings": 19, "shards": 8, "adds": 19, "queries": 7,
+//	                 "verified": 12, "budget_pruned": 3, "prefix_pruned": 41,
+//	                 "cand_gen_wall_ms": 0.8, "verify_wall_ms": 1.4,
 //	                 "tokens_per_shard": [..]}
 //	GET  /healthz -> ok
 //
@@ -145,14 +147,21 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.m.Stats()
 	writeJSON(w, struct {
-		Strings        int   `json:"strings"`
-		Shards         int   `json:"shards"`
-		Adds           int64 `json:"adds"`
-		Queries        int64 `json:"queries"`
-		Verified       int64 `json:"verified"`
-		BudgetPruned   int64 `json:"budget_pruned"`
-		TokensPerShard []int `json:"tokens_per_shard"`
-	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.TokensPerShard})
+		Strings      int   `json:"strings"`
+		Shards       int   `json:"shards"`
+		Adds         int64 `json:"adds"`
+		Queries      int64 `json:"queries"`
+		Verified     int64 `json:"verified"`
+		BudgetPruned int64 `json:"budget_pruned"`
+		PrefixPruned int64 `json:"prefix_pruned"`
+		// Wall times are reported in milliseconds so dashboards need no
+		// duration parsing.
+		CandGenWallMs  float64 `json:"cand_gen_wall_ms"`
+		VerifyWallMs   float64 `json:"verify_wall_ms"`
+		TokensPerShard []int   `json:"tokens_per_shard"`
+	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.PrefixPruned,
+		float64(st.CandGenWall.Microseconds()) / 1000, float64(st.VerifyWall.Microseconds()) / 1000,
+		st.TokensPerShard})
 }
 
 func main() {

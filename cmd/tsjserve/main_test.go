@@ -83,6 +83,48 @@ func TestServeAddQueryStats(t *testing.T) {
 	}
 }
 
+// TestServeStatsFilterTelemetry: /stats carries the filter-funnel and
+// stage-timing fields — verified/budget_pruned/prefix_pruned counters and
+// the candidate-generation and verify wall clocks.
+func TestServeStatsFilterTelemetry(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Enough near-duplicate traffic to exercise generation + verification.
+	post(t, ts.URL+"/join",
+		`{"names": ["maria del carmen", "maria del karmen", "mario del carmen", "jo ng", "bob"]}`, nil)
+	post(t, ts.URL+"/query", `{"name": "maria del carmen"}`, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Verified      int64    `json:"verified"`
+		BudgetPruned  *int64   `json:"budget_pruned"`
+		PrefixPruned  *int64   `json:"prefix_pruned"`
+		CandGenWallMs *float64 `json:"cand_gen_wall_ms"`
+		VerifyWallMs  *float64 `json:"verify_wall_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetPruned == nil || stats.PrefixPruned == nil {
+		t.Fatal("/stats missing budget_pruned or prefix_pruned")
+	}
+	if stats.CandGenWallMs == nil || stats.VerifyWallMs == nil {
+		t.Fatal("/stats missing cand_gen_wall_ms or verify_wall_ms")
+	}
+	if stats.Verified == 0 {
+		t.Fatal("verified count not populated by the join traffic")
+	}
+	if *stats.CandGenWallMs <= 0 {
+		t.Fatalf("cand_gen_wall_ms = %v, want > 0 after traffic", *stats.CandGenWallMs)
+	}
+	if *stats.VerifyWallMs <= 0 {
+		t.Fatalf("verify_wall_ms = %v, want > 0 after traffic", *stats.VerifyWallMs)
+	}
+}
+
 func TestServeJoinBatch(t *testing.T) {
 	ts, m := newTestServer(t)
 	var join struct {

@@ -36,6 +36,7 @@ func NewConcurrentMatcher(opts ConcurrentMatcherOptions) (*ConcurrentMatcher, er
 		Greedy:               opts.Greedy,
 		ExactTokensOnly:      opts.ExactTokensOnly,
 		DisableBoundedVerify: opts.DisableBoundedVerification,
+		DisablePrefixFilter:  opts.DisablePrefixFilter,
 		Tokenizer:            opts.Tokenizer,
 	}, opts.Shards)
 	if err != nil {

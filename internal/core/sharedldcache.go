@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/strdist"
+	"repro/internal/token"
+)
+
+// sharedLDCacheStripes is the lock-stripe count of SharedTokenLDCache: a
+// power of two comfortably above typical worker counts so writers rarely
+// collide on a stripe.
+const sharedLDCacheStripes = 64
+
+// SharedTokenLDCache is the concurrent counterpart of TokenLDCache: one
+// token-pair Levenshtein memo shared by every reduce worker of a batch
+// join, so a hot token pair warms exactly once per join instead of once
+// per pooled verifier. The map is striped by key hash with one mutex per
+// stripe; distances are computed outside the lock, so a stripe is held
+// only for the map probe/store.
+//
+// Entries use the TokenLDCache encoding: an exact distance d as d >= 0,
+// the bounded fact "LD > b" as -(b+1). Concurrent writers can race to the
+// same key; store keeps whichever entry carries more information (exact
+// beats any bound, a larger bound beats a smaller one), so the cache's
+// answers are independent of worker interleaving.
+type SharedTokenLDCache struct {
+	hits, misses atomic.Int64
+
+	stripes [sharedLDCacheStripes]sharedLDStripe
+	maxPer  int
+}
+
+type sharedLDStripe struct {
+	mu sync.Mutex
+	m  map[uint64]int32
+}
+
+// NewSharedTokenLDCache creates a shared cache capped at maxEntries
+// entries across all stripes (<= 0 means DefaultTokenLDCacheEntries).
+// Once a stripe fills its share, new pairs are computed but not
+// remembered there.
+func NewSharedTokenLDCache(maxEntries int) *SharedTokenLDCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultTokenLDCacheEntries
+	}
+	c := &SharedTokenLDCache{maxPer: (maxEntries + sharedLDCacheStripes - 1) / sharedLDCacheStripes}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[uint64]int32)
+	}
+	return c
+}
+
+// Hits and Misses snapshot the probe counters.
+func (c *SharedTokenLDCache) Hits() int64   { return c.hits.Load() }
+func (c *SharedTokenLDCache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of memoized token pairs across all stripes.
+func (c *SharedTokenLDCache) Len() int {
+	n := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// stripeOf picks the stripe for a packed key (fibonacci hashing of the
+// high and low halves keeps sequential TokenIDs from clustering).
+func (c *SharedTokenLDCache) stripeOf(key uint64) *sharedLDStripe {
+	h := key * 0x9e3779b97f4a7c15
+	return &c.stripes[h>>(64-6)] // 2^6 stripes
+}
+
+// ld returns the (budget-capped when max >= 0) distance between the two
+// tokens, consulting and updating the shared memo. row is the caller's
+// Levenshtein scratch; the distance is computed outside any lock.
+func (c *SharedTokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row *[]int) int {
+	if a > b {
+		a, b = b, a
+		ar, br = br, ar
+	}
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	st := c.stripeOf(key)
+
+	st.mu.Lock()
+	e, hit := st.m[key]
+	st.mu.Unlock()
+	if hit {
+		if e >= 0 {
+			c.hits.Add(1)
+			if max >= 0 && int(e) > max {
+				return max + 1
+			}
+			return int(e)
+		}
+		if lb := int(-e) - 1; max >= 0 && lb >= max {
+			c.hits.Add(1) // LD > lb >= max: capped without recomputing
+			return max + 1
+		}
+		// Known only as LD > lb with lb < max: recompute at the larger
+		// budget and upgrade the entry below.
+	}
+	c.misses.Add(1)
+
+	var d int
+	var exact bool
+	if max < 0 {
+		d = strdist.LevenshteinRunesScratch(ar, br, row)
+		exact = true
+	} else {
+		d, exact = strdist.LevenshteinBoundedScratch(ar, br, max, row)
+	}
+
+	var entry int32
+	if exact {
+		entry = int32(d)
+	} else {
+		entry = int32(-(max + 1)) // LD > max
+	}
+	st.mu.Lock()
+	cur, exists := st.m[key]
+	switch {
+	case !exists:
+		if len(st.m) < c.maxPer {
+			st.m[key] = entry
+		}
+	case moreInformative(entry, cur):
+		st.m[key] = entry
+	}
+	st.mu.Unlock()
+	return d
+}
+
+// moreInformative reports whether candidate entry a strictly improves on
+// the stored entry b under the exact/bound encoding.
+func moreInformative(a, b int32) bool {
+	if b >= 0 {
+		return false // exact is final
+	}
+	if a >= 0 {
+		return true // exact replaces any bound
+	}
+	return a < b // deeper bound: -(b+1) decreases as b grows
+}

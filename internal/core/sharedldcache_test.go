@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/strdist"
+	"repro/internal/token"
+)
+
+// TestSharedTokenLDCacheMatchesDirect: concurrent workers probing the
+// shared cache at mixed budgets always receive answers consistent with a
+// direct bounded computation.
+func TestSharedTokenLDCacheMatchesDirect(t *testing.T) {
+	toks := make([][]rune, 40)
+	for i := range toks {
+		toks[i] = []rune(fmt.Sprintf("token%03d", i*7%40))
+	}
+	c := NewSharedTokenLDCache(0)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var row []int
+			for rep := 0; rep < 3; rep++ {
+				for i := range toks {
+					for j := range toks {
+						max := (i + j + w + rep) % 7
+						if max == 6 {
+							max = -1 // unbounded probes mixed in
+						}
+						got := c.ld(token.TokenID(i), token.TokenID(j), toks[i], toks[j], max, &row)
+						want := strdist.LevenshteinRunes(toks[i], toks[j])
+						if max >= 0 && want > max {
+							if got <= max {
+								errs <- fmt.Sprintf("ld(%d,%d,max=%d) = %d, want > max (true %d)", i, j, max, got, want)
+								return
+							}
+						} else if got != want {
+							errs <- fmt.Sprintf("ld(%d,%d,max=%d) = %d, want %d", i, j, max, got, want)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if c.Hits() == 0 || c.Misses() == 0 {
+		t.Fatalf("counters not populated: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache stored nothing")
+	}
+}
+
+// TestSharedTokenLDCacheUpgrade: a bound entry is upgraded by a deeper
+// bound and finalized by an exact computation, never the reverse.
+func TestSharedTokenLDCacheUpgrade(t *testing.T) {
+	a, b := []rune("abcdefgh"), []rune("hgfedcba")
+	true_ := strdist.LevenshteinRunes(a, b)
+	c := NewSharedTokenLDCache(0)
+	var row []int
+	if d := c.ld(1, 2, a, b, 1, &row); d <= 1 {
+		t.Fatalf("budget-1 probe returned %d, want > 1", d)
+	}
+	// A deeper budget must recompute (the stored fact LD > 1 is weaker).
+	if d := c.ld(1, 2, a, b, true_, &row); d != true_ {
+		t.Fatalf("budget-%d probe returned %d, want exact %d", true_, d, true_)
+	}
+	// Exact is now memoized: a low-budget probe answers from the entry.
+	misses := c.Misses()
+	if d := c.ld(1, 2, a, b, 1, &row); d != 2 {
+		t.Fatalf("capped probe returned %d, want max+1 = 2", d)
+	}
+	if c.Misses() != misses {
+		t.Fatal("capped probe after exact entry recomputed instead of hitting")
+	}
+}
+
+// TestMoreInformative pins the entry-upgrade lattice.
+func TestMoreInformative(t *testing.T) {
+	cases := []struct {
+		a, b int32
+		want bool
+	}{
+		{5, 3, false},   // exact never replaced
+		{5, -2, true},   // exact replaces bound
+		{-3, -2, true},  // LD>2 replaces LD>1
+		{-2, -3, false}, // shallower bound discarded
+		{-2, 7, false},  // bound never replaces exact
+	}
+	for _, tc := range cases {
+		if got := moreInformative(tc.a, tc.b); got != tc.want {
+			t.Fatalf("moreInformative(%d, %d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

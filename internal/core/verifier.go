@@ -68,6 +68,11 @@ type Verifier struct {
 	// pairs; see TokenLDCache. Only consulted when the caller supplies
 	// corpus token ids (VerifyIDs).
 	Cache *TokenLDCache
+	// Shared optionally points many Verifiers at one concurrent
+	// token-LD memo (SharedTokenLDCache) so hot token pairs warm once
+	// per join instead of once per worker. Cache wins when both are set.
+	// Like Cache, it is only consulted under VerifyIDs.
+	Shared *SharedTokenLDCache
 
 	cost    []int // flattened k x k cost matrix
 	levRow  []int // Levenshtein DP row
@@ -185,8 +190,13 @@ func (v *Verifier) buildCost(x, y token.TokenizedString, xIDs, yIDs []token.Toke
 // between tokens i of x and j of y, consulting the cache when ids are
 // available.
 func (v *Verifier) tokenLD(xr, yr []rune, xIDs, yIDs []token.TokenID, i, j, max int) int {
-	if v.Cache != nil && xIDs != nil && yIDs != nil {
-		return v.Cache.ld(xIDs[i], yIDs[j], xr, yr, max, &v.levRow)
+	if xIDs != nil && yIDs != nil {
+		if v.Cache != nil {
+			return v.Cache.ld(xIDs[i], yIDs[j], xr, yr, max, &v.levRow)
+		}
+		if v.Shared != nil {
+			return v.Shared.ld(xIDs[i], yIDs[j], xr, yr, max, &v.levRow)
+		}
 	}
 	if max < 0 {
 		return strdist.LevenshteinRunesScratch(xr, yr, &v.levRow)

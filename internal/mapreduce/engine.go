@@ -102,7 +102,10 @@ func Run[I any, K comparable, V any, O any](
 	cfg = cfg.withDefaults(len(input))
 	st := &Stats{Name: cfg.Name}
 	start := time.Now()
-	defer func() { st.WallTime = time.Since(start) }()
+	defer func() {
+		st.WallTime = time.Since(start)
+		st.ReduceWall = st.WallTime - st.MapWall
+	}()
 
 	// ---- Map phase ------------------------------------------------------
 	type kv struct {
@@ -154,6 +157,9 @@ func Run[I any, K comparable, V any, O any](
 	// Release map output early.
 	mapOut = nil
 	st.ReduceKeys = int64(len(groups))
+	// The map-side wall covers mapping plus the shuffle grouping — the
+	// record-stream handling; what remains of the job is reduce compute.
+	st.MapWall = time.Since(start)
 
 	// ---- Reduce phase ----------------------------------------------------
 	// Keys are processed by a worker pool; outputs and per-key costs are

@@ -30,8 +30,12 @@ type Stats struct {
 	ReduceWork float64
 
 	// WallTime is the real in-process duration of the job (not the
-	// simulated-cluster time), measured by Run.
-	WallTime time.Duration
+	// simulated-cluster time), measured by Run. MapWall covers the map
+	// phase plus the shuffle grouping (the record-stream handling);
+	// ReduceWall is the remainder — the reduce-function compute.
+	WallTime   time.Duration
+	MapWall    time.Duration
+	ReduceWall time.Duration
 }
 
 // TotalWork returns all work units charged to the job. When the aggregate
@@ -88,12 +92,37 @@ func (p *Pipeline) TotalWork() float64 {
 }
 
 // WallTimeOf sums the wall time of the jobs whose name contains substr
-// (e.g. "dedup-verify" isolates the TSJ verify stage).
+// (e.g. "dedup-verify" isolates the TSJ dedup+verify job).
 func (p *Pipeline) WallTimeOf(substr string) time.Duration {
 	var d time.Duration
 	for _, j := range p.Jobs {
 		if strings.Contains(j.Name, substr) {
 			d += j.WallTime
+		}
+	}
+	return d
+}
+
+// MapWallOf / ReduceWallOf are WallTimeOf restricted to one phase: the
+// TSJ verify stage, for example, is ReduceWallOf("dedup-verify") — the
+// reduce compute of the fused dedup+filter+verify job — while the
+// candidate stream's cost is the generation jobs plus
+// MapWallOf("dedup-verify"), the dedup shuffle.
+func (p *Pipeline) MapWallOf(substr string) time.Duration {
+	var d time.Duration
+	for _, j := range p.Jobs {
+		if strings.Contains(j.Name, substr) {
+			d += j.MapWall
+		}
+	}
+	return d
+}
+
+func (p *Pipeline) ReduceWallOf(substr string) time.Duration {
+	var d time.Duration
+	for _, j := range p.Jobs {
+		if strings.Contains(j.Name, substr) {
+			d += j.ReduceWall
 		}
 	}
 	return d

@@ -1,0 +1,245 @@
+// Package prefilter implements threshold-aware candidate pruning for the
+// shared-token candidate-generation path: PASS-JOIN/prefix-filter style
+// prefix probing plus a positional filter, specialized to the NSLD
+// threshold semantics of the paper.
+//
+// The key observation: every token occurrence of x that is not matched to
+// an identical token of y contributes at least one edit to SLD(x, y), so a
+// pair with NSLD <= T has at most B = MaxSLDWithin(T, L(x), L(y)) distinct
+// tokens on either side without an identical partner on the other. Order
+// the token space by a fixed global total order (document frequency
+// ascending, TokenID ascending on ties — rarest first) and call the first
+//
+//	p(x) = min(|distinct(x)|, MaxErrors(T, L(x)) + 1)
+//
+// tokens of x under that order its prefix. Then for any pair with
+// NSLD <= T that shares at least one token, the two prefixes share a
+// token (see FirstCommon for the argument). The shared-token generator may
+// therefore index and probe prefixes only — the pairs it no longer emits
+// are exactly pairs that either share no token (never job-1's
+// responsibility) or cannot satisfy the threshold (pruned losslessly).
+//
+// MaxErrors bounds B without knowing the partner: by Lemma 6 a pair with
+// NSLD <= T has L(y) <= L(x)/(1-T), and MaxSLDWithin is monotone in the
+// aggregate-length sum, so B <= MaxErrors(T, L(x)) for every admissible
+// partner.
+package prefilter
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// MaxPartnerAggLen returns the largest aggregate length a string within
+// NSLD threshold t of a string with aggregate length aggLen can have.
+// Derivation: NSLD <= t implies sld <= t*(La+Lb)/(2-t), and sld >= Lb-La
+// for Lb >= La (each missing rune must be inserted), which rearranges to
+// Lb <= La/(1-t).
+func MaxPartnerAggLen(t float64, aggLen int) int {
+	if t <= 0 {
+		return aggLen
+	}
+	if t >= 1 {
+		// Degenerate: the Lemma 6 bound is vacuous. Callers gate on
+		// t < 1 (join thresholds live in [0, 1)); return a safe identity.
+		return aggLen
+	}
+	lb := int(float64(aggLen) / (1 - t))
+	// Snap to the exact boundary of the integer inequality La >= (1-t)*Lb
+	// so float rounding never undercounts an admissible partner.
+	for float64(aggLen) >= (1-t)*float64(lb+1) {
+		lb++
+	}
+	return lb
+}
+
+// MaxErrors returns B(x): an upper bound on SLD(x, y) over every y with
+// NSLD(x, y) <= t, computed from x's aggregate length alone. The prefix
+// length of x is MaxErrors + 1.
+func MaxErrors(t float64, aggLen int) int {
+	if t < 0 {
+		return -1
+	}
+	return core.MaxSLDWithin(t, aggLen, MaxPartnerAggLen(t, aggLen))
+}
+
+// PrefixLen returns the number of rarest-first distinct tokens of a string
+// with the given aggregate length and distinct-token count that the
+// shared-token generator must index/probe: min(distinct, MaxErrors + 1).
+func PrefixLen(t float64, aggLen, distinct int) int {
+	p := MaxErrors(t, aggLen) + 1
+	if p > distinct {
+		p = distinct
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Index is the batch-side pruning state for one join: the global token
+// order and every string's prefix under it. Build it once after the
+// token-frequency job; it is immutable afterwards and safe for concurrent
+// readers (the reduce workers).
+type Index struct {
+	c *token.Corpus
+	t float64
+
+	// rank maps TokenID -> position in the global rarest-first order;
+	// dropped tokens get rank -1 and never appear in prefixes.
+	rank []int32
+	// prefix[sid] holds the string's prefix tokens sorted by rank
+	// ascending (the head of its full rank-sorted kept-distinct list).
+	prefix [][]token.TokenID
+	// distinct[sid] is the string's kept-distinct token count, the |D'|
+	// term of the positional filter.
+	distinct []int32
+	// aggLen[sid] caches the string's aggregate length, saving a
+	// TokenizedString copy per Admit call on the hot reducer path.
+	aggLen []int32
+	// budgetBySum[la+lb] precomputes MaxSLDWithin(t, la, lb), which
+	// depends only on the aggregate-length sum; Admit runs once per
+	// co-occurring pair, so the iterative boundary snap is hoisted here.
+	budgetBySum []int
+}
+
+// NewIndex builds the pruning index for a corpus at threshold t. dropped
+// marks tokens excluded by the max-frequency cutoff M (nil = none): they
+// take no part in the order or the prefixes, which preserves the exact
+// candidate semantics of the unfiltered generator under the same M.
+func NewIndex(c *token.Corpus, dropped []bool, t float64) *Index {
+	ix := &Index{
+		c:        c,
+		t:        t,
+		rank:     make([]int32, c.NumTokens()),
+		prefix:   make([][]token.TokenID, c.NumStrings()),
+		distinct: make([]int32, c.NumStrings()),
+		aggLen:   make([]int32, c.NumStrings()),
+	}
+	maxLen := 0
+	for sid := range c.Strings {
+		l := c.Strings[sid].AggregateLen()
+		ix.aggLen[sid] = int32(l)
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	ix.budgetBySum = make([]int, 2*maxLen+1)
+	for sum := range ix.budgetBySum {
+		ix.budgetBySum[sum] = core.MaxSLDWithin(t, sum, 0)
+	}
+	// Global order: kept tokens by (document frequency asc, TokenID asc).
+	// The deterministic tie-break is load-bearing: prefix sets must agree
+	// across workers, shards, and the batch/stream engines, and document
+	// frequencies tie constantly in real corpora.
+	kept := make([]token.TokenID, 0, c.NumTokens())
+	for tid := 0; tid < c.NumTokens(); tid++ {
+		if dropped == nil || !dropped[tid] {
+			kept = append(kept, token.TokenID(tid))
+		} else {
+			ix.rank[tid] = -1
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		fi, fj := c.Freq[kept[i]], c.Freq[kept[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return kept[i] < kept[j]
+	})
+	for r, tid := range kept {
+		ix.rank[tid] = int32(r)
+	}
+
+	// Per-string prefixes: rank-sort the kept members, keep the head.
+	var scratch []token.TokenID
+	for sid := range c.Members {
+		scratch = scratch[:0]
+		for _, tid := range c.Members[sid] {
+			if ix.rank[tid] >= 0 {
+				scratch = append(scratch, tid)
+			}
+		}
+		ix.distinct[sid] = int32(len(scratch))
+		p := PrefixLen(t, c.Strings[sid].AggregateLen(), len(scratch))
+		if p == 0 {
+			continue
+		}
+		sort.Slice(scratch, func(i, j int) bool { return ix.rank[scratch[i]] < ix.rank[scratch[j]] })
+		ix.prefix[sid] = append([]token.TokenID(nil), scratch[:p]...)
+	}
+	return ix
+}
+
+// Prefix returns the string's prefix tokens (rank-ascending). The caller
+// must not mutate the returned slice.
+func (ix *Index) Prefix(sid token.StringID) []token.TokenID { return ix.prefix[sid] }
+
+// FirstCommon returns the first token (in the global order) present in
+// both prefixes, with its position in each, or ok = false when the
+// prefixes are disjoint.
+//
+// Why the first prefix-common token governs the pair: suppose prefixes
+// were disjoint for a pair with NSLD <= T sharing a kept token, and let a
+// (resp. b) be the last prefix element of x (resp. y), with, WLOG,
+// rank(a) <= rank(b). Every prefix token of x precedes b, so if it were
+// in distinct(y) it would be in y's prefix — contradiction with
+// disjointness. Hence prefix(x) ⊆ distinct(x)\distinct(y), whose size is
+// at most SLD <= B < |prefix(x)| (or the prefix is all of distinct(x) and
+// the pair shares no token at all). Either way: contradiction.
+func (ix *Index) FirstCommon(a, b token.StringID) (tid token.TokenID, posA, posB int, ok bool) {
+	pa, pb := ix.prefix[a], ix.prefix[b]
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		ra, rb := ix.rank[pa[i]], ix.rank[pb[j]]
+		switch {
+		case ra == rb:
+			return pa[i], i, j, true
+		case ra < rb:
+			i++
+		default:
+			j++
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// Admit decides, inside the posting-list reducer of token z, whether the
+// pair (a, b) should be emitted there. Exactly one reducer emits each
+// surviving pair (the one owning the pair's first prefix-common token),
+// and a pair is rejected — pruned — there when the aggregate-length filter
+// or the positional filter proves NSLD > t.
+//
+// Positional filter: all tokens common to distinct(a) and distinct(b) sit
+// at rank-order positions >= posA in a and >= posB in b (any earlier
+// common token would contradict z being the first prefix-common token —
+// see FirstCommon), so the overlap is at most
+// 1 + min(|D'a|-posA-1, |D'b|-posB-1); a pair within the threshold needs
+// overlap >= max(|D'a|, |D'b|) - MaxSLDWithin(t, La, Lb).
+func (ix *Index) Admit(z token.TokenID, a, b token.StringID) (emit, pruned bool) {
+	first, posA, posB, ok := ix.FirstCommon(a, b)
+	if !ok || first != z {
+		return false, false // another reducer owns the pair
+	}
+	la := int(ix.aggLen[a])
+	lb := int(ix.aggLen[b])
+	if core.LengthPrune(la, lb, ix.t) {
+		return false, true
+	}
+	budget := ix.budgetBySum[la+lb]
+	da, db := int(ix.distinct[a]), int(ix.distinct[b])
+	req := da
+	if db > req {
+		req = db
+	}
+	req -= budget
+	if req > 1 {
+		ubound := 1 + min(da-posA-1, db-posB-1)
+		if ubound < req {
+			return false, true
+		}
+	}
+	return true, false
+}

@@ -1,0 +1,140 @@
+package prefilter
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// TestMaxPartnerAggLenBoundary: the returned length is admissible under
+// the exact integer form of Lemma 6 and the next one is not.
+func TestMaxPartnerAggLenBoundary(t *testing.T) {
+	for _, th := range []float64{0, 0.05, 0.1, 0.25, 0.5, 0.9} {
+		for _, l := range []int{0, 1, 2, 5, 17, 100, 1000} {
+			lb := MaxPartnerAggLen(th, l)
+			if lb < l {
+				t.Fatalf("t=%g l=%d: partner bound %d below own length", th, l, lb)
+			}
+			if th > 0 && th < 1 {
+				if float64(l) < (1-th)*float64(lb)-1e-9 {
+					t.Fatalf("t=%g l=%d: bound %d not admissible", th, l, lb)
+				}
+				if !(float64(l) < (1-th)*float64(lb+1)-1e-9) && float64(l) >= (1-th)*float64(lb+1) {
+					t.Fatalf("t=%g l=%d: bound %d not maximal", th, l, lb)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxErrorsDominatesPairBudget: MaxErrors(t, L(x)) >= MaxSLDWithin(t,
+// L(x), L(y)) for every partner length admissible under Lemma 6 — the
+// property the per-string prefix length rests on.
+func TestMaxErrorsDominatesPairBudget(t *testing.T) {
+	for _, th := range []float64{0.05, 0.1, 0.2, 0.35} {
+		for _, lx := range []int{1, 3, 8, 20, 60} {
+			b := MaxErrors(th, lx)
+			for ly := 0; ly <= MaxPartnerAggLen(th, lx); ly++ {
+				if pair := core.MaxSLDWithin(th, lx, ly); pair > b {
+					t.Fatalf("t=%g lx=%d ly=%d: pair budget %d exceeds MaxErrors %d",
+						th, lx, ly, pair, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixLenShrinks: small thresholds yield prefixes far shorter than
+// the distinct-token count — the point of the filter.
+func TestPrefixLenShrinks(t *testing.T) {
+	// 10 tokens of 6 runes each: aggregate 60, distinct 10.
+	if p := PrefixLen(0.1, 60, 10); p >= 10 {
+		t.Fatalf("PrefixLen(0.1, 60, 10) = %d, want < 10", p)
+	}
+	if p := PrefixLen(0, 60, 10); p != 1 {
+		t.Fatalf("PrefixLen(0, 60, 10) = %d, want 1 (zero threshold: exact duplicates share every token)", p)
+	}
+	if p := PrefixLen(0.9, 60, 10); p != 10 {
+		t.Fatalf("PrefixLen(0.9, 60, 10) = %d, want full set at a lax threshold", p)
+	}
+}
+
+// TestIndexDeterministicUnderTies: with every token at the same document
+// frequency, the order must fall back to TokenID (lexicographic token
+// order) and prefixes must be reproducible across builds.
+func TestIndexDeterministicUnderTies(t *testing.T) {
+	raw := []string{
+		"delta echo alpha",
+		"bravo charlie foxtrot",
+		"golf hotel india",
+	}
+	c := token.BuildCorpus(raw, token.WhitespaceAndPunct)
+	a := NewIndex(c, nil, 0.2)
+	b := NewIndex(c, nil, 0.2)
+	for sid := 0; sid < c.NumStrings(); sid++ {
+		pa, pb := a.Prefix(token.StringID(sid)), b.Prefix(token.StringID(sid))
+		if len(pa) != len(pb) {
+			t.Fatalf("sid %d: prefix lengths differ across builds", sid)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("sid %d: prefix token %d differs across builds", sid, i)
+			}
+		}
+		// Every token has freq 1 here, so the prefix must be the
+		// lexicographically (TokenID-) smallest members.
+		mem := c.Members[sid]
+		for i, tid := range pa {
+			if tid != mem[i] {
+				t.Fatalf("sid %d: tie-break not by TokenID: prefix[%d]=%d want %d",
+					sid, i, tid, mem[i])
+			}
+		}
+	}
+}
+
+// TestFirstCommonSymmetric: FirstCommon agrees with a brute-force scan and
+// is symmetric in its positions.
+func TestFirstCommonSymmetric(t *testing.T) {
+	raw := []string{
+		"alpha bravo charlie delta",
+		"alpha bravo echo foxtrot",
+		"zulu yankee",
+	}
+	c := token.BuildCorpus(raw, token.WhitespaceAndPunct)
+	ix := NewIndex(c, nil, 0.5)
+
+	tid, pa, pb, ok := ix.FirstCommon(0, 1)
+	if !ok {
+		t.Fatal("strings 0 and 1 share tokens; FirstCommon found none")
+	}
+	tid2, pb2, pa2, ok2 := ix.FirstCommon(1, 0)
+	if !ok2 || tid2 != tid || pa2 != pa || pb2 != pb {
+		t.Fatalf("FirstCommon not symmetric: (%d,%d,%d) vs (%d,%d,%d)", tid, pa, pb, tid2, pa2, pb2)
+	}
+	if _, _, _, ok := ix.FirstCommon(0, 2); ok {
+		t.Fatal("disjoint strings reported a common prefix token")
+	}
+}
+
+// TestDroppedTokensExcluded: dropped tokens take no rank and never appear
+// in prefixes.
+func TestDroppedTokensExcluded(t *testing.T) {
+	raw := []string{"hot alpha", "hot bravo", "hot charlie"}
+	c := token.BuildCorpus(raw, token.WhitespaceAndPunct)
+	dropped := make([]bool, c.NumTokens())
+	hot, ok := c.TokenIDOf("hot")
+	if !ok {
+		t.Fatal("token 'hot' missing")
+	}
+	dropped[hot] = true
+	ix := NewIndex(c, dropped, 0.4)
+	for sid := 0; sid < c.NumStrings(); sid++ {
+		for _, tid := range ix.Prefix(token.StringID(sid)) {
+			if tid == hot {
+				t.Fatalf("sid %d: dropped token in prefix", sid)
+			}
+		}
+	}
+}

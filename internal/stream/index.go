@@ -13,6 +13,21 @@ import (
 type probeToken struct {
 	s string
 	r []rune
+	// skipExact marks a token outside the arriving string's
+	// threshold-derived prefix: the shared-token inverted-index lookup
+	// skips it (lossless — see markPrefix), while the segment-index probe
+	// and insertion still cover it. Always false with the prefix filter
+	// disabled.
+	skipExact bool
+	// freq (valid when hasFreq) is the document frequency observed by the
+	// prefix-selection pre-pass. The exact lookup's max-frequency gate
+	// uses this snapshot rather than re-reading the live counter: the
+	// losslessness argument needs the ordering and the gate to agree on
+	// one observation, and under concurrent writers a token could cross
+	// the cutoff between the two reads. Frequencies only grow, so gating
+	// on the snapshot is never stricter than the live gate.
+	freq    int32
+	hasFreq bool
 }
 
 // distinctProbe extracts the distinct tokens of ts. Tokens are stored
@@ -74,6 +89,17 @@ func newTokenIndex(opt Options) *tokenIndex {
 // tokens returns the number of distinct tokens interned in this partition.
 func (ix *tokenIndex) tokens() int { return len(ix.tokenRunes) }
 
+// freqOf returns the document frequency of a token in this partition
+// (0 when the token has never been interned here). In the sharded matcher
+// each token is interned only on its owning shard, so the owner's stripe
+// holds the token's true global frequency.
+func (ix *tokenIndex) freqOf(s string) int32 {
+	if tid, ok := ix.tokenIDs[s]; ok {
+		return ix.freq[tid]
+	}
+	return 0
+}
+
 // insert registers string id under every probe token, interning tokens
 // (and indexing their segments) on first sight.
 func (ix *tokenIndex) insert(probe []probeToken, id int32) {
@@ -112,30 +138,53 @@ func (ix *tokenIndex) indexTokenSegments(tid int32, r []rune) {
 	}
 }
 
-// candidates feeds every indexed string id sharing a token with the probe
-// — or, unless exact-token matching is on, containing a token within the
-// NLD threshold of a probe token — to emit. The same id may be emitted
-// more than once; callers deduplicate.
-func (ix *tokenIndex) candidates(probe []probeToken, emit func(int32)) {
+// candidates feeds every indexed string id sharing a prefix token with
+// the probe — or, unless exact-token matching is on, containing a token
+// within the NLD threshold of any probe token — to emit. The same id may
+// be emitted more than once; callers deduplicate. The returned count is
+// the number of posting entries the prefix filter skipped (candidates the
+// unfiltered probe would have generated from non-prefix tokens).
+func (ix *tokenIndex) candidates(probe []probeToken, emit func(int32)) (prefixPruned int64) {
 	for _, p := range probe {
-		// Shared-token candidates.
+		// Shared-token candidates: prefix tokens only. Lossless — a pair
+		// within the threshold that shares any token with the probe shares
+		// one of its MaxErrors+1 rarest tokens (see markPrefix).
+		selfTid := int32(-1)
 		if tid, ok := ix.tokenIDs[p.s]; ok {
-			if ix.maxFreq <= 0 || int(ix.freq[tid]) <= ix.maxFreq {
-				for _, cand := range ix.postings[tid] {
-					emit(cand)
+			selfTid = tid
+			f := ix.freq[tid]
+			if p.hasFreq {
+				f = p.freq
+			}
+			if ix.maxFreq <= 0 || int(f) <= ix.maxFreq {
+				if p.skipExact {
+					prefixPruned += int64(len(ix.postings[tid]))
+				} else {
+					for _, cand := range ix.postings[tid] {
+						emit(cand)
+					}
 				}
 			}
 		}
-		// Similar-token candidates: probe the segment index.
+		// Similar-token candidates: probe the segment index for every
+		// token — Theorem 3's similar-token responsibility cannot be
+		// restricted to the prefix. The probe token's own interned id is
+		// excluded: identical-token pairs are the exact path's job (its
+		// prefix argument covers them even for skipExact tokens), and
+		// re-emitting them here would both duplicate postings scans and
+		// silently undo the prefix filter's pruning.
 		if !ix.exactOnly {
-			ix.probeSimilar(p.r, emit)
+			ix.probeSimilar(p.r, selfTid, emit)
 		}
 	}
+	return prefixPruned
 }
 
 // probeSimilar finds indexed tokens with NLD <= T to the probe token and
-// feeds their postings to emit.
-func (ix *tokenIndex) probeSimilar(r []rune, emit func(int32)) {
+// feeds their postings to emit. selfTid (-1 for none) is the probe
+// token's own interned id, which is skipped — identical tokens belong to
+// the exact shared-token path.
+func (ix *tokenIndex) probeSimilar(r []rune, selfTid int32, emit func(int32)) {
 	ly := len(r)
 	minLs := strdist.MinLenWithin(ix.threshold, ly)
 	maxLs := strdist.MaxLenWithin(ix.threshold, ly)
@@ -150,6 +199,9 @@ func (ix *tokenIndex) probeSimilar(r []rune, emit func(int32)) {
 			for q := lo; q <= hi; q++ {
 				k := segKey{int16(ls), int16(ly), int16(i), string(r[q : q+sg[1]])}
 				for _, tid := range ix.segIndex[k] {
+					if tid == selfTid {
+						continue
+					}
 					if _, done := checked[tid]; done {
 						continue
 					}

@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"slices"
+
+	"repro/internal/prefilter"
+	"repro/internal/token"
+)
+
+// markPrefix implements the streaming half of the threshold-aware prefix
+// filter: it flags every probe token outside the arriving string's
+// threshold-derived prefix so the shared-token inverted-index lookup
+// skips it. freqs[i] must hold the current document frequency of
+// probe[i] (0 for never-seen tokens); in the sharded matcher these come
+// from the per-shard frequency stripes, folded here into one global
+// rarest-first order with the same deterministic tie-break as the batch
+// engine (frequency ascending, then token ascending — probe is sorted by
+// token string, so the probe index breaks frequency ties). keys is a
+// caller-owned scratch buffer, reused so steady-state selection
+// allocates nothing.
+//
+// Why one-sided probing is lossless: index-side strings keep all their
+// tokens in the inverted index, and the probe keeps its
+// p = min(distinct, MaxErrors(T, L)+1) rarest tokens. For an indexed x
+// with NSLD(q, x) <= T, every distinct token of q absent from x costs at
+// least one edit, so |distinct(q) \ distinct(x)| <= SLD <= MaxErrors. If
+// no prefix token of q occurred in x, the whole prefix would sit inside
+// that difference — impossible for a full-length prefix (p = MaxErrors+1),
+// and for a truncated one (p = distinct) the strings share no token at
+// all, which the unfiltered shared-token probe would also miss. Under a
+// finite max-frequency cutoff M the same argument applies to the kept
+// tokens: a shared token with freq <= M outside the prefix forces every
+// prefix token's frequency at most M, so the M-gate never hides the
+// witnessing prefix token — provided the gate judges the same frequency
+// observation the ordering used, which is why this pre-pass stamps its
+// snapshot onto the probe (a concurrent writer could otherwise push a
+// witness across the cutoff between selection and probing). Unlike the
+// batch (two-sided) filter, no cross-insert order stability is needed:
+// the argument holds for the snapshot frequencies, whatever earlier
+// inserts saw.
+func markPrefix(probe []probeToken, freqs []int32, t float64, ts token.TokenizedString, keys *[]int64) {
+	// Stamp the snapshot onto the probe so the exact lookup's
+	// max-frequency gate judges the same observation the ordering used
+	// (see probeToken.freq).
+	for i := range probe {
+		probe[i].freq, probe[i].hasFreq = freqs[i], true
+	}
+	p := prefilter.PrefixLen(t, ts.AggregateLen(), len(probe))
+	if p >= len(probe) {
+		return // the prefix is the whole probe; nothing to skip
+	}
+	// Pack (freq, probe index) into one ordered key; sorting realizes the
+	// global order with its tie-break, and the low half recovers the
+	// index. slices.Sort keeps the hot path allocation-free.
+	ks := (*keys)[:0]
+	for i, f := range freqs {
+		ks = append(ks, int64(f)<<32|int64(i))
+	}
+	*keys = ks
+	slices.Sort(ks)
+	for _, k := range ks[p:] {
+		probe[k&0xffffffff].skipExact = true
+	}
+}

@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/namegen"
+)
+
+// TestPrefixEquivalenceStream: the sequential matcher returns identical
+// match sets with the prefix filter on and off, at several thresholds,
+// under both token-matching modes, and the filter actually skips posting
+// entries.
+func TestPrefixEquivalenceStream(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 51, NumNames: 220})
+	prunedSomewhere := false
+	for _, exactOnly := range []bool{false, true} {
+		for _, th := range []float64{0.1, 0.2, 0.35} {
+			plain, pst := streamAll(t, names, Options{
+				Threshold: th, ExactTokensOnly: exactOnly, DisablePrefixFilter: true,
+			})
+			filtered, fst := streamAll(t, names, Options{
+				Threshold: th, ExactTokensOnly: exactOnly,
+			})
+			if !reflect.DeepEqual(plain, filtered) {
+				t.Fatalf("t=%.2f exactOnly=%v: prefix-filtered match sets differ", th, exactOnly)
+			}
+			if pst.PrefixPruned != 0 {
+				t.Fatalf("t=%.2f: PrefixPruned=%d with the filter disabled", th, pst.PrefixPruned)
+			}
+			if fst.PrefixPruned > 0 {
+				prunedSomewhere = true
+			}
+			if fst.Verified > pst.Verified {
+				t.Fatalf("t=%.2f exactOnly=%v: filtering increased verifications (%d vs %d)",
+					th, exactOnly, fst.Verified, pst.Verified)
+			}
+		}
+	}
+	// Lax thresholds can legitimately cover the whole probe (the prefix is
+	// the full distinct set); the tight end of the sweep must prune.
+	if !prunedSomewhere {
+		t.Fatal("PrefixPruned never populated across the sweep")
+	}
+}
+
+// TestPrefixEquivalenceStreamMaxFreq: the filter composes with the
+// max-token-frequency cutoff — prefix selection over the live frequencies
+// never hides a pair the unfiltered cutoff matcher would report.
+func TestPrefixEquivalenceStreamMaxFreq(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 52, NumNames: 220})
+	for _, maxFreq := range []int{2, 5, 20} {
+		plain, _ := streamAll(t, names, Options{
+			Threshold: 0.25, MaxTokenFreq: maxFreq, DisablePrefixFilter: true,
+		})
+		filtered, _ := streamAll(t, names, Options{
+			Threshold: 0.25, MaxTokenFreq: maxFreq,
+		})
+		if !reflect.DeepEqual(plain, filtered) {
+			t.Fatalf("M=%d: prefix-filtered match sets differ under the cutoff", maxFreq)
+		}
+	}
+}
+
+// TestPrefixEquivalenceSharded: the sharded matcher with the prefix
+// filter agrees with the sequential unfiltered matcher at several shard
+// counts — the per-shard frequency stripes must fold into the same global
+// order the sequential matcher sees.
+func TestPrefixEquivalenceSharded(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 53, NumNames: 200})
+	for _, th := range []float64{0.1, 0.2, 0.3} {
+		want, _ := streamAll(t, names, Options{Threshold: th, DisablePrefixFilter: true})
+		for _, shards := range []int{1, 3, 8} {
+			m, err := NewShardedMatcher(Options{Threshold: th}, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([][]Match, len(names))
+			for i, n := range names {
+				_, got[i] = m.Add(n)
+			}
+			st := m.Stats()
+			m.Close()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("t=%.2f shards=%d: prefix-filtered sharded match sets differ from unfiltered sequential",
+					th, shards)
+			}
+			// The tight end of the sweep must prune (lax thresholds can
+			// legitimately keep the whole probe as the prefix).
+			if th <= 0.1 && st.PrefixPruned == 0 {
+				t.Fatalf("t=%.2f shards=%d: PrefixPruned never populated", th, shards)
+			}
+		}
+	}
+}
+
+// TestPrefixEquivalenceShardedTies: adversarial frequency ties — every
+// token appears the same number of times, so prefix selection rests
+// entirely on the deterministic tie-break, which must agree between the
+// sequential matcher and every shard count (the stripes report the same
+// frequencies, and token order breaks the ties identically).
+func TestPrefixEquivalenceShardedTies(t *testing.T) {
+	words := []string{
+		"alpha", "bravo", "carol", "delta", "echos", "fotox",
+		"golfy", "hotel", "india", "julie", "kilos", "limas",
+	}
+	var names []string
+	n := len(words)
+	for rot := 0; rot < 2; rot++ { // every token ends at the same frequency
+		for i := 0; i < n; i++ {
+			names = append(names, fmt.Sprintf("%s %s %s",
+				words[i], words[(i+1+rot)%n], words[(i+3+rot)%n]))
+		}
+	}
+	const th = 0.3
+	want, _ := streamAll(t, names, Options{Threshold: th, DisablePrefixFilter: true})
+	seq, _ := streamAll(t, names, Options{Threshold: th})
+	if !reflect.DeepEqual(want, seq) {
+		t.Fatal("tie-broken sequential prefix matcher differs from unfiltered")
+	}
+	for _, shards := range []int{2, 5} {
+		m, err := NewShardedMatcher(Options{Threshold: th}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]Match, len(names))
+		for i, nm := range names {
+			_, got[i] = m.Add(nm)
+		}
+		m.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: tie-broken sharded prefix matcher differs", shards)
+		}
+	}
+}
+
+// TestPrefixWallTimeCounters: the candidate-generation and verify wall
+// clocks accumulate on both matcher implementations.
+func TestPrefixWallTimeCounters(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 54, NumNames: 120})
+	_, st := streamAll(t, names, Options{Threshold: 0.2})
+	if st.CandGenWall <= 0 || st.VerifyWall <= 0 {
+		t.Fatalf("sequential wall counters not populated: gen=%v verify=%v",
+			st.CandGenWall, st.VerifyWall)
+	}
+	m, err := NewShardedMatcher(Options{Threshold: 0.2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		m.Add(n)
+	}
+	sst := m.Stats()
+	m.Close()
+	if sst.CandGenWall <= 0 || sst.VerifyWall <= 0 {
+		t.Fatalf("sharded wall counters not populated: gen=%v verify=%v",
+			sst.CandGenWall, sst.VerifyWall)
+	}
+}

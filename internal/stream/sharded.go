@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/token"
@@ -47,6 +48,9 @@ type ShardedMatcher struct {
 	queries      atomic.Int64
 	verified     atomic.Int64
 	budgetPruned atomic.Int64
+	prefixPruned atomic.Int64
+	candGenWall  atomic.Int64 // nanoseconds
+	verifyWall   atomic.Int64 // nanoseconds
 	closed       sync.Once
 }
 
@@ -69,6 +73,14 @@ type ShardedStats struct {
 	// BudgetPruned counts verifications rejected early by the
 	// threshold-derived SLD budget (0 when DisableBoundedVerify).
 	BudgetPruned int64
+	// PrefixPruned counts posting entries the prefix filter skipped at
+	// probe time — shared-token candidates the unfiltered probe would
+	// have generated (0 when DisablePrefixFilter).
+	PrefixPruned int64
+	// CandGenWall / VerifyWall accumulate the wall time spent generating
+	// candidates (shard fan-out, merge, dedup) and verifying them.
+	CandGenWall time.Duration
+	VerifyWall  time.Duration
 	// TokensPerShard is the distinct-token count of each partition — a
 	// direct view of the hash partitioning's balance.
 	TokensPerShard []int
@@ -116,6 +128,9 @@ func (m *ShardedMatcher) Stats() ShardedStats {
 		Queries:        m.queries.Load(),
 		Verified:       m.verified.Load(),
 		BudgetPruned:   m.budgetPruned.Load(),
+		PrefixPruned:   m.prefixPruned.Load(),
+		CandGenWall:    time.Duration(m.candGenWall.Load()),
+		VerifyWall:     time.Duration(m.verifyWall.Load()),
 		TokensPerShard: make([]int, len(m.shards)),
 	}
 	m.mu.RLock()
@@ -235,29 +250,71 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 	}
 
 	// ---- Generate: fan out to the shards --------------------------------
-	// Every shard resolves the full probe: exact-token lookups miss on
-	// non-owner shards (a token is interned only where it hashes), and the
-	// segment index must be probed everywhere because a similar token may
-	// live on any shard. A single shard skips the pool round-trip.
+	// The prefix filter first folds the per-shard frequency stripes into
+	// the one global rarest-first order: each probe token's true document
+	// frequency lives on its owning shard (tokens intern only where they
+	// hash), so one read-locked visit per owning shard prices the whole
+	// probe, and markPrefix flags the tokens the exact lookup may skip.
+	genStart := time.Now()
+	if !m.opt.DisablePrefixFilter {
+		freqs := make([]int32, len(probe))
+		if len(m.shards) == 1 {
+			sh := m.shards[0]
+			sh.mu.RLock()
+			for i, p := range probe {
+				freqs[i] = sh.ix.freqOf(p.s)
+			}
+			sh.mu.RUnlock()
+		} else {
+			byShard := make([][]int, len(m.shards))
+			for i, p := range probe {
+				si := shardOf(p.s, len(m.shards))
+				byShard[si] = append(byShard[si], i)
+			}
+			for si, idxs := range byShard {
+				if len(idxs) == 0 {
+					continue
+				}
+				sh := m.shards[si]
+				sh.mu.RLock()
+				for _, i := range idxs {
+					freqs[i] = sh.ix.freqOf(probe[i].s)
+				}
+				sh.mu.RUnlock()
+			}
+		}
+		// keys is per-call: Query runs concurrently, so the scratch
+		// cannot live on the matcher without defeating its lock-freedom.
+		var keys []int64
+		markPrefix(probe, freqs, m.opt.Threshold, ts, &keys)
+	}
+
+	// Every shard then resolves the (prefix-marked) probe: exact-token
+	// lookups miss on non-owner shards, and the segment index must be
+	// probed everywhere because a similar token may live on any shard. A
+	// single shard skips the pool round-trip.
 	var wg sync.WaitGroup
 	var cands []int32
+	var prefixPruned int64
 	if len(m.shards) == 1 {
 		sh := m.shards[0]
 		sh.mu.RLock()
-		sh.ix.candidates(probe, func(cand int32) { cands = append(cands, cand) })
+		prefixPruned = sh.ix.candidates(probe, func(cand int32) { cands = append(cands, cand) })
 		sh.mu.RUnlock()
 	} else {
 		perShard := make([][]int32, len(m.shards))
+		perPruned := make([]int64, len(m.shards))
 		wg.Add(len(m.shards))
 		for i := range m.shards {
-			sh, out := m.shards[i], &perShard[i]
+			sh, out, pruned := m.shards[i], &perShard[i], &perPruned[i]
 			m.pool.submit(func() {
 				defer wg.Done()
 				var local []int32
 				sh.mu.RLock()
-				sh.ix.candidates(probe, func(cand int32) { local = append(local, cand) })
+				p := sh.ix.candidates(probe, func(cand int32) { local = append(local, cand) })
 				sh.mu.RUnlock()
 				*out = local
+				*pruned = p
 			})
 		}
 		wg.Wait()
@@ -269,14 +326,22 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		for _, r := range perShard {
 			cands = append(cands, r...)
 		}
+		for _, p := range perPruned {
+			prefixPruned += p
+		}
+	}
+	if prefixPruned > 0 {
+		m.prefixPruned.Add(prefixPruned)
 	}
 
 	// ---- Merge and deduplicate ------------------------------------------
 	if len(cands) == 0 {
+		m.candGenWall.Add(int64(time.Since(genStart)))
 		return nil
 	}
 	slices.Sort(cands)
 	cands = slices.Compact(cands)
+	m.candGenWall.Add(int64(time.Since(genStart)))
 
 	// Snapshot the strings after generation: every candidate id was
 	// appended to strings before it reached any posting list.
@@ -287,6 +352,8 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 	// ---- Verify ----------------------------------------------------------
 	// Candidates are ascending and chunks are contiguous, so concatenating
 	// per-chunk results in chunk order keeps the output sorted by id.
+	verifyStart := time.Now()
+	defer func() { m.verifyWall.Add(int64(time.Since(verifyStart))) }()
 	const minPerChunk = 16
 	chunks := len(cands) / minPerChunk
 	if chunks > len(m.shards) {

@@ -24,6 +24,7 @@ package stream
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/token"
@@ -48,6 +49,13 @@ type Options struct {
 	// as any lower bound exceeds it. Matches are identical either way;
 	// disabling is for ablation and equivalence testing only.
 	DisableBoundedVerify bool
+	// DisablePrefixFilter switches off threshold-aware candidate pruning:
+	// by default the shared-token inverted index is probed only with the
+	// arriving string's threshold-derived prefix — its MaxErrors(T, L)+1
+	// rarest distinct tokens under the current document frequencies —
+	// which is lossless (see markPrefix). Matches are identical either
+	// way; disabling is for ablation and equivalence testing only.
+	DisablePrefixFilter bool
 	// Tokenizer defaults to whitespace+punctuation.
 	Tokenizer token.Tokenizer
 }
@@ -82,6 +90,14 @@ type MatcherStats struct {
 	// BudgetPruned counts verifications rejected early by the
 	// threshold-derived SLD budget (0 when DisableBoundedVerify).
 	BudgetPruned int64
+	// PrefixPruned counts posting entries the prefix filter skipped at
+	// probe time — shared-token candidates the unfiltered probe would
+	// have generated (0 when DisablePrefixFilter).
+	PrefixPruned int64
+	// CandGenWall / VerifyWall accumulate the wall time spent generating
+	// candidates (index probes, merge, dedup) and verifying them.
+	CandGenWall time.Duration
+	VerifyWall  time.Duration
 }
 
 // Matcher is the incremental joiner. Not safe for concurrent use; see
@@ -96,8 +112,18 @@ type Matcher struct {
 	seen     []uint32
 	gen      uint32
 
+	// candBuf / freqBuf / keyBuf are reused per call so candidate
+	// collection and prefix selection stay allocation-free at steady
+	// state.
+	candBuf []int32
+	freqBuf []int32
+	keyBuf  []int64
+
 	verified     int64
 	budgetPruned int64
+	prefixPruned int64
+	candGenWall  time.Duration
+	verifyWall   time.Duration
 }
 
 // NewMatcher validates options and creates an empty matcher.
@@ -116,6 +142,9 @@ func (m *Matcher) Stats() MatcherStats {
 		Strings:      len(m.strings),
 		Verified:     m.verified,
 		BudgetPruned: m.budgetPruned,
+		PrefixPruned: m.prefixPruned,
+		CandGenWall:  m.candGenWall,
+		VerifyWall:   m.verifyWall,
 	}
 }
 
@@ -151,7 +180,8 @@ func (m *Matcher) Query(s string) []Match {
 }
 
 // match generates, filters and verifies candidates for ts (with probe its
-// distinct tokens) against the current index.
+// distinct tokens) against the current index. Generation and verification
+// are separate passes so their wall times are tracked independently.
 func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 	m.gen++
 	var out []Match
@@ -161,11 +191,29 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 		}
 		return out
 	}
-	m.ix.candidates(probe, func(cand int32) {
+
+	// ---- Generate -------------------------------------------------------
+	start := time.Now()
+	if !m.opt.DisablePrefixFilter {
+		m.freqBuf = m.freqBuf[:0]
+		for _, p := range probe {
+			m.freqBuf = append(m.freqBuf, m.ix.freqOf(p.s))
+		}
+		markPrefix(probe, m.freqBuf, m.opt.Threshold, ts, &m.keyBuf)
+	}
+	m.candBuf = m.candBuf[:0]
+	m.prefixPruned += m.ix.candidates(probe, func(cand int32) {
 		if m.seen[cand] == m.gen {
 			return
 		}
 		m.seen[cand] = m.gen
+		m.candBuf = append(m.candBuf, cand)
+	})
+	genDone := time.Now()
+	m.candGenWall += genDone.Sub(start)
+
+	// ---- Verify ---------------------------------------------------------
+	for _, cand := range m.candBuf {
 		mt, ok, oc := verifyPair(&m.ver, ts, m.strings[cand], cand, &m.opt)
 		if oc.verified {
 			m.verified++
@@ -176,7 +224,8 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 		if ok {
 			out = append(out, mt)
 		}
-	})
+	}
+	m.verifyWall += time.Since(genDone)
 	sortMatches(out)
 	return out
 }

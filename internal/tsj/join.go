@@ -3,9 +3,11 @@ package tsj
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/mapreduce"
 	"repro/internal/massjoin"
+	"repro/internal/prefilter"
 	"repro/internal/token"
 )
 
@@ -87,8 +89,22 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 	}
 
 	// ---- Job 1: shared-token candidates ---------------------------------
+	// Prefix-filtered exactly like the self-join's: prefixes are computed
+	// over the combined corpus, and the first-common-token rule plus the
+	// positional/length filters apply to each cross-side pair.
+	var pf *prefilter.Index
+	if !opts.DisablePrefixFilter {
+		pf = prefilter.NewIndex(c, dropped, opts.Threshold)
+	}
+	var prefixPruned atomic.Int64
 	sharedCands, st1 := mapreduce.Run(engCfg("tsj-join-shared-token"), sids,
 		func(sid token.StringID, ctx *mapreduce.MapCtx[token.TokenID, token.StringID]) {
+			if pf != nil {
+				for _, tid := range pf.Prefix(sid) {
+					ctx.Emit(tid, sid)
+				}
+				return
+			}
 			for _, tid := range c.Members[sid] {
 				if !dropped[tid] {
 					ctx.Emit(tid, sid)
@@ -106,16 +122,30 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 			}
 			sort.Slice(left, func(i, j int) bool { return left[i] < left[j] })
 			sort.Slice(right, func(i, j int) bool { return right[i] < right[j] })
+			var pruned int64
 			for _, a := range left {
 				for _, b := range right {
+					if pf != nil {
+						emit, prn := pf.Admit(tid, a, b)
+						if !emit {
+							if prn {
+								pruned++
+							}
+							continue
+						}
+					}
 					ctx.Emit(pairKey(a, b))
 				}
+			}
+			if pruned > 0 {
+				prefixPruned.Add(pruned)
 			}
 			ctx.AddCost(float64(len(left)) * float64(len(right)) * 0.05)
 		},
 	)
 	st.Pipeline.Add(st1)
 	st.SharedTokenCandidates = int64(len(sharedCands))
+	st.PrefixPruned = prefixPruned.Load()
 	candidates := sharedCands
 
 	// ---- Jobs 2a+2b: similar-token candidates ----------------------------

@@ -124,6 +124,15 @@ type Options struct {
 	// LD memo (on by default; it only applies when bounded verification
 	// is on). Results are unaffected.
 	DisableTokenLDCache bool
+	// DisablePrefixFilter switches off threshold-aware candidate pruning
+	// in the shared-token generator: by default only each string's
+	// threshold-derived prefix (its MaxErrors(T, L)+1 rarest tokens under
+	// the global frequency order) feeds the posting lists, each pair is
+	// emitted by exactly one reducer, and positional + length filters
+	// discard pairs that provably cannot satisfy NSLD <= T. Results are
+	// byte-identical either way (the pruning is lossless under every
+	// Matching mode); disabling is for ablation and equivalence testing.
+	DisablePrefixFilter bool
 	// MapTasks / Parallelism forward to the MapReduce engine.
 	MapTasks    int
 	Parallelism int

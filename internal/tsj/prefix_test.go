@@ -1,0 +1,166 @@
+package tsj
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/namegen"
+	"repro/internal/token"
+)
+
+// TestPrefixEquivalenceSelfJoin: the batch self-join returns identical
+// result sets (same pairs, same SLDs) with the prefix filter on and off,
+// at several thresholds, under both matching modes and both aligners —
+// and the filter actually shrinks the candidate stream.
+func TestPrefixEquivalenceSelfJoin(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 31, NumNames: 300})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	prunedSomewhere := false
+	for _, th := range []float64{0.1, 0.25, 0.4} {
+		for _, mt := range []Matching{FuzzyTokenMatching, ExactTokenMatching} {
+			for _, al := range []Aligning{HungarianAligning, GreedyAligning} {
+				opts := DefaultOptions()
+				opts.Threshold = th
+				opts.Matching = mt
+				opts.Aligning = al
+
+				opts.DisablePrefixFilter = true
+				plain, pst, err := SelfJoin(c, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.DisablePrefixFilter = false
+				filtered, fst, err := SelfJoin(c, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(plain, filtered) {
+					t.Fatalf("t=%.2f %v %v: prefix-filtered results differ (%d vs %d pairs)",
+						th, mt, al, len(filtered), len(plain))
+				}
+				if pst.PrefixPruned != 0 {
+					t.Fatalf("t=%.2f: PrefixPruned=%d with the filter disabled", th, pst.PrefixPruned)
+				}
+				if fst.SharedTokenCandidates >= pst.SharedTokenCandidates {
+					t.Fatalf("t=%.2f %v %v: filter did not shrink shared-token candidates (%d vs %d)",
+						th, mt, al, fst.SharedTokenCandidates, pst.SharedTokenCandidates)
+				}
+				if fst.PrefixPruned > 0 {
+					prunedSomewhere = true
+				}
+			}
+		}
+	}
+	if !prunedSomewhere {
+		t.Fatal("PrefixPruned never populated across the sweep")
+	}
+}
+
+// TestPrefixEquivalenceBipartiteJoin is the bipartite counterpart: both
+// dedup strategies, three thresholds.
+func TestPrefixEquivalenceBipartiteJoin(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 32, NumNames: 240})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	boundary := 120
+	for _, th := range []float64{0.1, 0.2, 0.35} {
+		for _, dd := range []Dedup{GroupOnOneString, GroupOnBothStrings} {
+			opts := DefaultOptions()
+			opts.Threshold = th
+			opts.Dedup = dd
+
+			opts.DisablePrefixFilter = true
+			plain, pst, err := Join(c, boundary, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.DisablePrefixFilter = false
+			filtered, fst, err := Join(c, boundary, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, filtered) {
+				t.Fatalf("t=%.2f %v: prefix-filtered bipartite results differ (%d vs %d pairs)",
+					th, dd, len(filtered), len(plain))
+			}
+			if fst.SharedTokenCandidates >= pst.SharedTokenCandidates {
+				t.Fatalf("t=%.2f %v: filter did not shrink candidates (%d vs %d)",
+					th, dd, fst.SharedTokenCandidates, pst.SharedTokenCandidates)
+			}
+		}
+	}
+}
+
+// TestPrefixEquivalenceMaxFreqCutoff: the filter composes with the
+// high-frequency-token cutoff M — prefixes are computed over kept tokens
+// only, so the (approximate) result set under a finite M is unchanged.
+func TestPrefixEquivalenceMaxFreqCutoff(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 33, NumNames: 300})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	for _, maxFreq := range []int{3, 10, 50} {
+		opts := DefaultOptions()
+		opts.Threshold = 0.25
+		opts.MaxTokenFreq = maxFreq
+
+		opts.DisablePrefixFilter = true
+		plain, _, err := SelfJoin(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.DisablePrefixFilter = false
+		filtered, _, err := SelfJoin(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, filtered) {
+			t.Fatalf("M=%d: prefix-filtered results differ under the cutoff (%d vs %d pairs)",
+				maxFreq, len(filtered), len(plain))
+		}
+	}
+}
+
+// TestPrefixEquivalenceFrequencyTies: adversarial corpus where every
+// token has the same document frequency, so the global order is decided
+// entirely by the deterministic TokenID tie-break. The join must stay
+// exact and reproducible.
+func TestPrefixEquivalenceFrequencyTies(t *testing.T) {
+	// Each token appears exactly twice, across rotated neighbors, so all
+	// document frequencies tie at 2 and prefix selection is pure
+	// tie-breaking.
+	words := []string{
+		"alpha", "bravo", "carol", "delta", "echos", "fotox",
+		"golfy", "hotel", "india", "julie", "kilos", "limas",
+	}
+	var names []string
+	n := len(words)
+	for i := 0; i < n; i++ {
+		names = append(names, words[i]+" "+words[(i+1)%n]+" "+words[(i+2)%n])
+		// near-duplicates one edit away, sharing the same tokens
+	}
+	names = append(names, "alpha bravo carol x", "delta echos fotox y")
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	for _, th := range []float64{0.15, 0.3, 0.45} {
+		opts := DefaultOptions()
+		opts.Threshold = th
+
+		opts.DisablePrefixFilter = true
+		plain, _, err := SelfJoin(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.DisablePrefixFilter = false
+		a, _, err := SelfJoin(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := SelfJoin(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, a) {
+			t.Fatalf("t=%.2f: tie-broken prefix join differs from unfiltered", th)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("t=%.2f: tie-broken prefix join not reproducible", th)
+		}
+	}
+}

@@ -3,9 +3,11 @@ package tsj
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/mapreduce"
 	"repro/internal/massjoin"
+	"repro/internal/prefilter"
 	"repro/internal/token"
 )
 
@@ -80,8 +82,26 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 
 	// ---- Job 1: shared-token candidate generation (Sec. III-C) ----------
 	// map: r^t_s -> [<r^ti_s, r^t_s>]; reduce on token z: all pairs.
+	//
+	// With the prefix filter (default), the map ships only each string's
+	// threshold-derived prefix — its MaxErrors(T, L)+1 rarest kept tokens
+	// under the global frequency order — and the reducer emits a pair only
+	// from its first common prefix token, after the positional and length
+	// filters prove the pair can still satisfy NSLD <= T. Lossless: see
+	// the prefilter package for the argument.
+	var pf *prefilter.Index
+	if !opts.DisablePrefixFilter {
+		pf = prefilter.NewIndex(c, dropped, opts.Threshold)
+	}
+	var prefixPruned atomic.Int64
 	sharedCands, st1 := mapreduce.Run(engCfg("tsj-shared-token"), sids,
 		func(sid token.StringID, ctx *mapreduce.MapCtx[token.TokenID, token.StringID]) {
+			if pf != nil {
+				for _, tid := range pf.Prefix(sid) {
+					ctx.Emit(tid, sid)
+				}
+				return
+			}
 			for _, tid := range c.Members[sid] {
 				if !dropped[tid] {
 					ctx.Emit(tid, sid)
@@ -90,10 +110,23 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 		},
 		func(tid token.TokenID, vals []token.StringID, ctx *mapreduce.ReduceCtx[uint64]) {
 			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			var pruned int64
 			for i := 0; i < len(vals); i++ {
 				for j := i + 1; j < len(vals); j++ {
+					if pf != nil {
+						emit, prn := pf.Admit(tid, vals[i], vals[j])
+						if !emit {
+							if prn {
+								pruned++
+							}
+							continue
+						}
+					}
 					ctx.Emit(pairKey(vals[i], vals[j]))
 				}
+			}
+			if pruned > 0 {
+				prefixPruned.Add(pruned)
 			}
 			// Quadratic pair enumeration beyond the default linear charge.
 			n := float64(len(vals))
@@ -102,6 +135,7 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 	)
 	st.Pipeline.Add(st1)
 	st.SharedTokenCandidates = int64(len(sharedCands))
+	st.PrefixPruned = prefixPruned.Load()
 	candidates := sharedCands
 
 	// ---- Jobs 2a+2b: similar-token candidates (Sec. III-D) --------------

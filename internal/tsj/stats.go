@@ -21,6 +21,11 @@ type Stats struct {
 	// pairs emitted by each generation strategy (before dedup).
 	SharedTokenCandidates  int64
 	SimilarTokenCandidates int64
+	// PrefixPruned counts candidate pairs the prefix filter discarded at
+	// posting-list probe time: pairs whose first common prefix token's
+	// reducer proved — from positions and aggregate lengths alone — that
+	// NSLD must exceed the threshold (always 0 with DisablePrefixFilter).
+	PrefixPruned int64
 	// SimilarTokenPairs is the number of similar (non-identical) token
 	// pairs found by the token-space NLD join.
 	SimilarTokenPairs int64
@@ -47,7 +52,7 @@ type Stats struct {
 // String renders a multi-line summary.
 func (s *Stats) String() string {
 	return fmt.Sprintf(
-		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned len=%d lb=%d budget=%d | verified=%d results=%d",
+		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned prefix=%d len=%d lb=%d budget=%d | verified=%d results=%d",
 		s.KeptTokens, s.DroppedTokens, s.SharedTokenCandidates, s.SimilarTokenCandidates,
-		s.SimilarTokenPairs, s.DedupedCandidates, s.LengthPruned, s.LBPruned, s.BudgetPruned, s.Verified, s.Results)
+		s.SimilarTokenPairs, s.DedupedCandidates, s.PrefixPruned, s.LengthPruned, s.LBPruned, s.BudgetPruned, s.Verified, s.Results)
 }

@@ -21,6 +21,11 @@ type verifier struct {
 	corpus *token.Corpus
 	opts   Options
 	pool   sync.Pool // *pairVerifier
+	// shared is the join-wide token-LD memo: one striped concurrent cache
+	// for all reduce workers, so a hot token pair warms once per join
+	// rather than once per pooled engine (nil when bounding or the cache
+	// is disabled).
+	shared *core.SharedTokenLDCache
 
 	lengthPruned atomic.Int64
 	lbPruned     atomic.Int64
@@ -40,12 +45,13 @@ type pairVerifier struct {
 // newVerifier builds the stage and its engine pool from the join options.
 func newVerifier(c *token.Corpus, opts Options) *verifier {
 	v := &verifier{corpus: c, opts: opts}
+	if !opts.DisableBoundedVerify && !opts.DisableTokenLDCache {
+		v.shared = core.NewSharedTokenLDCache(0)
+	}
 	v.pool.New = func() any {
 		pv := &pairVerifier{}
 		pv.v.Greedy = opts.Aligning == GreedyAligning
-		if !opts.DisableBoundedVerify && !opts.DisableTokenLDCache {
-			pv.v.Cache = core.NewTokenLDCache(0)
-		}
+		pv.v.Shared = v.shared
 		return pv
 	}
 	return v
@@ -125,7 +131,7 @@ func (v *verifier) verifyPair(a, b token.StringID, pv *pairVerifier, ctx *mapred
 		within = core.WithinNSLD(sld, la, lb, t)
 	} else {
 		var pruned bool
-		if pv.v.Cache != nil {
+		if pv.v.Cache != nil || pv.v.Shared != nil {
 			pv.xIDs = expandIDs(x, v.corpus.Members[a], pv.xIDs)
 			pv.yIDs = expandIDs(y, v.corpus.Members[b], pv.yIDs)
 			sld, within, pruned = pv.v.VerifyIDs(*x, *y, pv.xIDs, pv.yIDs, t)

@@ -37,6 +37,7 @@ func JoinStats(r, p []string, opts Options) ([]Pair, *Stats, error) {
 		Parallelism:          opts.Parallelism,
 		DisableBoundedVerify: opts.DisableBoundedVerification,
 		DisableTokenLDCache:  opts.DisableTokenLDCache,
+		DisablePrefixFilter:  opts.DisablePrefixFilter,
 	}
 	results, st, err := tsj.Join(c, len(r), jopts)
 	if err != nil {

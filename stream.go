@@ -30,6 +30,11 @@ type MatcherOptions struct {
 	// SLD budget the threshold implies and abandoned as soon as any
 	// lower bound exceeds it). Matches are identical either way.
 	DisableBoundedVerification bool
+	// DisablePrefixFilter switches off threshold-aware candidate
+	// pruning (on by default: the shared-token index is probed only
+	// with the arriving string's maxErrors(T, L)+1 rarest tokens, which
+	// is lossless). Matches are identical either way.
+	DisablePrefixFilter bool
 	// Tokenizer overrides the default whitespace+punctuation tokenizer.
 	Tokenizer Tokenizer
 }
@@ -46,6 +51,7 @@ func NewMatcher(opts MatcherOptions) (*Matcher, error) {
 		Greedy:               opts.Greedy,
 		ExactTokensOnly:      opts.ExactTokensOnly,
 		DisableBoundedVerify: opts.DisableBoundedVerification,
+		DisablePrefixFilter:  opts.DisablePrefixFilter,
 		Tokenizer:            opts.Tokenizer,
 	})
 	if err != nil {

@@ -129,6 +129,14 @@ type Options struct {
 	// token-pair Levenshtein memo (on by default; hot postings re-verify
 	// the same token pairs many times). Results are unaffected.
 	DisableTokenLDCache bool
+	// DisablePrefixFilter switches off threshold-aware candidate pruning
+	// in the shared-token generator. By default only each string's
+	// threshold-derived prefix — its maxErrors(T, L)+1 rarest tokens
+	// under the global frequency order — feeds the posting lists, and
+	// positional + length filters discard pairs that provably cannot
+	// satisfy NSLD <= T before they are shuffled. Results are identical
+	// either way; disable only for ablation.
+	DisablePrefixFilter bool
 }
 
 // Pair is one joined pair of input strings: indices into the input slice
@@ -169,6 +177,7 @@ func SelfJoinStats(names []string, opts Options) ([]Pair, *Stats, error) {
 		Parallelism:          opts.Parallelism,
 		DisableBoundedVerify: opts.DisableBoundedVerification,
 		DisableTokenLDCache:  opts.DisableTokenLDCache,
+		DisablePrefixFilter:  opts.DisablePrefixFilter,
 	}
 	results, st, err := tsj.SelfJoin(c, jopts)
 	if err != nil {
