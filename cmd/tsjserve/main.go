@@ -5,20 +5,29 @@
 //
 // Endpoints:
 //
-//	POST /add    {"name": "Barak Obama"}
-//	             -> {"id": 17, "matches": [{"id": 3, "sld": 1, "nsld": 0.08}]}
-//	POST /query  {"name": "Barak Obama"}        match without indexing
-//	             -> {"matches": [...]}
-//	POST /join   {"names": ["a", "b", ...]}     atomic batch add
-//	             -> {"first": 18, "results": [{"id": 18, "matches": [...]}, ...]}
-//	GET  /stats  -> {"strings": 19, "shards": 8, "adds": 19, "queries": 7,
-//	                 "verified": 12, "budget_pruned": 3, "prefix_pruned": 41,
-//	                 "cand_gen_wall_ms": 0.8, "verify_wall_ms": 1.4,
-//	                 "tokens_per_shard": [..]}
-//	GET  /healthz -> ok
+//	POST /add      {"name": "Barak Obama"}
+//	               -> {"id": 17, "matches": [{"id": 3, "sld": 1, "nsld": 0.08}]}
+//	POST /query    {"name": "Barak Obama"}        match without indexing
+//	               -> {"matches": [...]}
+//	POST /join     {"names": ["a", "b", ...]}     atomic batch add
+//	               -> {"first": 18, "results": [{"id": 18, "matches": [...]}, ...]}
+//	POST /delete   {"id": 3}                      tombstone a string
+//	               -> {"deleted": 3}
+//	POST /snapshot {"compact": true}              checkpoint the corpus (-data only)
+//	               -> {"generation": 3, "strings": 1041}
+//	GET  /stats    -> matcher funnel/wall counters, per-endpoint latency
+//	                  quantiles, and (with -data) corpus/WAL counters
+//	GET  /healthz  -> ok
+//
+// With -data DIR the index is durable: every add is appended to a
+// CRC-framed write-ahead log under DIR before it becomes visible, POST
+// /snapshot (or -snapshot-every) checkpoints the corpus, and a restart
+// warm-loads the whole index from snapshot + WAL replay — same ids, same
+// matches — instead of starting empty.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain before the worker pool is released.
+// (including Adds mid-WAL-append) drain, the worker pool is released,
+// and finally the corpus WAL is flushed and closed.
 package main
 
 import (
@@ -35,15 +44,33 @@ import (
 	"time"
 
 	tsjoin "repro"
+	"repro/internal/histo"
 )
 
 // maxBodyBytes bounds request bodies; a /join batch of ~10k names fits.
 const maxBodyBytes = 4 << 20
 
-// server wires a ConcurrentMatcher to the HTTP API.
+// server wires a ConcurrentMatcher (and optionally its backing corpus)
+// to the HTTP API.
 type server struct {
 	m *tsjoin.ConcurrentMatcher
+	// c is the persistent corpus backing m, nil when running in-memory.
+	c *tsjoin.Corpus
+	// lat holds one latency histogram per endpoint, keyed by the
+	// endpoint name reported in /stats.
+	lat map[string]*histo.Histogram
 }
+
+func newServer(m *tsjoin.ConcurrentMatcher, c *tsjoin.Corpus) *server {
+	lat := make(map[string]*histo.Histogram)
+	for _, name := range endpointNames {
+		lat[name] = &histo.Histogram{}
+	}
+	return &server{m: m, c: c, lat: lat}
+}
+
+// endpointNames are the instrumented endpoints, in /stats display order.
+var endpointNames = []string{"add", "query", "join", "delete", "snapshot"}
 
 // wireMatch is the JSON form of one match.
 type wireMatch struct {
@@ -60,17 +87,30 @@ func toWire(ms []tsjoin.Match) []wireMatch {
 	return out
 }
 
-// handler builds the route table.
+// handler builds the route table. Mutating endpoints are wrapped with
+// their latency histogram.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/add", s.handleAdd)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/join", s.handleJoin)
+	mux.HandleFunc("/add", s.timed("add", s.handleAdd))
+	mux.HandleFunc("/query", s.timed("query", s.handleQuery))
+	mux.HandleFunc("/join", s.timed("join", s.handleJoin))
+	mux.HandleFunc("/delete", s.timed("delete", s.handleDelete))
+	mux.HandleFunc("/snapshot", s.timed("snapshot", s.handleSnapshot))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// timed records the handler's wall time into the endpoint's histogram.
+func (s *server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.lat[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
+	}
 }
 
 // decode parses a JSON body into v, enforcing method and size limits.
@@ -103,7 +143,11 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	id, matches := s.m.Add(req.Name)
+	id, matches, err := s.m.AddDurable(req.Name)
+	if err != nil {
+		http.Error(w, "persistence failure: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, struct {
 		ID      int         `json:"id"`
 		Matches []wireMatch `json:"matches"`
@@ -129,7 +173,11 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	first, matches := s.m.AddAll(req.Names)
+	first, matches, err := s.m.AddAllDurable(req.Names)
+	if err != nil {
+		http.Error(w, "persistence failure: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	type result struct {
 		ID      int         `json:"id"`
 		Matches []wireMatch `json:"matches"`
@@ -144,8 +192,89 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}{first, results})
 }
 
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID *int `json:"id"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.ID == nil {
+		http.Error(w, "bad request: missing id", http.StatusBadRequest)
+		return
+	}
+	// The matcher's delete keeps the live index and the corpus WAL (when
+	// durable) in step. Unknown/double deletes are the caller's fault; a
+	// WAL failure is ours.
+	if err := s.m.Delete(*req.ID); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, tsjoin.ErrNotFound) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, "delete: "+err.Error(), status)
+		return
+	}
+	writeJSON(w, struct {
+		Deleted int `json:"deleted"`
+	}{*req.ID})
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Compact bool `json:"compact"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	if s.c == nil {
+		http.Error(w, "no -data directory: the index is not persistent", http.StatusConflict)
+		return
+	}
+	var err error
+	if req.Compact {
+		err = s.c.Compact()
+	} else {
+		err = s.c.Snapshot()
+	}
+	if err != nil {
+		http.Error(w, "snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	st := s.c.Stats()
+	writeJSON(w, struct {
+		Generation uint64 `json:"generation"`
+		Strings    int    `json:"strings"`
+		Compacted  bool   `json:"compacted"`
+	}{st.Generation, st.Strings, req.Compact})
+}
+
+// wireLatency is the JSON form of one endpoint's latency summary.
+type wireLatency struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.m.Stats()
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	lat := make(map[string]wireLatency, len(s.lat))
+	for name, h := range s.lat {
+		lat[name] = wireLatency{
+			Count:  h.Count(),
+			P50Ms:  ms(h.Quantile(0.50)),
+			P95Ms:  ms(h.Quantile(0.95)),
+			P99Ms:  ms(h.Quantile(0.99)),
+			MeanMs: ms(h.Mean()),
+		}
+	}
+	var corpusStats *tsjoin.CorpusStats
+	if s.c != nil {
+		cs := s.c.Stats()
+		corpusStats = &cs
+	}
 	writeJSON(w, struct {
 		Strings      int   `json:"strings"`
 		Shards       int   `json:"shards"`
@@ -156,27 +285,40 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PrefixPruned int64 `json:"prefix_pruned"`
 		// Wall times are reported in milliseconds so dashboards need no
 		// duration parsing.
-		CandGenWallMs  float64 `json:"cand_gen_wall_ms"`
-		VerifyWallMs   float64 `json:"verify_wall_ms"`
-		TokensPerShard []int   `json:"tokens_per_shard"`
+		CandGenWallMs  float64                `json:"cand_gen_wall_ms"`
+		VerifyWallMs   float64                `json:"verify_wall_ms"`
+		TokensPerShard []int                  `json:"tokens_per_shard"`
+		Latency        map[string]wireLatency `json:"latency"`
+		Corpus         *tsjoin.CorpusStats    `json:"corpus,omitempty"`
 	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.PrefixPruned,
-		float64(st.CandGenWall.Microseconds()) / 1000, float64(st.VerifyWall.Microseconds()) / 1000,
-		st.TokensPerShard})
+		ms(st.CandGenWall), ms(st.VerifyWall),
+		st.TokensPerShard, lat, corpusStats})
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsjserve: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run owns the full lifecycle so every shutdown path releases resources
+// in order (drain HTTP -> close matcher -> flush and close corpus);
+// main's log.Fatal never skips a close.
+func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	threshold := flag.Float64("threshold", 0.1, "NSLD threshold T in [0, 1)")
 	maxFreq := flag.Int("maxfreq", 0, "max token frequency M (0 = unlimited)")
 	shards := flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
 	greedy := flag.Bool("greedy", false, "greedy-token-aligning verification")
 	exactTokens := flag.Bool("exact-tokens", false, "exact-token matching only")
+	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
+	syncEvery := flag.Int("sync-every", 1, "fsync the WAL every N records (1 = every add durable on return)")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "checkpoint the corpus on this interval (0 = manual /snapshot only)")
 	flag.Parse()
 
-	m, err := tsjoin.NewConcurrentMatcher(tsjoin.ConcurrentMatcherOptions{
+	mopts := tsjoin.ConcurrentMatcherOptions{
 		MatcherOptions: tsjoin.MatcherOptions{
 			Threshold:       *threshold,
 			MaxTokenFreq:    *maxFreq,
@@ -184,36 +326,96 @@ func main() {
 			ExactTokensOnly: *exactTokens,
 		},
 		Shards: *shards,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	defer m.Close()
+
+	var (
+		m   *tsjoin.ConcurrentMatcher
+		c   *tsjoin.Corpus
+		err error
+	)
+	if *dataDir != "" {
+		c, err = tsjoin.OpenCorpus(*dataDir, tsjoin.CorpusOptions{SyncEvery: *syncEvery})
+		if err != nil {
+			return err
+		}
+		cs := c.Stats()
+		start := time.Now()
+		m, err = tsjoin.NewConcurrentMatcherFromCorpus(c, mopts)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		log.Printf("warm restart from %s: %d strings (%d live, generation %d, %d WAL records replayed) in %v",
+			*dataDir, cs.Strings, cs.Live, cs.Generation, cs.WALReplayed, time.Since(start).Round(time.Millisecond))
+	} else {
+		m, err = tsjoin.NewConcurrentMatcher(mopts)
+		if err != nil {
+			return err
+		}
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           (&server{m: m}).handler(),
+		Handler:           newServer(m, c).handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if c != nil && *snapshotEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if !c.Stats().Dirty {
+						continue // nothing mutated since the last checkpoint
+					}
+					if err := c.Compact(); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					} else {
+						log.Printf("periodic snapshot: generation %d", c.Stats().Generation)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (threshold=%g shards=%d)", *addr, *threshold, m.Shards())
+		log.Printf("listening on %s (threshold=%g shards=%d durable=%v)", *addr, *threshold, m.Shards(), c != nil)
 		errc <- srv.ListenAndServe()
 	}()
 
+	var serveErr error
 	select {
-	case err := <-errc:
-		log.Fatal(err)
+	case serveErr = <-errc:
+		// Listener failed: still run the shutdown sequence below so the
+		// WAL is flushed and closed.
 	case <-ctx.Done():
+		log.Print("shutting down")
+		// Drain in-flight requests — this is what guarantees no Add is
+		// mid-WAL-append when the corpus closes below.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
 	}
-	log.Print("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+	m.Close()
+	if c != nil {
+		if err := c.Close(); err != nil {
+			log.Printf("corpus close: %v", err)
+		} else {
+			log.Print("corpus WAL flushed and closed")
+		}
 	}
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return nil
 }

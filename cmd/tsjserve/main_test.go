@@ -20,9 +20,41 @@ func newTestServer(t *testing.T) (*httptest.Server, *tsjoin.ConcurrentMatcher) {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	ts := httptest.NewServer((&server{m: m}).handler())
+	ts := httptest.NewServer(newServer(m, nil).handler())
 	t.Cleanup(ts.Close)
 	return ts, m
+}
+
+// newDurableTestServer builds a server backed by a persistent corpus in
+// dir. The returned shutdown runs the graceful sequence (drain, close
+// matcher, flush and close the corpus WAL) and is idempotent; it is also
+// registered as a cleanup.
+func newDurableTestServer(t *testing.T, dir string) (*httptest.Server, *tsjoin.ConcurrentMatcher, *tsjoin.Corpus, func()) {
+	t.Helper()
+	c, err := tsjoin.OpenCorpus(dir, tsjoin.CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tsjoin.NewConcurrentMatcherFromCorpus(c, tsjoin.ConcurrentMatcherOptions{
+		MatcherOptions: tsjoin.MatcherOptions{Threshold: 0.2},
+		Shards:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(m, c).handler())
+	done := false
+	shutdown := func() {
+		if done {
+			return
+		}
+		done = true
+		ts.Close()
+		m.Close()
+		c.Close()
+	}
+	t.Cleanup(shutdown)
+	return ts, m, c, shutdown
 }
 
 func post(t *testing.T, url, body string, out interface{}) *http.Response {
@@ -143,6 +175,165 @@ func TestServeJoinBatch(t *testing.T) {
 	}
 	if m.Len() != 3 {
 		t.Fatalf("Len = %d after join", m.Len())
+	}
+}
+
+// TestServeDelete: /delete tombstones a string live; bad ids are 400s.
+func TestServeDelete(t *testing.T) {
+	ts, m := newTestServer(t)
+	post(t, ts.URL+"/join", `{"names": ["john smith", "jon smith"]}`, nil)
+	var del struct {
+		Deleted int `json:"deleted"`
+	}
+	if resp := post(t, ts.URL+"/delete", `{"id": 0}`, &del); resp.StatusCode != http.StatusOK || del.Deleted != 0 {
+		t.Fatalf("/delete: status %d, body %+v", resp.StatusCode, del)
+	}
+	if got := m.Query("jon smith"); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("deleted string still matching: %v", got)
+	}
+	if resp := post(t, ts.URL+"/delete", `{"id": 0}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("double delete: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/delete", `{}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing id: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeLatencyHistograms: /stats carries per-endpoint p50/p95/p99
+// latency summaries populated by traffic.
+func TestServeLatencyHistograms(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/add", `{"name": "maria del carmen"}`, nil)
+	post(t, ts.URL+"/add", `{"name": "maria del karmen"}`, nil)
+	post(t, ts.URL+"/query", `{"name": "mario del carmen"}`, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Latency map[string]struct {
+			Count  int64    `json:"count"`
+			P50Ms  *float64 `json:"p50_ms"`
+			P95Ms  *float64 `json:"p95_ms"`
+			P99Ms  *float64 `json:"p99_ms"`
+			MeanMs *float64 `json:"mean_ms"`
+		} `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []string{"add", "query", "join", "delete", "snapshot"} {
+		if _, ok := stats.Latency[ep]; !ok {
+			t.Fatalf("/stats latency missing endpoint %q", ep)
+		}
+	}
+	add := stats.Latency["add"]
+	if add.Count != 2 {
+		t.Fatalf("add latency count = %d, want 2", add.Count)
+	}
+	if add.P50Ms == nil || add.P95Ms == nil || add.P99Ms == nil || add.MeanMs == nil {
+		t.Fatal("latency quantile fields missing")
+	}
+	if *add.P99Ms < *add.P50Ms {
+		t.Fatalf("p99 (%v) below p50 (%v)", *add.P99Ms, *add.P50Ms)
+	}
+	if *add.MeanMs <= 0 {
+		t.Fatalf("mean_ms = %v, want > 0 after traffic", *add.MeanMs)
+	}
+	if stats.Latency["query"].Count != 1 || stats.Latency["join"].Count != 0 {
+		t.Fatalf("per-endpoint counts wrong: %+v", stats.Latency)
+	}
+}
+
+// TestServeSnapshotRequiresData: without -data, /snapshot is a 409.
+func TestServeSnapshotRequiresData(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if resp := post(t, ts.URL+"/snapshot", `{}`, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("/snapshot without a corpus: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeDurableWarmRestart is the serving-layer acceptance test:
+// populate a -data server, snapshot over HTTP, keep writing, kill it,
+// bring up a fresh server on the same directory — the index must be
+// restored from snapshot + WAL (same ids) and answer queries exactly as
+// before.
+func TestServeDurableWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, _, _, shutdown := newDurableTestServer(t, dir)
+
+	var add struct {
+		ID int `json:"id"`
+	}
+	names := []string{"barak obama", "barak obamma", "angela merkel", "emmanuel macron"}
+	for i, n := range names {
+		post(t, ts.URL+"/add", `{"name": "`+n+`"}`, &add)
+		if add.ID != i {
+			t.Fatalf("add %q: id %d, want %d", n, add.ID, i)
+		}
+	}
+	var snap struct {
+		Generation uint64 `json:"generation"`
+		Strings    int    `json:"strings"`
+	}
+	if resp := post(t, ts.URL+"/snapshot", `{}`, &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot: status %d", resp.StatusCode)
+	}
+	if snap.Generation != 1 || snap.Strings != len(names) {
+		t.Fatalf("/snapshot response: %+v", snap)
+	}
+	// Post-snapshot writes land in the WAL tail.
+	post(t, ts.URL+"/add", `{"name": "angela merkle"}`, &add)
+	if add.ID != len(names) {
+		t.Fatalf("post-snapshot id = %d", add.ID)
+	}
+	var before struct {
+		Matches []wireMatch `json:"matches"`
+	}
+	post(t, ts.URL+"/query", `{"name": "angela merkel"}`, &before)
+
+	// Kill everything gracefully (the crash variant is covered by the
+	// stream-layer restart tests).
+	shutdown()
+
+	ts2, m2, c2, _ := newDurableTestServer(t, dir)
+	if m2.Len() != len(names)+1 {
+		t.Fatalf("restarted Len = %d, want %d", m2.Len(), len(names)+1)
+	}
+	if cs := c2.Stats(); cs.Generation != 1 || cs.WALReplayed != 1 {
+		t.Fatalf("restart recovery: generation %d, replayed %d (want 1, 1)", cs.Generation, cs.WALReplayed)
+	}
+	var after struct {
+		Matches []wireMatch `json:"matches"`
+	}
+	post(t, ts2.URL+"/query", `{"name": "angela merkel"}`, &after)
+	if len(after.Matches) != len(before.Matches) {
+		t.Fatalf("restarted query differs: %v != %v", after.Matches, before.Matches)
+	}
+	for i := range after.Matches {
+		if after.Matches[i] != before.Matches[i] {
+			t.Fatalf("restarted query differs at %d: %v != %v", i, after.Matches[i], before.Matches[i])
+		}
+	}
+	// /stats exposes the corpus counters on a durable server.
+	resp, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Corpus *struct {
+			Strings     int   `json:"Strings"`
+			WALReplayed int64 `json:"WALReplayed"`
+		} `json:"corpus"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corpus == nil || stats.Corpus.Strings != len(names)+1 {
+		t.Fatalf("/stats corpus section: %+v", stats.Corpus)
 	}
 }
 

@@ -30,7 +30,37 @@ type MatcherStats = stream.ShardedStats
 // NewConcurrentMatcher creates an empty concurrent matcher. Call Close
 // when done to release the worker pool.
 func NewConcurrentMatcher(opts ConcurrentMatcherOptions) (*ConcurrentMatcher, error) {
-	m, err := stream.NewShardedMatcher(stream.Options{
+	m, err := stream.NewShardedMatcher(streamOptions(opts), opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentMatcher{m: m}, nil
+}
+
+// NewConcurrentMatcherFromCorpus warm-starts a concurrent matcher from a
+// persistent corpus: every string already in the corpus is bulk-loaded
+// into the index (no matching, no verification — a restart costs one
+// linear pass over local state), ids are the corpus ids, and the matcher
+// stays attached: each subsequent Add/AddAll appends to the corpus WAL
+// before the string becomes visible, so the matcher can always be
+// rebuilt, byte-identically, from the directory it left behind.
+//
+// While a matcher is attached, route all writes through it: an Add
+// straight to the corpus desynchronizes the id spaces (the matcher
+// detects this and fails the next durable add), and a Corpus.Delete
+// alone leaves the live index serving the string until the next restart
+// (use ConcurrentMatcher.Delete). Close the matcher before closing the
+// corpus.
+func NewConcurrentMatcherFromCorpus(c *Corpus, opts ConcurrentMatcherOptions) (*ConcurrentMatcher, error) {
+	m, err := stream.NewShardedFromCorpus(streamOptions(opts), opts.Shards, c.c)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentMatcher{m: m}, nil
+}
+
+func streamOptions(opts ConcurrentMatcherOptions) stream.Options {
+	return stream.Options{
 		Threshold:            opts.Threshold,
 		MaxTokenFreq:         opts.MaxTokenFreq,
 		Greedy:               opts.Greedy,
@@ -38,11 +68,7 @@ func NewConcurrentMatcher(opts ConcurrentMatcherOptions) (*ConcurrentMatcher, er
 		DisableBoundedVerify: opts.DisableBoundedVerification,
 		DisablePrefixFilter:  opts.DisablePrefixFilter,
 		Tokenizer:            opts.Tokenizer,
-	}, opts.Shards)
-	if err != nil {
-		return nil, err
 	}
-	return &ConcurrentMatcher{m: m}, nil
 }
 
 // Add matches s against every previously added string, then indexes it,
@@ -56,6 +82,26 @@ func (m *ConcurrentMatcher) Add(s string) (id int, matches []Match) { return m.m
 func (m *ConcurrentMatcher) AddAll(names []string) (first int, matches [][]Match) {
 	return m.m.AddAll(names)
 }
+
+// AddDurable is Add with the persistence error surfaced (corpus-backed
+// matchers only; on an in-memory matcher it never fails). On a WAL
+// failure nothing is indexed and id is -1.
+func (m *ConcurrentMatcher) AddDurable(s string) (id int, matches []Match, err error) {
+	return m.m.AddDurable(s)
+}
+
+// AddAllDurable is AddAll with the persistence error surfaced: the batch
+// is WAL-appended with one group-commit fsync before any element is
+// indexed.
+func (m *ConcurrentMatcher) AddAllDurable(names []string) (first int, matches [][]Match, err error) {
+	return m.m.AddAllDurable(names)
+}
+
+// Delete tombstones a string: it stops matching immediately, and on a
+// corpus-backed matcher the delete is WAL-durable. Always delete through
+// the matcher while one is attached — Corpus.Delete alone would leave
+// the live index serving the string until the next restart.
+func (m *ConcurrentMatcher) Delete(id int) error { return m.m.Delete(id) }
 
 // Query matches s against everything added so far without indexing it.
 // Safe for concurrent use with Adds and other Queries.

@@ -1,0 +1,151 @@
+package tsjoin
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/token"
+	"repro/internal/tsj"
+)
+
+// ErrNotFound marks a Delete of an id that does not exist or is already
+// deleted (a caller error — check with errors.Is to distinguish it from
+// persistence failures).
+var ErrNotFound = corpus.ErrNotFound
+
+// Corpus is a durable, mutable corpus of tokenized strings: adds and
+// deletes are persisted through a CRC-framed write-ahead log, state is
+// checkpointed into versioned binary snapshots, and the corpus-global
+// filter assets the joiner needs — the rarest-first token-frequency
+// order and every string's rank-sorted token list, from which each
+// threshold's prefixes are sliced — are maintained incrementally across
+// mutations. One opened corpus therefore serves repeated SelfJoin calls
+// at any mix of thresholds with zero frequency-order rebuilds, and a
+// process restart (OpenCorpus on the same directory) recovers the exact
+// corpus from snapshot + WAL replay.
+//
+// All methods are safe for concurrent use. To serve live traffic over a
+// corpus, attach it to a matcher with NewConcurrentMatcherFromCorpus —
+// and then route all writes through the matcher.
+type Corpus struct {
+	c *corpus.Corpus
+}
+
+// CorpusOptions configures OpenCorpus.
+type CorpusOptions struct {
+	// Tokenizer maps raw strings to token multisets for Add; the WAL
+	// stores tokenized forms, so recovery never depends on it. Defaults
+	// to whitespace+punctuation.
+	Tokenizer Tokenizer
+	// SyncEvery batches WAL fsyncs (1, the default, makes every Add
+	// durable before it returns; larger values trade the tail of the log
+	// for write throughput).
+	SyncEvery int
+	// DisableSync skips fsync entirely (benchmarks and throwaway data).
+	DisableSync bool
+	// RerankSlack tunes how far token frequencies may drift before the
+	// stored order is re-ranked (0 = default policy, negative = never;
+	// purely a pruning-power knob — join results are identical under any
+	// setting).
+	RerankSlack float64
+}
+
+// CorpusStats snapshots a corpus's state and persistence counters.
+type CorpusStats = corpus.Stats
+
+// OpenCorpus opens (creating if empty) the corpus persisted in dir: the
+// newest valid snapshot is loaded and the write-ahead log replayed — a
+// torn or corrupt WAL tail is detected via CRC and cleanly ignored.
+func OpenCorpus(dir string, opts CorpusOptions) (*Corpus, error) {
+	c, err := corpus.Open(dir, corpus.Options{
+		Tokenizer:   opts.Tokenizer,
+		SyncEvery:   opts.SyncEvery,
+		DisableSync: opts.DisableSync,
+		RerankSlack: opts.RerankSlack,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// Add appends one string durably and returns its id (dense, starting at
+// 0, stable across restarts).
+func (c *Corpus) Add(name string) (int, error) {
+	id, err := c.c.Add(name)
+	return int(id), err
+}
+
+// AddBatch appends a batch with a single group-commit fsync, returning
+// the first id of the dense range the batch occupies.
+func (c *Corpus) AddBatch(names []string) (int, error) {
+	toks := make([]token.TokenizedString, len(names))
+	tok := c.c.Tokenizer()
+	for i, n := range names {
+		toks[i] = tok(n)
+	}
+	first, err := c.c.AddTokenizedBatch(toks)
+	return int(first), err
+}
+
+// Delete durably tombstones a string: it stops participating in joins
+// and in matchers built later from this corpus; its id is never reused.
+// If a ConcurrentMatcher is currently attached (via
+// NewConcurrentMatcherFromCorpus), delete through the matcher instead —
+// ConcurrentMatcher.Delete updates the live index and the WAL together,
+// while this method alone leaves the attached index serving the string
+// until its next restart.
+func (c *Corpus) Delete(id int) error { return c.c.Delete(token.StringID(id)) }
+
+// Len returns the total id space (live strings plus tombstones); Live
+// counts only live strings.
+func (c *Corpus) Len() int  { return c.c.Len() }
+func (c *Corpus) Live() int { return c.c.Live() }
+
+// SelfJoin joins the live strings of the corpus under opts.Threshold,
+// reusing the stored frequency order and prefixes (no per-call filter
+// state is rebuilt — see CorpusStats.OrderRebuilds). Results use corpus
+// ids and are exactly what SelfJoin on the same live strings returns.
+func (c *Corpus) SelfJoin(opts Options) ([]Pair, error) {
+	pairs, _, err := c.SelfJoinStats(opts)
+	return pairs, err
+}
+
+// SelfJoinStats is SelfJoin plus the pipeline statistics.
+func (c *Corpus) SelfJoinStats(opts Options) ([]Pair, *Stats, error) {
+	jopts := tsj.Options{
+		Threshold:            opts.Threshold,
+		MaxTokenFreq:         opts.MaxTokenFreq,
+		Matching:             opts.Matching,
+		Aligning:             opts.Aligning,
+		Dedup:                opts.Dedup,
+		MultiMatchAware:      true,
+		Parallelism:          opts.Parallelism,
+		DisableBoundedVerify: opts.DisableBoundedVerification,
+		DisableTokenLDCache:  opts.DisableTokenLDCache,
+		DisablePrefixFilter:  opts.DisablePrefixFilter,
+	}
+	results, st, err := tsj.SelfJoinCorpus(c.c, jopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs := make([]Pair, len(results))
+	for i, r := range results {
+		pairs[i] = Pair{A: int(r.A), B: int(r.B), SLD: r.SLD, NSLD: r.NSLD}
+	}
+	return pairs, st, nil
+}
+
+// Snapshot checkpoints the corpus into a new snapshot generation and
+// starts a fresh WAL; Compact additionally removes older generations,
+// retaining the newest prior one as a corruption fallback, so disk
+// usage is bounded to two snapshots plus two logs.
+func (c *Corpus) Snapshot() error { return c.c.Snapshot() }
+func (c *Corpus) Compact() error  { return c.c.Compact() }
+
+// Sync forces any batched WAL appends to stable storage.
+func (c *Corpus) Sync() error { return c.c.Sync() }
+
+// Stats snapshots the corpus counters.
+func (c *Corpus) Stats() CorpusStats { return c.c.Stats() }
+
+// Close flushes the WAL and releases the log file.
+func (c *Corpus) Close() error { return c.c.Close() }

@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/namegen"
+)
+
+// benchNames generates the benchmark corpus once per size.
+func benchNames(n int) []string {
+	return namegen.Generate(namegen.Config{Seed: 99, NumNames: n})
+}
+
+// BenchmarkCorpusAdd measures the durable add path: WAL encode + append
+// (fsync disabled so the disk does not dominate) + incremental index and
+// order maintenance.
+func BenchmarkCorpusAdd(b *testing.B) {
+	names := benchNames(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := Open(b.TempDir(), Options{DisableSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, n := range names {
+			if _, err := c.Add(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		c.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(names)), "adds/op")
+}
+
+// BenchmarkSnapshotLoad measures Open on a fully snapshotted corpus (no
+// WAL tail): decode + derived-state rebuild.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	names := benchNames(2000)
+	dir := b.TempDir()
+	c, err := Open(dir, Options{DisableSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := c.Add(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(dir, Options{DisableSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != len(names) {
+			b.Fatalf("Len = %d", r.Len())
+		}
+		b.StopTimer()
+		r.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkWALReplay measures Open on a WAL-only corpus (no snapshot):
+// frame decode + CRC + full state reconstruction, the worst-case
+// recovery path.
+func BenchmarkWALReplay(b *testing.B) {
+	names := benchNames(2000)
+	dir := b.TempDir()
+	c, err := Open(dir, Options{DisableSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := c.Add(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(dir, Options{DisableSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != len(names) {
+			b.Fatalf("Len = %d", r.Len())
+		}
+		b.StopTimer()
+		r.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,789 @@
+// Package corpus implements the durable, mutable corpus behind the
+// persistent join and serving paths: it owns the tokenized strings, the
+// global rarest-first token-frequency order, the per-string rank-sorted
+// member lists from which threshold-aware prefixes are sliced, and the
+// inverted postings — and it persists all logical state through a
+// versioned binary snapshot plus a CRC-framed, fsync-batched write-ahead
+// log, so a process restart recovers the exact corpus (and any index
+// derived from it) without re-ingesting anything.
+//
+// # Incremental prefix maintenance
+//
+// The batch prefix filter (internal/prefilter) needs one fixed total
+// order over the token space and, per string, the head of its distinct
+// tokens under that order. Rebuilding that order per join is what
+// prefilter.NewIndex does; this package maintains it incrementally
+// instead, with epoch-stamped orders:
+//
+//   - Within an epoch the order is frozen. New tokens are appended at the
+//     tail (treated as most common), so the order stays a fixed total
+//     order no matter how frequencies drift. Every string added during
+//     the epoch stores its distinct tokens sorted by the frozen order, so
+//     a join at any threshold T just slices the first PrefixLen(T, L, d)
+//     entries — no global sort, no per-string sort, zero order rebuilds.
+//   - Frequencies drift as strings arrive. Drift never breaks
+//     correctness: the prefilter's losslessness argument needs only some
+//     fixed total order shared by all strings, not a frequency-sorted
+//     one (the stored lists are "stale-but-wider" in the sense that any
+//     threshold's prefix is a slice of the full stored list — see
+//     TestPrefixEquivalenceStaleCorpusOrder for the property test).
+//     Drift only erodes pruning power: a once-rare token that became hot
+//     keeps its early rank and drags long posting lists into prefixes.
+//   - A slack bound decides when eroded is too eroded: a token counts as
+//     drifted once its live document frequency exceeds twice its
+//     frequency at the last re-rank (plus a small base), and newborn
+//     tokens count immediately (they sit mis-ranked at the tail). When
+//     drifted tokens exceed RerankSlack of the token space, one re-rank
+//     re-sorts the order and every live string's member list, stamps a
+//     new epoch, and resets the drift accounting. The policy is
+//     performance-only; any schedule (including never) preserves exact
+//     join results.
+//
+// All order-bearing state is replaced copy-on-write at a re-rank, so
+// views captured by concurrent joins stay internally consistent.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/token"
+)
+
+// driftSlackBase keeps low-frequency tokens from counting as drifted on
+// their first few occurrences: a token drifts when
+// freq > 2*frozenFreq + driftSlackBase.
+const driftSlackBase = 8
+
+// defaultRerankSlack is the drifted-token fraction that triggers a
+// re-rank when Options.RerankSlack is zero.
+const defaultRerankSlack = 0.125
+
+// Options configures a persistent corpus.
+type Options struct {
+	// Tokenizer maps raw strings to token multisets for Add. The WAL
+	// stores tokenized forms, so replay never consults it; it only has to
+	// stay fixed for as long as the caller wants new and old strings
+	// tokenized the same way. Defaults to whitespace+punctuation.
+	Tokenizer token.Tokenizer
+	// SyncEvery batches WAL fsyncs: the log is forced to stable storage
+	// every SyncEvery records (and always on Sync, Snapshot and Close).
+	// 1 (the default) is write-through — every Add returns durable.
+	// Larger values trade the tail of the log for throughput.
+	SyncEvery int
+	// DisableSync skips fsync entirely (tests and benchmarks on throwaway
+	// data; a crash may lose anything after the last OS writeback).
+	DisableSync bool
+	// RerankSlack is the fraction of the token space that may drift
+	// before the frequency order is re-ranked (see the package comment).
+	// 0 means the default (0.125); negative disables re-ranking, freezing
+	// the order of the first epoch forever (results are unaffected;
+	// pruning power degrades).
+	RerankSlack float64
+}
+
+// Corpus is the durable corpus. All methods are safe for concurrent use;
+// mutations are serialized, and View captures a consistent point-in-time
+// read view that later mutations never disturb.
+type Corpus struct {
+	mu  sync.RWMutex
+	dir string
+	opt Options
+
+	// ---- logical state --------------------------------------------------
+	strings []token.TokenizedString
+	alive   []bool
+	live    int
+
+	tokens     []string
+	tokenRunes [][]rune
+	tokenID    map[string]token.TokenID
+	// freq is the live document frequency over alive strings (deletes
+	// decrement). postings may retain tombstoned StringIDs until the next
+	// process restart from a compacted snapshot; readers filter by alive.
+	freq     []int32
+	postings [][]token.StringID
+
+	// lexMembers[s] holds s's distinct TokenIDs in lexicographic token
+	// order (the Members invariant of token.NewCorpusView).
+	lexMembers [][]token.TokenID
+
+	// ---- epoch-stamped frequency order ----------------------------------
+	// rank maps token -> position in the frozen rarest-first order; the
+	// array is replaced wholesale at a re-rank (copy-on-write), and new
+	// tokens append nextRank at the tail. ranked[s] is s's distinct
+	// tokens sorted by frozen rank ascending — the full "widest prefix"
+	// from which every threshold's prefix is sliced; entries are replaced
+	// copy-on-write at a re-rank.
+	rank       []int32
+	nextRank   int32
+	ranked     [][]token.TokenID
+	frozenFreq []int32
+	drifted    []bool
+	driftCount int
+	epoch      uint64
+	reranks    int64
+
+	// ---- persistence ----------------------------------------------------
+	gen         uint64
+	wal         *walWriter
+	walReplayed int64
+	snapshots   int64
+	closed      bool
+	encBuf      []byte
+	// dirty is set by every applied mutation (including replayed ones)
+	// and cleared by a snapshot: when false, the newest snapshot already
+	// holds the exact state, so periodic checkpoints can skip.
+	dirty bool
+	// corruptSnaps are snapshot generations that failed their CRC at
+	// Open; Compact removes them and never retains one as the fallback.
+	corruptSnaps map[uint64]bool
+
+	joinsServed atomic.Int64
+}
+
+// Stats is a snapshot of the corpus's state and persistence counters.
+type Stats struct {
+	// Strings is the total id space (including tombstones); Live counts
+	// non-deleted strings; Tokens the distinct token space.
+	Strings, Live, Tombstones, Tokens int
+	// Epoch identifies the current frozen frequency order;
+	// OrderRebuilds counts lifetime re-ranks (persisted across
+	// restarts). Joins never bump either — that is the reusable-asset
+	// guarantee the acceptance test asserts.
+	Epoch         uint64
+	OrderRebuilds int64
+	// DriftedTokens is the current drift-accounting level (re-rank fires
+	// when it passes the slack bound).
+	DriftedTokens int
+	// Generation is the current snapshot/WAL generation. WALReplayed
+	// counts records recovered at Open; WALRecords/WALBytes count appends
+	// by this process; Snapshots counts snapshots written by this
+	// process.
+	Generation  uint64
+	WALReplayed int64
+	WALRecords  int64
+	WALBytes    int64
+	Snapshots   int64
+	// Dirty reports whether any mutation (including replayed WAL records)
+	// has been applied since the newest snapshot — false means a
+	// checkpoint would write an identical snapshot and can be skipped.
+	Dirty bool
+	// JoinsServed counts SelfJoinCorpus calls answered from the stored
+	// order.
+	JoinsServed int64
+}
+
+// Open loads (or initializes) the corpus persisted in dir: the newest
+// valid snapshot is loaded, its WAL generation replayed — a torn or
+// corrupt WAL tail is detected by CRC and cleanly ignored — and the log
+// reopened for appends.
+func Open(dir string, opt Options) (*Corpus, error) {
+	if opt.Tokenizer == nil {
+		opt.Tokenizer = token.WhitespaceAndPunct
+	}
+	if opt.SyncEvery <= 0 {
+		opt.SyncEvery = 1
+	}
+	if opt.RerankSlack == 0 {
+		opt.RerankSlack = defaultRerankSlack
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		dir:          dir,
+		opt:          opt,
+		tokenID:      make(map[string]token.TokenID),
+		corruptSnaps: make(map[uint64]bool),
+	}
+	removeStaleTemp(dir)
+
+	// Newest valid snapshot wins; a corrupt one falls back a generation
+	// (Compact retains one prior generation precisely for this). If
+	// snapshots exist but none decodes, fail loudly — opening an empty
+	// corpus over a directory that demonstrably held data would present
+	// total data loss as a clean start.
+	snaps, err := listGens(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	loaded := false
+	for i := len(snaps) - 1; i >= 0; i-- {
+		st, err := readSnapshot(snapPath(dir, snaps[i]))
+		if err != nil {
+			c.corruptSnaps[snaps[i]] = true
+			continue
+		}
+		c.applySnapshot(st)
+		loaded = true
+		break
+	}
+
+	// Replay every WAL generation from the loaded snapshot's onward, in
+	// order — after a fallback (snapshot g corrupt, g-1 loaded) the
+	// records acknowledged under generation g live in wal-g and must not
+	// be dropped; with no loadable snapshot at all, an intact chain from
+	// wal-0 still reconstructs everything. Generations must be
+	// consecutive, and only the final one may end in a torn/corrupt tail:
+	// damage in an earlier generation would silently shift every later
+	// record's id. When snapshots exist but none decodes and the chain
+	// cannot start at zero, fail loudly — opening an empty corpus over a
+	// directory that demonstrably held data would present total data loss
+	// as a clean start.
+	walGens, err := listGens(dir, walPrefix, walSuffix)
+	if err != nil {
+		return nil, err
+	}
+	if !loaded && len(snaps) > 0 && len(walGens) == 0 {
+		return nil, fmt.Errorf("corpus: none of the %d snapshots in %s is loadable and no wal remains; refusing to open empty", len(snaps), dir)
+	}
+	apply := func(rec walRecord) error {
+		switch rec.op {
+		case opAdd:
+			c.applyAdd(token.New(rec.tokens))
+		case opDelete:
+			return c.applyDelete(rec.sid)
+		}
+		return nil
+	}
+	var offset int64
+	expected := c.gen
+	for gi, g := range walGens {
+		if g < c.gen {
+			continue // folded into the loaded snapshot
+		}
+		if g != expected {
+			return nil, fmt.Errorf("corpus: wal generation %d missing (found %d)", expected, g)
+		}
+		off, records, clean, err := replayWAL(walPath(dir, g), apply)
+		if err != nil {
+			return nil, err
+		}
+		if !clean && gi != len(walGens)-1 {
+			return nil, fmt.Errorf("corpus: wal generation %d is damaged mid-chain; later generations cannot be replayed safely", g)
+		}
+		c.walReplayed += records
+		offset = off
+		c.gen = g
+		expected = g + 1
+	}
+
+	c.wal, err = newWALWriter(walPath(dir, c.gen), offset, opt.SyncEvery, opt.DisableSync)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.syncDir(); err != nil {
+		c.wal.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// removeStaleTemp clears half-written snapshot temp files from a crashed
+// Snapshot call.
+func removeStaleTemp(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if len(name) > 4 && name[:5] == "snap-" && name[len(name)-4:] == ".tmp" {
+			os.Remove(dir + string(os.PathSeparator) + name)
+		}
+	}
+}
+
+// applySnapshot installs a decoded snapshot as the corpus state and
+// rebuilds the derived structures (intern map, rune cache, live
+// frequencies, postings, member lists) in one linear pass.
+func (c *Corpus) applySnapshot(st *snapState) {
+	c.gen = st.gen
+	c.epoch = st.epoch
+	c.reranks = st.reranks
+	c.tokens = st.tokens
+	c.rank = st.rank
+	c.frozenFreq = st.frozen
+	c.nextRank = 0
+	for _, r := range c.rank {
+		if r >= c.nextRank {
+			c.nextRank = r + 1
+		}
+	}
+	n := len(c.tokens)
+	c.tokenRunes = make([][]rune, n)
+	c.tokenID = make(map[string]token.TokenID, n)
+	for id, t := range c.tokens {
+		c.tokenRunes[id] = []rune(t)
+		c.tokenID[t] = token.TokenID(id)
+	}
+	c.freq = make([]int32, n)
+	c.postings = make([][]token.StringID, n)
+	c.drifted = make([]bool, n)
+
+	c.strings = make([]token.TokenizedString, len(st.strs))
+	c.alive = st.alive
+	c.lexMembers = make([][]token.TokenID, len(st.strs))
+	c.ranked = make([][]token.TokenID, len(st.strs))
+	var toks []string
+	for sid, ids := range st.strs {
+		if !st.alive[sid] {
+			continue
+		}
+		c.live++
+		toks = toks[:0]
+		for _, tid := range ids {
+			toks = append(toks, c.tokens[tid])
+		}
+		c.strings[sid] = token.New(toks)
+		lex := distinctIDs(ids)
+		c.lexMembers[sid] = lex
+		for _, tid := range lex {
+			c.freq[tid]++
+			c.postings[tid] = append(c.postings[tid], token.StringID(sid))
+		}
+		c.ranked[sid] = c.rankSort(lex)
+	}
+	// Drift restarts from the loaded frozen frequencies.
+	for tid := range c.freq {
+		if c.freq[tid] > 2*c.frozenFreq[tid]+driftSlackBase {
+			c.drifted[tid] = true
+			c.driftCount++
+		}
+	}
+}
+
+// distinctIDs collapses a sorted-by-token multiset id list (duplicates
+// adjacent, because equal tokens are adjacent in TokenizedString order)
+// into the distinct list, preserving order.
+func distinctIDs(ids []token.TokenID) []token.TokenID {
+	out := make([]token.TokenID, 0, len(ids))
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// rankSort returns a fresh copy of ids sorted by the current frozen rank.
+func (c *Corpus) rankSort(ids []token.TokenID) []token.TokenID {
+	out := append([]token.TokenID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return c.rank[out[i]] < c.rank[out[j]] })
+	return out
+}
+
+// intern returns the TokenID for t, interning it (with a tail rank in the
+// frozen order) on first sight.
+func (c *Corpus) intern(t string) token.TokenID {
+	if tid, ok := c.tokenID[t]; ok {
+		return tid
+	}
+	tid := token.TokenID(len(c.tokens))
+	c.tokenID[t] = tid
+	c.tokens = append(c.tokens, t)
+	c.tokenRunes = append(c.tokenRunes, []rune(t))
+	c.freq = append(c.freq, 0)
+	c.postings = append(c.postings, nil)
+	c.frozenFreq = append(c.frozenFreq, 0)
+	c.rank = append(c.rank, c.nextRank)
+	c.nextRank++
+	// Newborn tokens sit mis-ranked at the tail (they are rare, the tail
+	// is the common end), so they count toward the re-rank slack
+	// immediately.
+	c.drifted = append(c.drifted, true)
+	c.driftCount++
+	return tid
+}
+
+// applyAdd installs one tokenized string (already WAL-durable or being
+// replayed) and returns its id.
+func (c *Corpus) applyAdd(ts token.TokenizedString) token.StringID {
+	sid := token.StringID(len(c.strings))
+	c.strings = append(c.strings, ts)
+	c.alive = append(c.alive, true)
+	c.live++
+
+	lex := make([]token.TokenID, 0, ts.Count())
+	for i, t := range ts.Tokens {
+		if i > 0 && t == ts.Tokens[i-1] {
+			continue
+		}
+		lex = append(lex, c.intern(t))
+	}
+	c.lexMembers = append(c.lexMembers, lex)
+	for _, tid := range lex {
+		c.postings[tid] = append(c.postings[tid], sid)
+		c.freq[tid]++
+		if !c.drifted[tid] && c.freq[tid] > 2*c.frozenFreq[tid]+driftSlackBase {
+			c.drifted[tid] = true
+			c.driftCount++
+		}
+	}
+	c.ranked = append(c.ranked, c.rankSort(lex))
+	c.dirty = true
+	c.maybeRerank()
+	return sid
+}
+
+// ErrNotFound marks a delete of an id that does not exist or is already
+// tombstoned — a caller error, as opposed to a persistence failure.
+var ErrNotFound = errors.New("unknown or already-deleted id")
+
+// applyDelete tombstones a string. Its content, member lists and posting
+// entries are retained (point-in-time views may still hold them; readers
+// filter by alive) — a restart from a compacted snapshot sheds them.
+func (c *Corpus) applyDelete(sid token.StringID) error {
+	if int(sid) >= len(c.strings) || sid < 0 {
+		return fmt.Errorf("corpus: delete of id %d: %w", sid, ErrNotFound)
+	}
+	if !c.alive[sid] {
+		return fmt.Errorf("corpus: delete of id %d: %w", sid, ErrNotFound)
+	}
+	c.alive[sid] = false
+	c.live--
+	for _, tid := range c.lexMembers[sid] {
+		c.freq[tid]--
+	}
+	c.dirty = true
+	return nil
+}
+
+// maybeRerank applies the slack policy (see the package comment).
+func (c *Corpus) maybeRerank() {
+	if c.opt.RerankSlack < 0 {
+		return
+	}
+	threshold := int(c.opt.RerankSlack * float64(len(c.tokens)))
+	if threshold < 64 {
+		threshold = 64
+	}
+	if c.driftCount <= threshold {
+		return
+	}
+	c.rerank()
+}
+
+// rerank rebuilds the rarest-first order from the live frequencies and
+// re-sorts every live string's member list under it, stamping a new
+// epoch. Everything it touches is replaced copy-on-write so concurrent
+// views stay consistent.
+func (c *Corpus) rerank() {
+	order := make([]token.TokenID, len(c.tokens))
+	for i := range order {
+		order[i] = token.TokenID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		fi, fj := c.freq[order[i]], c.freq[order[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int32, len(c.tokens))
+	for r, tid := range order {
+		rank[tid] = int32(r)
+	}
+	c.rank = rank
+	c.nextRank = int32(len(order))
+	for sid := range c.ranked {
+		if !c.alive[sid] {
+			continue
+		}
+		c.ranked[sid] = c.rankSort(c.lexMembers[sid])
+	}
+	c.frozenFreq = append([]int32(nil), c.freq...)
+	c.drifted = make([]bool, len(c.tokens))
+	c.driftCount = 0
+	c.epoch++
+	c.reranks++
+}
+
+// Add tokenizes s, appends it to the WAL and installs it, returning its
+// id. With SyncEvery = 1 the record is durable when Add returns.
+func (c *Corpus) Add(s string) (token.StringID, error) {
+	return c.AddTokenized(c.opt.Tokenizer(s))
+}
+
+// AddTokenized is Add for a pre-tokenized string.
+func (c *Corpus) AddTokenized(ts token.TokenizedString) (token.StringID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return -1, errors.New("corpus: closed")
+	}
+	m := c.wal.mark()
+	c.encBuf = encodeAdd(c.encBuf, ts)
+	if err := c.wal.append(c.encBuf); err != nil {
+		// Discard any frame the failed append left behind: the string was
+		// never applied, so a replay must not see it (it would shift every
+		// later id).
+		c.wal.rollback(m)
+		return -1, err
+	}
+	return c.applyAdd(ts), nil
+}
+
+// AddTokenizedBatch appends a batch with one group-commit fsync and
+// installs every string, returning the first id (the batch occupies the
+// dense range [first, first+len(tss))).
+func (c *Corpus) AddTokenizedBatch(tss []token.TokenizedString) (token.StringID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return -1, errors.New("corpus: closed")
+	}
+	first := token.StringID(len(c.strings))
+	m := c.wal.mark()
+	for _, ts := range tss {
+		c.encBuf = encodeAdd(c.encBuf, ts)
+		if err := c.wal.appendDeferred(c.encBuf); err != nil {
+			c.wal.rollback(m) // none of the batch was applied
+			return -1, err
+		}
+	}
+	if err := c.wal.sync(); err != nil {
+		c.wal.rollback(m)
+		return -1, err
+	}
+	for _, ts := range tss {
+		c.applyAdd(ts)
+	}
+	return first, nil
+}
+
+// Delete tombstones a string: it stops participating in joins, queries
+// and future snapshots. Deleting an unknown or already-deleted id is an
+// error (and is never logged).
+func (c *Corpus) Delete(sid token.StringID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("corpus: closed")
+	}
+	if int(sid) >= len(c.strings) || sid < 0 || !c.alive[sid] {
+		return fmt.Errorf("corpus: delete of id %d: %w", sid, ErrNotFound)
+	}
+	m := c.wal.mark()
+	c.encBuf = encodeDelete(c.encBuf, sid)
+	if err := c.wal.append(c.encBuf); err != nil {
+		c.wal.rollback(m)
+		return err
+	}
+	return c.applyDelete(sid)
+}
+
+// Sync forces any batched WAL appends to stable storage.
+func (c *Corpus) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("corpus: closed")
+	}
+	return c.wal.sync()
+}
+
+// Snapshot persists the current state as a new generation: the snapshot
+// file is written atomically, a fresh WAL is started, and subsequent
+// appends go to the new generation. Older generations remain on disk
+// until Compact.
+func (c *Corpus) Snapshot() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Corpus) snapshotLocked() error {
+	if c.closed {
+		return errors.New("corpus: closed")
+	}
+	if err := c.wal.sync(); err != nil {
+		return err
+	}
+	gen := c.gen + 1
+	if err := c.writeSnapshot(gen); err != nil {
+		return err
+	}
+	w, err := newWALWriter(walPath(c.dir, gen), 0, c.opt.SyncEvery, c.opt.DisableSync)
+	if err != nil {
+		// The snapshot exists but its WAL could not be created; stay on
+		// the old generation (Open would do the same after a crash here:
+		// the new snapshot already contains every old-WAL record).
+		os.Remove(snapPath(c.dir, gen))
+		return err
+	}
+	old := c.wal
+	c.wal = w
+	c.gen = gen
+	c.snapshots++
+	c.dirty = false
+	old.close()
+	return c.syncDir()
+}
+
+// Compact snapshots and then removes older generations, retaining the
+// newest prior *valid* generation as a corruption fallback: if the
+// fresh snapshot ever fails its CRC, Open falls back to the retained
+// one and replays the WAL chain from it, losing nothing. Snapshots that
+// already failed their CRC at Open are never retained (keeping a
+// known-corrupt file as the "fallback" would void the guarantee) and
+// are removed here. Disk usage is bounded to two snapshots plus their
+// logs (transiently more while a corrupt span is being healed).
+func (c *Corpus) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.snapshotLocked(); err != nil {
+		return err
+	}
+	// The fallback generation: newest prior snapshot not known corrupt.
+	// With no valid prior snapshot the fallback is generation 0 — the
+	// WAL-only full chain — so every log is retained until a valid prior
+	// snapshot exists (the next Compact prunes them).
+	snaps, err := listGens(c.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	var keep uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if g := snaps[i]; g < c.gen && !c.corruptSnaps[g] {
+			keep = g
+			break
+		}
+	}
+	for _, g := range snaps {
+		if g < keep || (g < c.gen && c.corruptSnaps[g]) {
+			if err := os.Remove(snapPath(c.dir, g)); err != nil {
+				return err
+			}
+			delete(c.corruptSnaps, g)
+		}
+	}
+	walGens, err := listGens(c.dir, walPrefix, walSuffix)
+	if err != nil {
+		return err
+	}
+	for _, g := range walGens {
+		if g < keep {
+			if err := os.Remove(walPath(c.dir, g)); err != nil {
+				return err
+			}
+		}
+	}
+	return c.syncDir()
+}
+
+// Close flushes the WAL and releases the log file. The corpus must not
+// be used afterwards.
+func (c *Corpus) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.wal.close()
+}
+
+// Len returns the total id space (including tombstones).
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.strings)
+}
+
+// Live returns the number of non-deleted strings.
+func (c *Corpus) Live() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.live
+}
+
+// Tokenizer returns the tokenizer Add uses.
+func (c *Corpus) Tokenizer() token.Tokenizer { return c.opt.Tokenizer }
+
+// NoteJoin records one join served from the stored order (called by the
+// batch joiner).
+func (c *Corpus) NoteJoin() { c.joinsServed.Add(1) }
+
+// Stats snapshots the corpus counters.
+func (c *Corpus) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := Stats{
+		Strings:       len(c.strings),
+		Live:          c.live,
+		Tombstones:    len(c.strings) - c.live,
+		Tokens:        len(c.tokens),
+		Epoch:         c.epoch,
+		OrderRebuilds: c.reranks,
+		DriftedTokens: c.driftCount,
+		Generation:    c.gen,
+		WALReplayed:   c.walReplayed,
+		Snapshots:     c.snapshots,
+		Dirty:         c.dirty,
+		JoinsServed:   c.joinsServed.Load(),
+	}
+	if c.wal != nil {
+		st.WALRecords = c.wal.records
+		st.WALBytes = c.wal.bytes
+	}
+	return st
+}
+
+// View is a consistent point-in-time read view of the corpus: the token
+// space as a token.Corpus, the alive mask, the frozen order and the
+// rank-sorted member lists it stamps, and the inverted postings. Later
+// Adds, Deletes and re-ranks never disturb a captured view (order-bearing
+// state is replaced copy-on-write; everything else is append-only), so
+// long-running joins read it lock-free.
+type View struct {
+	TC    *token.Corpus
+	Alive []bool
+	Live  int
+	// Rank, Ranked are the epoch-stamped order: Rank maps token -> frozen
+	// rarest-first rank; Ranked[s] is s's distinct tokens sorted by it
+	// (nil for tombstones added before the capture's epoch re-ranks).
+	Rank   []int32
+	Ranked [][]token.TokenID
+	// Postings maps token -> StringIDs; entries may reference tombstoned
+	// or post-capture ids, so readers must filter by the Alive mask (and
+	// bound ids to its length).
+	Postings [][]token.StringID
+	Epoch    uint64
+}
+
+// View captures a read view.
+func (c *Corpus) View() *View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := len(c.strings)
+	nt := len(c.tokens)
+	alive := append([]bool(nil), c.alive...)
+	freq := append([]int32(nil), c.freq...)
+	posts := make([][]token.StringID, nt)
+	copy(posts, c.postings)
+	ranked := make([][]token.TokenID, n)
+	copy(ranked, c.ranked)
+	tc := token.NewCorpusView(
+		c.strings[:n:n],
+		c.tokens[:nt:nt],
+		c.tokenRunes[:nt:nt],
+		freq,
+		c.lexMembers[:n:n],
+	)
+	return &View{
+		TC:       tc,
+		Alive:    alive,
+		Live:     c.live,
+		Rank:     c.rank,
+		Ranked:   ranked,
+		Postings: posts,
+		Epoch:    c.epoch,
+	}
+}

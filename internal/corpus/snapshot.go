@@ -1,0 +1,379 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Snapshot format (version 1). All integers little-endian; varints are
+// unsigned LEB128 (encoding/binary Uvarint). The whole file is covered by
+// a trailing CRC-32C, so a half-written snapshot is never loaded — Open
+// falls back to the previous generation.
+//
+//	magic   "TSJSNAP1"                      8 bytes
+//	version uint32                          = 1
+//	gen     uint64                          generation number (matches file name)
+//	epoch   uint64                          frequency-order epoch
+//	reranks uint64                          lifetime order-rebuild count
+//	tokens  varint count, then per token:   varint len, bytes   (TokenID order)
+//	rank    per token: varint               frozen rarest-first rank
+//	frozen  per token: varint               document frequency at the last re-rank
+//	strings varint count, then per string:
+//	        flag byte (1 = alive, 0 = tombstone)
+//	        if alive: varint tokenCount, then tokenCount × varint TokenID
+//	        (the multiset in TokenizedString order; tombstones store nothing)
+//	crc32c  uint32 over everything above
+//
+// Derived state — distinct-member lists, rank-sorted member lists, the
+// inverted postings, live frequencies — is rebuilt at load time from the
+// logical state above. It is cheap (one linear pass) and rebuilding it
+// keeps the on-disk format small and free of redundancy that could
+// disagree with itself.
+
+const (
+	snapMagic   = "TSJSNAP1"
+	snapVersion = 1
+)
+
+// snapPrefix/walPrefix name generation files: snap-%016x.tsj pairs with
+// wal-%016x.log. A snapshot at generation g is the state with every record
+// of wal generations < g applied; wal-g holds mutations since.
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".tsj"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+)
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapPrefix, gen, snapSuffix))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", walPrefix, gen, walSuffix))
+}
+
+// parseGen extracts the generation from a snapshot or wal file name, or
+// ok = false for unrelated files.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	return g, err == nil
+}
+
+// listGens returns the generations present in dir for the given
+// prefix/suffix, ascending.
+func listGens(dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), prefix, suffix); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// crcWriter hashes everything written through it.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoli, p)
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) uvarint(v uint64) error {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	_, err := cw.Write(b[:n])
+	return err
+}
+
+func (cw *crcWriter) u32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := cw.Write(b[:])
+	return err
+}
+
+func (cw *crcWriter) u64(v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := cw.Write(b[:])
+	return err
+}
+
+// writeSnapshot serializes the corpus state (caller holds the corpus
+// lock) to snapPath(dir, gen) atomically: temp file, fsync, rename,
+// directory fsync.
+func (c *Corpus) writeSnapshot(gen uint64) (err error) {
+	tmp, err := os.CreateTemp(c.dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	cw := &crcWriter{w: bufio.NewWriterSize(tmp, 1<<20)}
+	if _, err = io.WriteString(cw, snapMagic); err != nil {
+		return err
+	}
+	if err = cw.u32(snapVersion); err != nil {
+		return err
+	}
+	for _, v := range []uint64{gen, c.epoch, uint64(c.reranks)} {
+		if err = cw.u64(v); err != nil {
+			return err
+		}
+	}
+	if err = cw.uvarint(uint64(len(c.tokens))); err != nil {
+		return err
+	}
+	for _, t := range c.tokens {
+		if err = cw.uvarint(uint64(len(t))); err != nil {
+			return err
+		}
+		if _, err = io.WriteString(cw, t); err != nil {
+			return err
+		}
+	}
+	for _, r := range c.rank {
+		if err = cw.uvarint(uint64(r)); err != nil {
+			return err
+		}
+	}
+	for _, f := range c.frozenFreq {
+		if err = cw.uvarint(uint64(f)); err != nil {
+			return err
+		}
+	}
+	if err = cw.uvarint(uint64(len(c.strings))); err != nil {
+		return err
+	}
+	idBuf := make([]token.TokenID, 0, 16)
+	for sid := range c.strings {
+		if !c.alive[sid] {
+			if _, err = cw.Write([]byte{0}); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err = cw.Write([]byte{1}); err != nil {
+			return err
+		}
+		ts := &c.strings[sid]
+		idBuf = c.multisetIDs(ts, sid, idBuf[:0])
+		if err = cw.uvarint(uint64(len(idBuf))); err != nil {
+			return err
+		}
+		for _, tid := range idBuf {
+			if err = cw.uvarint(uint64(tid)); err != nil {
+				return err
+			}
+		}
+	}
+	crc := cw.crc
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err = cw.w.Write(tail[:]); err != nil {
+		return err
+	}
+	if err = cw.w.Flush(); err != nil {
+		return err
+	}
+	if !c.opt.DisableSync {
+		if err = tmp.Sync(); err != nil {
+			return err
+		}
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), snapPath(c.dir, gen)); err != nil {
+		return err
+	}
+	return c.syncDir()
+}
+
+// multisetIDs maps a string's token multiset (sorted, with duplicates)
+// onto TokenIDs using the distinct member list: tokens and the distinct
+// token space are both lexicographically ordered within the string, so
+// the distinct index advances exactly when the token changes.
+func (c *Corpus) multisetIDs(ts *token.TokenizedString, sid int, buf []token.TokenID) []token.TokenID {
+	mem := c.lexMembers[sid]
+	di := 0
+	for i, t := range ts.Tokens {
+		if i > 0 && t != ts.Tokens[i-1] {
+			di++
+		}
+		buf = append(buf, mem[di])
+	}
+	return buf
+}
+
+// syncDir fsyncs the data directory so renames and creations are durable.
+func (c *Corpus) syncDir() error {
+	if c.opt.DisableSync {
+		return nil
+	}
+	d, err := os.Open(c.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// snapState is the decoded logical content of a snapshot file.
+type snapState struct {
+	gen     uint64
+	epoch   uint64
+	reranks int64
+	tokens  []string
+	rank    []int32
+	frozen  []int32
+	// strs[i] is nil for tombstones, else the multiset of TokenIDs.
+	strs  [][]token.TokenID
+	alive []bool
+}
+
+// readSnapshot loads and CRC-verifies one snapshot file.
+func readSnapshot(path string) (*snapState, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(snapMagic)+4+3*8+4 || string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, errors.New("corpus: bad snapshot header")
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, errors.New("corpus: snapshot crc mismatch")
+	}
+	p := body[len(snapMagic):]
+	if v := binary.LittleEndian.Uint32(p); v != snapVersion {
+		return nil, fmt.Errorf("corpus: unsupported snapshot version %d", v)
+	}
+	p = p[4:]
+	st := &snapState{}
+	st.gen = binary.LittleEndian.Uint64(p)
+	st.epoch = binary.LittleEndian.Uint64(p[8:])
+	st.reranks = int64(binary.LittleEndian.Uint64(p[16:]))
+	p = p[24:]
+
+	uv := func() (uint64, error) {
+		v, k := binary.Uvarint(p)
+		if k <= 0 {
+			return 0, errors.New("corpus: truncated snapshot varint")
+		}
+		p = p[k:]
+		return v, nil
+	}
+
+	// Counts are bounded by the remaining bytes (every element costs at
+	// least one byte) before they size an allocation: a corrupt count
+	// that slipped past the CRC must fail decoding, not abort the
+	// process with an absurd make().
+	nTok, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	if nTok > uint64(len(p)) {
+		return nil, errors.New("corpus: snapshot token count exceeds payload")
+	}
+	st.tokens = make([]string, nTok)
+	for i := range st.tokens {
+		l, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(p)) < l {
+			return nil, errors.New("corpus: truncated snapshot token")
+		}
+		st.tokens[i] = string(p[:l])
+		p = p[l:]
+	}
+	st.rank = make([]int32, nTok)
+	for i := range st.rank {
+		v, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		st.rank[i] = int32(v)
+	}
+	st.frozen = make([]int32, nTok)
+	for i := range st.frozen {
+		v, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		st.frozen[i] = int32(v)
+	}
+	nStr, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	if nStr > uint64(len(p)) {
+		return nil, errors.New("corpus: snapshot string count exceeds payload")
+	}
+	st.strs = make([][]token.TokenID, nStr)
+	st.alive = make([]bool, nStr)
+	for i := range st.strs {
+		if len(p) == 0 {
+			return nil, errors.New("corpus: truncated snapshot string")
+		}
+		flag := p[0]
+		p = p[1:]
+		if flag == 0 {
+			continue
+		}
+		st.alive[i] = true
+		cnt, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		if cnt > uint64(len(p)) {
+			return nil, errors.New("corpus: snapshot member count exceeds payload")
+		}
+		ids := make([]token.TokenID, cnt)
+		for j := range ids {
+			v, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if v >= nTok {
+				return nil, errors.New("corpus: snapshot token id out of range")
+			}
+			ids[j] = token.TokenID(v)
+		}
+		st.strs[i] = ids
+	}
+	if len(p) != 0 {
+		return nil, errors.New("corpus: trailing bytes in snapshot")
+	}
+	return st, nil
+}

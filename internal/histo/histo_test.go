@@ -1,0 +1,106 @@
+package histo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: lowerBoundOf inverts bucketOf, buckets are
+// monotone, and every value maps into a bucket whose bound is within the
+// documented ~9% relative error below it.
+func TestBucketRoundTrip(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		lb := lowerBoundOf(i)
+		if got := bucketOf(lb); got != i {
+			t.Fatalf("bucketOf(lowerBoundOf(%d)) = %d", i, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10000; trial++ {
+		ns := rng.Int63()
+		b := bucketOf(ns)
+		lb := lowerBoundOf(b)
+		if lb > ns {
+			t.Fatalf("lower bound %d above value %d", lb, ns)
+		}
+		if ns >= 16 && float64(ns-lb) > 0.1251*float64(ns) {
+			t.Fatalf("bucket error too large: value %d, bound %d", ns, lb)
+		}
+	}
+	// Monotonicity across bucket boundaries.
+	prev := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		lb := lowerBoundOf(i)
+		if lb <= prev {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, lb, prev)
+		}
+		prev = lb
+	}
+}
+
+// TestQuantiles: known distribution, known quantiles (within bucket
+// resolution).
+func TestQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got > tc.want || float64(tc.want-got) > 0.13*float64(tc.want) {
+			t.Fatalf("q%.2f = %v, want within ~13%% below %v", tc.q, got, tc.want)
+		}
+	}
+	if m := h.Mean(); m < 400*time.Millisecond || m > 600*time.Millisecond {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+// TestEmptyAndEdge: zero observations, zero and negative durations.
+func TestEmptyAndEdge(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if h.Count() != 2 || h.Quantile(0.5) != 0 {
+		t.Fatalf("zero/negative handling: count=%d q50=%v", h.Count(), h.Quantile(0.5))
+	}
+}
+
+// TestConcurrentObserve: racing writers and readers; total count must be
+// exact afterwards (-race covers the memory model).
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = h.Quantile(0.95)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), writers*per)
+	}
+}

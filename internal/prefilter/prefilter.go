@@ -173,6 +173,93 @@ func NewIndex(c *token.Corpus, dropped []bool, t float64) *Index {
 	return ix
 }
 
+// NewIndexFromRanked builds the pruning index from externally maintained
+// order state instead of computing it: rank maps every token to its
+// position in a fixed total order (all values >= 0; the persistent
+// corpus's epoch-stamped frozen order), and ranked[sid] holds each
+// string's distinct tokens already sorted by that order. Each string's
+// prefix is then just a slice of its ranked list — no global sort and no
+// per-string sort, which is what lets one stored order serve joins at
+// many thresholds with zero rebuilds.
+//
+// Losslessness does not require the order to be frequency-sorted: every
+// argument in this package (FirstCommon's prefix-intersection theorem and
+// Admit's positional filter) assumes only some fixed total order shared
+// by all strings. A stale order — frozen while frequencies kept drifting
+// — therefore prunes exactly as correctly as a fresh one; it may merely
+// prune less effectively. alive masks tombstoned strings (nil = all
+// alive): they get empty prefixes and zero distinct counts, so they can
+// neither emit nor admit. dropped marks tokens excluded by the
+// max-frequency cutoff, exactly as in NewIndex; dropped tokens are
+// stripped from the ranked lists before slicing, which preserves the
+// kept-token prefix semantics.
+func NewIndexFromRanked(c *token.Corpus, dropped []bool, rank []int32, ranked [][]token.TokenID, alive []bool, t float64) *Index {
+	ix := &Index{
+		c:        c,
+		t:        t,
+		rank:     make([]int32, c.NumTokens()),
+		prefix:   make([][]token.TokenID, c.NumStrings()),
+		distinct: make([]int32, c.NumStrings()),
+		aggLen:   make([]int32, c.NumStrings()),
+	}
+	anyDropped := false
+	for tid := 0; tid < c.NumTokens(); tid++ {
+		if dropped != nil && dropped[tid] {
+			ix.rank[tid] = -1
+			anyDropped = true
+		} else {
+			ix.rank[tid] = rank[tid]
+		}
+	}
+	maxLen := 0
+	for sid := range c.Strings {
+		if alive != nil && !alive[sid] {
+			continue
+		}
+		l := c.Strings[sid].AggregateLen()
+		ix.aggLen[sid] = int32(l)
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	ix.budgetBySum = make([]int, 2*maxLen+1)
+	for sum := range ix.budgetBySum {
+		ix.budgetBySum[sum] = core.MaxSLDWithin(t, sum, 0)
+	}
+	var scratch []token.TokenID
+	for sid := range ranked {
+		if alive != nil && !alive[sid] {
+			continue
+		}
+		list := ranked[sid]
+		if anyDropped {
+			// Strip dropped tokens; the remainder keeps its rank order.
+			scratch = scratch[:0]
+			for _, tid := range list {
+				if ix.rank[tid] >= 0 {
+					scratch = append(scratch, tid)
+				}
+			}
+			list = scratch
+		}
+		ix.distinct[sid] = int32(len(list))
+		p := PrefixLen(t, int(ix.aggLen[sid]), len(list))
+		if p == 0 {
+			continue
+		}
+		if anyDropped && len(list) != len(ranked[sid]) {
+			// The filtered list lives in scratch; the prefix needs its own
+			// storage.
+			ix.prefix[sid] = append([]token.TokenID(nil), list[:p]...)
+		} else {
+			// Common case (no cutoff in play): share the stored list. The
+			// caller guarantees it is never mutated after capture.
+			ix.prefix[sid] = ranked[sid][:p:p]
+		}
+	}
+	return ix
+}
+
 // Prefix returns the string's prefix tokens (rank-ascending). The caller
 // must not mutate the returned slice.
 func (ix *Index) Prefix(sid token.StringID) []token.TokenID { return ix.prefix[sid] }

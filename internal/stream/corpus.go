@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/token"
+)
+
+// NewShardedFromCorpus builds a concurrent matcher over a persistent
+// corpus: the corpus's strings are bulk-loaded into the sharded index
+// (index-only — warm loading never generates or verifies candidates, so
+// a restart costs one linear pass over local state instead of re-serving
+// the ingest traffic), ids are the corpus's StringIDs, and the matcher
+// stays attached: every subsequent Add/AddAll first appends to the
+// corpus WAL — durability precedes visibility — then indexes. Tombstoned
+// corpus ids keep their slot in the id space but are neither indexed nor
+// matchable.
+//
+// While a matcher is attached, route all writes through it; adding to
+// the corpus directly would desynchronize the id spaces (the matcher
+// detects the drift and fails the write rather than corrupt results).
+func NewShardedFromCorpus(opt Options, shards int, pc *corpus.Corpus) (*ShardedMatcher, error) {
+	m, err := NewShardedMatcher(opt, shards)
+	if err != nil {
+		return nil, err
+	}
+	v := pc.View()
+	per := make([][]probeToken, len(m.shards))
+	for sid := range v.TC.Strings {
+		ts := v.TC.Strings[sid]
+		if !v.Alive[sid] {
+			m.loadTombstone()
+			continue
+		}
+		m.loadTokenized(ts, per)
+	}
+	m.corpus = pc
+	return m, nil
+}
+
+// loadTokenized appends one string to the index without matching it
+// (warm-load path; the caller is single-threaded at construction time).
+// per is caller-owned per-shard grouping scratch, reused across strings
+// so the restart path does not allocate per token.
+func (m *ShardedMatcher) loadTokenized(ts token.TokenizedString, per [][]probeToken) {
+	id := int32(len(m.strings))
+	m.strings = append(m.strings, ts)
+	m.dead = append(m.dead, false)
+	if ts.Count() == 0 {
+		m.emptyIDs = append(m.emptyIDs, id)
+		return
+	}
+	m.insertProbe(distinctProbe(ts), id, per, false)
+}
+
+// loadTombstone reserves an id for a deleted corpus string: it occupies
+// its slot (keeping matcher ids equal to corpus StringIDs) but is not
+// indexed and never matches — not even as an empty string.
+func (m *ShardedMatcher) loadTombstone() {
+	m.strings = append(m.strings, token.TokenizedString{})
+	m.dead = append(m.dead, true)
+}
+
+// Delete tombstones a string in the live index (it stops matching
+// immediately) and, on a corpus-backed matcher, durably in the WAL.
+// This is the delete path to use while a matcher is attached — deleting
+// straight on the corpus would leave the live index serving the string
+// until the next restart. Safe for concurrent use.
+func (m *ShardedMatcher) Delete(id int) error {
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
+	m.mu.RLock()
+	n := len(m.strings)
+	m.mu.RUnlock()
+	if id < 0 || id >= n {
+		return fmt.Errorf("stream: delete of id %d: %w", id, corpus.ErrNotFound)
+	}
+	if m.corpus != nil {
+		// The corpus rejects double deletes (with ErrNotFound), keeping
+		// the two id spaces' tombstone sets identical.
+		if err := m.corpus.Delete(token.StringID(id)); err != nil {
+			return err
+		}
+	} else if m.isDead(id) {
+		return fmt.Errorf("stream: delete of id %d: %w", id, corpus.ErrNotFound)
+	}
+	// Copy-on-write: concurrent queries hold snapshots of both slices.
+	m.mu.Lock()
+	dead := append([]bool(nil), m.dead...)
+	dead[id] = true
+	m.dead = dead
+	if m.strings[id].Count() == 0 {
+		empties := make([]int32, 0, len(m.emptyIDs))
+		for _, e := range m.emptyIDs {
+			if e != int32(id) {
+				empties = append(empties, e)
+			}
+		}
+		m.emptyIDs = empties
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// isDead reports whether id is tombstoned.
+func (m *ShardedMatcher) isDead(id int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.dead[id]
+}
+
+// Corpus returns the attached persistent corpus (nil for a purely
+// in-memory matcher).
+func (m *ShardedMatcher) Corpus() *corpus.Corpus { return m.corpus }
+
+// AddDurable is Add with the persistence error surfaced: the record is
+// appended to the attached corpus's WAL (fsynced per its policy) before
+// the string becomes visible to queries. On a persistence failure
+// nothing is indexed and id is -1. Without an attached corpus it behaves
+// exactly like Add.
+func (m *ShardedMatcher) AddDurable(s string) (int, []Match, error) {
+	ts := m.opt.Tokenizer(s)
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
+	if err := m.persist(ts); err != nil {
+		return -1, nil, err
+	}
+	id, matches := m.addTokenized(ts)
+	return id, matches, nil
+}
+
+// AddAllDurable is AddAll with the persistence error surfaced. The whole
+// batch is appended to the WAL with one group-commit fsync before any
+// element becomes visible; on failure nothing is indexed.
+func (m *ShardedMatcher) AddAllDurable(names []string) (int, [][]Match, error) {
+	toks := make([]token.TokenizedString, len(names))
+	for i, s := range names {
+		toks[i] = m.opt.Tokenizer(s)
+	}
+	matches := make([][]Match, len(names))
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
+	if m.corpus != nil {
+		if err := m.checkAligned(); err != nil {
+			return -1, nil, err
+		}
+		if _, err := m.corpus.AddTokenizedBatch(toks); err != nil {
+			return -1, nil, err
+		}
+	}
+	m.mu.RLock()
+	first := len(m.strings)
+	m.mu.RUnlock()
+	for i, ts := range toks {
+		_, matches[i] = m.addTokenized(ts)
+	}
+	return first, matches, nil
+}
+
+// persist appends one add record to the attached corpus (no-op when
+// detached). The caller holds addMu.
+func (m *ShardedMatcher) persist(ts token.TokenizedString) error {
+	if m.corpus == nil {
+		return nil
+	}
+	if err := m.checkAligned(); err != nil {
+		return err
+	}
+	_, err := m.corpus.AddTokenized(ts)
+	return err
+}
+
+// checkAligned verifies the corpus and matcher id spaces still agree
+// (they drift only if a writer bypassed the matcher).
+func (m *ShardedMatcher) checkAligned() error {
+	m.mu.RLock()
+	n := len(m.strings)
+	m.mu.RUnlock()
+	if cn := m.corpus.Len(); cn != n {
+		return fmt.Errorf("stream: corpus id space (%d) out of step with matcher (%d); write through the matcher only", cn, n)
+	}
+	return nil
+}

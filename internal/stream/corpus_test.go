@@ -1,0 +1,311 @@
+package stream
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/namegen"
+)
+
+// TestRestartEquivalence is the warm-restart property test of the
+// persistence acceptance criteria: kill a corpus-backed sharded matcher
+// (gracefully and by crash), reopen the corpus — snapshot + WAL tail
+// replay — rebuild the matcher from it, and every Query must return
+// byte-identical results to a matcher that never restarted. A snapshot
+// is taken mid-stream so the recovery path exercises snapshot + WAL
+// tail, not just one of them.
+func TestRestartEquivalence(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 71, NumNames: 220})
+	probes := append(namegen.Generate(namegen.Config{Seed: 72, NumNames: 50}), names[:25]...)
+	const threshold = 0.2
+
+	for _, graceful := range []bool{true, false} {
+		// Control: never restarted, never persisted.
+		control, err := NewShardedMatcher(Options{Threshold: threshold}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer control.Close()
+
+		dir := t.TempDir()
+		pc, err := corpus.Open(dir, corpus.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewShardedFromCorpus(Options{Threshold: threshold}, 4, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range names {
+			wantID, want := control.Add(n)
+			id, got, err := m.AddDurable(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != wantID || !matchesEqual(want, got) {
+				t.Fatalf("add %d %q: durable (%d, %v) != control (%d, %v)", i, n, id, got, wantID, want)
+			}
+			if i == len(names)/2 {
+				if err := pc.Snapshot(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Kill. Graceful closes flush and release; the crash variant
+		// abandons the handles (SyncEvery=1 made every record durable).
+		m.Close()
+		if graceful {
+			if err := pc.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Warm restart: snapshot + WAL replay, index-only rebuild.
+		pc2, err := corpus.Open(dir, corpus.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := NewShardedFromCorpus(Options{Threshold: threshold}, 2, pc2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Len() != control.Len() {
+			t.Fatalf("graceful=%v: restarted Len = %d, want %d", graceful, m2.Len(), control.Len())
+		}
+		for _, p := range probes {
+			want := control.Query(p)
+			got := m2.Query(p)
+			if !matchesEqual(want, got) {
+				t.Fatalf("graceful=%v: query %q: restarted %v != control %v", graceful, p, got, want)
+			}
+		}
+		// The restarted matcher keeps accepting durable writes that match
+		// the control stream.
+		extra := namegen.Generate(namegen.Config{Seed: 73, NumNames: 20})
+		for _, n := range extra {
+			wantID, want := control.Add(n)
+			id, got, err := m2.AddDurable(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != wantID || !matchesEqual(want, got) {
+				t.Fatalf("graceful=%v: post-restart add %q diverged", graceful, n)
+			}
+		}
+		m2.Close()
+		pc2.Close()
+	}
+}
+
+// TestRestartEquivalenceTornTail: a crash that tears the last WAL frame
+// loses exactly that suffix — the reopened matcher behaves like the
+// control matcher fed everything but the torn records.
+func TestRestartEquivalenceTornTail(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 74, NumNames: 120})
+	const threshold = 0.2
+
+	dir := t.TempDir()
+	pc, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewShardedFromCorpus(Options{Threshold: threshold}, 3, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, _, err := m.AddDurable(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	// Crash: no corpus Close; then the tail of the log is torn mid-frame.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walFile string
+	for _, e := range ents {
+		if len(e.Name()) > 4 && e.Name()[:4] == "wal-" {
+			walFile = dir + string(os.PathSeparator) + e.Name()
+		}
+	}
+	fi, err := os.Stat(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walFile, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	pc2, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc2.Close()
+	m2, err := NewShardedFromCorpus(Options{Threshold: threshold}, 3, pc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != len(names)-1 {
+		t.Fatalf("torn tail: Len = %d, want %d", m2.Len(), len(names)-1)
+	}
+	control, err := NewShardedMatcher(Options{Threshold: threshold}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	for _, n := range names[:len(names)-1] {
+		control.Add(n)
+	}
+	for _, p := range names[:30] {
+		if want, got := control.Query(p), m2.Query(p); !matchesEqual(want, got) {
+			t.Fatalf("torn tail query %q: %v != %v", p, got, want)
+		}
+	}
+}
+
+// TestCorpusBackedDeletes: tombstoned corpus ids keep their slot in the
+// warm-loaded id space but never match, and a token-less live string
+// still does.
+func TestCorpusBackedDeletes(t *testing.T) {
+	dir := t.TempDir()
+	pc, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewShardedFromCorpus(Options{Threshold: 0.2}, 2, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"john smith", "jon smith", "...", "ann lee"} {
+		if _, _, err := m.AddDurable(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	if err := pc.Delete(0); err != nil { // tombstone "john smith"
+		t.Fatal(err)
+	}
+	pc.Close()
+
+	pc2, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc2.Close()
+	m2, err := NewShardedFromCorpus(Options{Threshold: 0.2}, 2, pc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (tombstone keeps its slot)", m2.Len())
+	}
+	got := m2.Query("jon smith")
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("query must match only the live variant: %v", got)
+	}
+	if got := m2.Query("---"); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("empty query must match the live empty string only: %v", got)
+	}
+}
+
+// TestLiveDelete: ShardedMatcher.Delete tombstones a string in the live
+// index immediately (no restart needed), durably when corpus-backed, and
+// the restarted matcher agrees.
+func TestLiveDelete(t *testing.T) {
+	dir := t.TempDir()
+	pc, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewShardedFromCorpus(Options{Threshold: 0.2}, 2, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"john smith", "jon smith", "...", "ann lee"} {
+		if _, _, err := m.AddDurable(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Query("jon smith"); len(got) != 2 {
+		t.Fatalf("pre-delete query: %v", got)
+	}
+	if err := m.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(0); err == nil {
+		t.Fatal("double delete must fail")
+	}
+	if err := m.Delete(99); err == nil {
+		t.Fatal("out-of-range delete must fail")
+	}
+	if got := m.Query("jon smith"); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("live delete not effective: %v", got)
+	}
+	if err := m.Delete(2); err != nil { // the empty string
+		t.Fatal(err)
+	}
+	if got := m.Query("---"); len(got) != 0 {
+		t.Fatalf("deleted empty string still matches: %v", got)
+	}
+	m.Close()
+	pc.Close()
+
+	// The deletes were WAL-durable: a warm restart agrees exactly.
+	pc2, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc2.Close()
+	m2, err := NewShardedFromCorpus(Options{Threshold: 0.2}, 3, pc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.Query("jon smith"); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("restarted delete state differs: %v", got)
+	}
+
+	// Detached matchers delete in-memory only, with the same semantics.
+	mm, err := NewShardedMatcher(Options{Threshold: 0.2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	mm.Add("john smith")
+	mm.Add("jon smith")
+	if err := mm.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := mm.Query("john smith"); len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("in-memory delete: %v", got)
+	}
+}
+
+// TestCorpusAlignmentGuard: writes that bypass the matcher are detected
+// instead of silently corrupting the id space.
+func TestCorpusAlignmentGuard(t *testing.T) {
+	pc, err := corpus.Open(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	m, err := NewShardedFromCorpus(Options{Threshold: 0.2}, 2, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, _, err := m.AddDurable("a name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Add("bypassing writer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AddDurable("another name"); err == nil {
+		t.Fatal("desynchronized corpus must fail the durable add")
+	}
+}

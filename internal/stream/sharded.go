@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/token"
 )
 
@@ -30,13 +31,19 @@ type ShardedMatcher struct {
 	shards []*shard
 	pool   *workerPool
 
+	// corpus, when non-nil, is the durable backing store: Add/AddAll
+	// append to its WAL before indexing (see NewShardedFromCorpus).
+	corpus *corpus.Corpus
+
 	// addMu serializes writers so ids are dense and match results are
 	// deterministic; it is never held by pool workers.
 	addMu sync.Mutex
-	// mu guards the strings and emptyIDs slice headers. Elements are
-	// immutable once appended, so readers may retain snapshots.
+	// mu guards the strings, dead and emptyIDs slice headers. strings
+	// elements are immutable once appended and dead/emptyIDs are replaced
+	// copy-on-write by Delete, so readers may retain snapshots.
 	mu       sync.RWMutex
 	strings  []token.TokenizedString
+	dead     []bool
 	emptyIDs []int32
 
 	// verPool lends one verification engine (scratch matrices, Hungarian
@@ -151,31 +158,28 @@ func (m *ShardedMatcher) Close() {
 
 // Add matches s against everything previously added, then indexes it,
 // returning the new string's id and the matches sorted by id. Safe for
-// concurrent use; concurrent Adds are serialized in arrival order.
+// concurrent use; concurrent Adds are serialized in arrival order. On a
+// corpus-backed matcher the record is WAL-appended first; a persistence
+// failure returns (-1, nil) — callers that need the error use AddDurable.
 func (m *ShardedMatcher) Add(s string) (int, []Match) {
-	ts := m.opt.Tokenizer(s)
-	m.addMu.Lock()
-	defer m.addMu.Unlock()
-	return m.addTokenized(ts)
+	id, matches, err := m.AddDurable(s)
+	if err != nil {
+		return -1, nil
+	}
+	return id, matches
 }
 
 // AddAll adds a batch atomically with respect to other writers: the batch
 // occupies the dense id range [first, first+len(names)). Element i of the
 // returned slice holds the matches of names[i] — including matches to
-// earlier names of the same batch.
+// earlier names of the same batch. On a corpus-backed matcher the whole
+// batch is WAL-appended (one group-commit fsync) before any element is
+// indexed; a persistence failure returns (-1, nil) — callers that need
+// the error use AddAllDurable.
 func (m *ShardedMatcher) AddAll(names []string) (first int, matches [][]Match) {
-	toks := make([]token.TokenizedString, len(names))
-	for i, s := range names {
-		toks[i] = m.opt.Tokenizer(s)
-	}
-	matches = make([][]Match, len(names))
-	m.addMu.Lock()
-	defer m.addMu.Unlock()
-	m.mu.RLock()
-	first = len(m.strings)
-	m.mu.RUnlock()
-	for i, ts := range toks {
-		_, matches[i] = m.addTokenized(ts)
+	first, matches, err := m.AddAllDurable(names)
+	if err != nil {
+		return -1, nil
 	}
 	return first, matches
 }
@@ -202,6 +206,7 @@ func (m *ShardedMatcher) addTokenized(ts token.TokenizedString) (int, []Match) {
 	m.mu.Lock()
 	id := int32(len(m.strings))
 	m.strings = append(m.strings, ts)
+	m.dead = append(m.dead, false)
 	if ts.Count() == 0 {
 		m.emptyIDs = append(m.emptyIDs, id)
 	}
@@ -209,29 +214,47 @@ func (m *ShardedMatcher) addTokenized(ts token.TokenizedString) (int, []Match) {
 	if ts.Count() == 0 {
 		return int(id), matches
 	}
-	if n := len(m.shards); n == 1 {
+	m.insertProbe(probe, id, nil, true)
+	return int(id), matches
+}
+
+// insertProbe registers id under the probe tokens on their owning
+// shards, grouping the tokens so each shard is visited (and, with lock,
+// write-locked) exactly once. per is optional caller-owned grouping
+// scratch with one bucket per shard, reused across calls by the
+// warm-load path; nil allocates locally. lock is false only while the
+// matcher is still private to its constructor.
+func (m *ShardedMatcher) insertProbe(probe []probeToken, id int32, per [][]probeToken, lock bool) {
+	if len(m.shards) == 1 {
 		sh := m.shards[0]
-		sh.mu.Lock()
-		sh.ix.insert(probe, id)
-		sh.mu.Unlock()
-	} else {
-		// Group the tokens by owning shard, then take each write lock once.
-		per := make([][]probeToken, len(m.shards))
-		for _, p := range probe {
-			si := shardOf(p.s, len(m.shards))
-			per[si] = append(per[si], p)
-		}
-		for si, ps := range per {
-			if len(ps) == 0 {
-				continue
-			}
-			sh := m.shards[si]
+		if lock {
 			sh.mu.Lock()
-			sh.ix.insert(ps, id)
+			defer sh.mu.Unlock()
+		}
+		sh.ix.insert(probe, id)
+		return
+	}
+	if per == nil {
+		per = make([][]probeToken, len(m.shards))
+	}
+	for _, p := range probe {
+		si := shardOf(p.s, len(m.shards))
+		per[si] = append(per[si], p)
+	}
+	for si, ps := range per {
+		if len(ps) == 0 {
+			continue
+		}
+		sh := m.shards[si]
+		if lock {
+			sh.mu.Lock()
+		}
+		sh.ix.insert(ps, id)
+		if lock {
 			sh.mu.Unlock()
 		}
+		per[si] = ps[:0]
 	}
-	return int(id), matches
 }
 
 // match generates candidates on every shard through the worker pool,
@@ -343,10 +366,12 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 	cands = slices.Compact(cands)
 	m.candGenWall.Add(int64(time.Since(genStart)))
 
-	// Snapshot the strings after generation: every candidate id was
-	// appended to strings before it reached any posting list.
+	// Snapshot the strings (and the tombstone mask) after generation:
+	// every candidate id was appended to strings before it reached any
+	// posting list, and dead always has the same length.
 	m.mu.RLock()
 	strs := m.strings
+	dead := m.dead
 	m.mu.RUnlock()
 
 	// ---- Verify ----------------------------------------------------------
@@ -360,7 +385,7 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		chunks = len(m.shards)
 	}
 	if chunks <= 1 {
-		return m.verifyChunk(ts, strs, cands)
+		return m.verifyChunk(ts, strs, dead, cands)
 	}
 	parts := make([][]Match, chunks)
 	wg.Add(chunks)
@@ -370,7 +395,7 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		part, chunk := &parts[c], cands[lo:hi]
 		m.pool.submit(func() {
 			defer wg.Done()
-			*part = m.verifyChunk(ts, strs, chunk)
+			*part = m.verifyChunk(ts, strs, dead, chunk)
 		})
 	}
 	wg.Wait()
@@ -383,12 +408,16 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 
 // verifyChunk filters and verifies one ascending run of candidate ids
 // with a pooled verification engine, batching the stats counters so the
-// atomics are touched once per chunk, not once per pair.
-func (m *ShardedMatcher) verifyChunk(ts token.TokenizedString, strs []token.TokenizedString, cands []int32) []Match {
+// atomics are touched once per chunk, not once per pair. Tombstoned ids
+// (dead) are skipped — their posting entries linger until a restart.
+func (m *ShardedMatcher) verifyChunk(ts token.TokenizedString, strs []token.TokenizedString, dead []bool, cands []int32) []Match {
 	ver := m.verPool.Get().(*core.Verifier)
 	var out []Match
 	var verified, budgetPruned int64
 	for _, cand := range cands {
+		if dead[cand] {
+			continue
+		}
 		mt, ok, oc := verifyPair(ver, ts, strs[cand], cand, &m.opt)
 		if oc.verified {
 			verified++

@@ -1,6 +1,9 @@
 package token
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // StringID identifies a tokenized string within a Corpus. The joining
 // pipeline ships IDs (augmented with lengths and histograms) instead of the
@@ -25,9 +28,13 @@ type Corpus struct {
 	// least once (document frequency, used for the max-frequency cutoff M
 	// of Sec. III-G.2 and for the IDF weights of the fuzzy set measures).
 	Freq []int32
-	// Members[s] lists the distinct TokenIDs of string s, ascending.
-	Members [][]TokenID
-	tokenID map[string]TokenID
+	// Members[s] lists the distinct TokenIDs of string s, in the
+	// lexicographic order of their token strings (for BuildCorpus corpora,
+	// whose ids are assigned lexicographically, that is also ascending id
+	// order).
+	Members     [][]TokenID
+	tokenID     map[string]TokenID
+	tokenIDOnce sync.Once
 }
 
 // BuildCorpus tokenizes raw strings and assembles the corpus and its token
@@ -88,8 +95,40 @@ func BuildCorpusFromTokenized(strs []TokenizedString) *Corpus {
 	return BuildCorpus(raw, Whitespace)
 }
 
-// TokenIDOf returns the TokenID for a token string, if present.
+// NewCorpusView assembles a Corpus from externally maintained state (the
+// persistent corpus of internal/corpus exposes its token space this way so
+// the batch joiner can run on it without rebuilding anything). Unlike
+// BuildCorpus, token ids follow the caller's interning order rather than
+// lexicographic order; members[s] must hold string s's distinct TokenIDs
+// in the lexicographic order of their token strings — the invariant
+// consumers of Members actually rely on (the id-expansion walk advances a
+// distinct cursor whenever the sorted token changes), and the one
+// BuildCorpus's lexicographic ids provide for free. The intern map is
+// built lazily on the first TokenIDOf call, so views captured per join
+// never pay for it (the join pipeline works on ids throughout).
+func NewCorpusView(strings []TokenizedString, tokens []string, tokenRunes [][]rune, freq []int32, members [][]TokenID) *Corpus {
+	return &Corpus{
+		Strings:    strings,
+		Tokens:     tokens,
+		TokenRunes: tokenRunes,
+		Freq:       freq,
+		Members:    members,
+	}
+}
+
+// TokenIDOf returns the TokenID for a token string, if present. Safe for
+// concurrent use (the lazy intern-map build is synchronized).
 func (c *Corpus) TokenIDOf(t string) (TokenID, bool) {
+	c.tokenIDOnce.Do(func() {
+		if c.tokenID != nil {
+			return // BuildCorpus filled it eagerly
+		}
+		m := make(map[string]TokenID, len(c.Tokens))
+		for id, tok := range c.Tokens {
+			m[tok] = TokenID(id)
+		}
+		c.tokenID = m
+	})
 	id, ok := c.tokenID[t]
 	return id, ok
 }

@@ -1,0 +1,247 @@
+package tsj
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/namegen"
+	"repro/internal/token"
+)
+
+// openSeeded opens a persistent corpus in a temp dir and adds names.
+func openSeeded(t *testing.T, names []string, opt corpus.Options) *corpus.Corpus {
+	t.Helper()
+	opt.DisableSync = true
+	pc, err := corpus.Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	for _, n := range names {
+		if _, err := pc.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pc
+}
+
+// TestPrefixEquivalenceStaleCorpusOrder is the staleness property test of
+// the incremental prefix maintenance: a corpus whose frequency order is
+// maximally stale (re-ranking disabled, so the order froze at the very
+// first epoch while document frequencies kept drifting for hundreds of
+// adds) must join exactly like the unfiltered per-call pipeline, at every
+// threshold and under both matching modes. This is the "stale-but-wider
+// prefixes never drop a similar pair" guarantee: prefixes sliced from a
+// stale order are still exact heads under one fixed total order, which is
+// all the prefilter's losslessness needs.
+func TestPrefixEquivalenceStaleCorpusOrder(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 61, NumNames: 300})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	for _, slack := range []float64{-1, 0} { // never re-rank vs default policy
+		pc := openSeeded(t, names, corpus.Options{RerankSlack: slack})
+		if slack < 0 {
+			if got := pc.Stats().OrderRebuilds; got != 0 {
+				t.Fatalf("slack<0: %d re-ranks", got)
+			}
+		}
+		for _, th := range []float64{0.1, 0.25, 0.4} {
+			for _, mt := range []Matching{FuzzyTokenMatching, ExactTokenMatching} {
+				opts := DefaultOptions()
+				opts.Threshold = th
+				opts.Matching = mt
+				opts.MaxTokenFreq = 0
+
+				opts.DisablePrefixFilter = true
+				plain, _, err := SelfJoin(c, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.DisablePrefixFilter = false
+				got, gst, err := SelfJoinCorpus(pc, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(plain, got) {
+					t.Fatalf("slack=%v t=%.2f %v: stale-order corpus join differs (%d vs %d pairs)",
+						slack, th, mt, len(got), len(plain))
+				}
+				if gst.SharedTokenCandidates == 0 && len(plain) > 0 {
+					t.Fatalf("slack=%v t=%.2f: no shared-token candidates generated", slack, th)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixEquivalenceCorpusMaxFreqCutoff: the stored-order prefixes
+// compose with the high-frequency cutoff M exactly like the per-call
+// pipeline (prefixes over kept tokens only).
+func TestPrefixEquivalenceCorpusMaxFreqCutoff(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 62, NumNames: 300})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	pc := openSeeded(t, names, corpus.Options{})
+	for _, maxFreq := range []int{3, 10, 50} {
+		opts := DefaultOptions()
+		opts.Threshold = 0.25
+		opts.MaxTokenFreq = maxFreq
+		want, _, err := SelfJoin(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := SelfJoinCorpus(pc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("M=%d: corpus join differs under the cutoff (%d vs %d pairs)",
+				maxFreq, len(got), len(want))
+		}
+	}
+}
+
+// TestSelfJoinCorpusZeroRebuilds is the reusable-asset acceptance
+// property: joins at several thresholds on one opened corpus perform zero
+// frequency-order rebuilds — the corpus's OrderRebuilds counter is
+// untouched by joining (only Adds may re-rank) while every join still
+// returns the exact result set.
+func TestSelfJoinCorpusZeroRebuilds(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 63, NumNames: 400})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	pc := openSeeded(t, names, corpus.Options{})
+	before := pc.Stats()
+	if before.OrderRebuilds == 0 {
+		t.Fatal("seeding 400 names should have re-ranked at least once (policy sanity)")
+	}
+	for _, th := range []float64{0.1, 0.3} {
+		opts := DefaultOptions()
+		opts.Threshold = th
+		opts.MaxTokenFreq = 0
+		want, _, err := SelfJoin(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := SelfJoinCorpus(pc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("t=%.2f: corpus join differs (%d vs %d pairs)", th, len(got), len(want))
+		}
+	}
+	after := pc.Stats()
+	if after.OrderRebuilds != before.OrderRebuilds {
+		t.Fatalf("joins rebuilt the frequency order: %d -> %d",
+			before.OrderRebuilds, after.OrderRebuilds)
+	}
+	if after.Epoch != before.Epoch {
+		t.Fatalf("joins advanced the epoch: %d -> %d", before.Epoch, after.Epoch)
+	}
+	if after.JoinsServed != before.JoinsServed+2 {
+		t.Fatalf("JoinsServed = %d, want %d", after.JoinsServed, before.JoinsServed+2)
+	}
+}
+
+// TestSelfJoinCorpusDeletes: tombstoned strings vanish from the join —
+// the result set equals the full join restricted to live pairs, ids
+// preserved.
+func TestSelfJoinCorpusDeletes(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 64, NumNames: 250})
+	c := token.BuildCorpus(names, token.WhitespaceAndPunct)
+	pc := openSeeded(t, names, corpus.Options{})
+	deleted := map[token.StringID]bool{}
+	for _, sid := range []token.StringID{0, 7, 100, 101, 249} {
+		if err := pc.Delete(sid); err != nil {
+			t.Fatal(err)
+		}
+		deleted[sid] = true
+	}
+	opts := DefaultOptions()
+	opts.Threshold = 0.25
+	opts.MaxTokenFreq = 0 // unlimited, so live-restriction is exact
+	full, _, err := SelfJoin(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Result
+	for _, r := range full {
+		if !deleted[r.A] && !deleted[r.B] {
+			want = append(want, r)
+		}
+	}
+	got, _, err := SelfJoinCorpus(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("test corpus produced no surviving pairs; pick better seeds")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("deleted-aware join differs (%d vs %d pairs)", len(got), len(want))
+	}
+}
+
+// TestSelfJoinCorpusAcrossRestart: a reopened corpus (snapshot + WAL
+// replay) joins identically to the never-closed one.
+func TestSelfJoinCorpusAcrossRestart(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 65, NumNames: 200})
+	dir := t.TempDir()
+	pc, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		if _, err := pc.Add(n); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(names)/2 {
+			if err := pc.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	opts := DefaultOptions()
+	opts.Threshold = 0.2
+	opts.MaxTokenFreq = 0
+	want, _, err := SelfJoinCorpus(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.Close()
+
+	r, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, _, err := SelfJoinCorpus(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("restarted corpus join differs (%d vs %d pairs)", len(got), len(want))
+	}
+}
+
+// TestSelfJoinCorpusEmpty: joining an empty corpus is a no-op, and
+// token-less strings pair up exactly as in the per-call pipeline.
+func TestSelfJoinCorpusEmpty(t *testing.T) {
+	pc := openSeeded(t, nil, corpus.Options{})
+	opts := DefaultOptions()
+	res, _, err := SelfJoinCorpus(pc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty corpus joined to %d pairs", len(res))
+	}
+
+	pc2 := openSeeded(t, []string{"...", "---", "real name"}, corpus.Options{})
+	res, _, err = SelfJoinCorpus(pc2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].A != 0 || res[0].B != 1 {
+		t.Fatalf("token-less pairing: %v", res)
+	}
+}

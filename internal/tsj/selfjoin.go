@@ -145,6 +145,23 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 	}
 
 	// ---- Job 3: de-duplicate + filter + verify (Sec. III-E/F/G.3) -------
+	verified := dedupVerify(candidates, ver, opts, engCfg, st)
+
+	results = append(results, verified...)
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].A != results[j].A {
+			return results[i].A < results[j].A
+		}
+		return results[i].B < results[j].B
+	})
+	return results, st, nil
+}
+
+// dedupVerify runs the final de-duplicate + filter + verify job on a raw
+// candidate list and folds the verifier counters into st. Shared by the
+// per-call SelfJoin/Join pipelines and the persistent-corpus join.
+func dedupVerify(candidates []uint64, ver *verifier, opts Options,
+	engCfg func(string) mapreduce.Config, st *Stats) []Result {
 	var verified []Result
 	var st3 *mapreduce.Stats
 	switch opts.Dedup {
@@ -200,15 +217,7 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 	st.Verified = ver.verified.Load()
 	st.BudgetPruned = ver.budgetPruned.Load()
 	st.Results = ver.results.Load() + st.EmptyStringPairs
-
-	results = append(results, verified...)
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].A != results[j].A {
-			return results[i].A < results[j].A
-		}
-		return results[i].B < results[j].B
-	})
-	return results, st, nil
+	return verified
 }
 
 // similarTokenCandidates runs the token-space NLD join (MassJoin) and
@@ -217,11 +226,26 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 // next job's map phase: its cost is exactly the number of candidate
 // records produced, which the dedup job's map accounting charges.
 func similarTokenCandidates(c *token.Corpus, dropped []bool, opts Options, st *Stats) []uint64 {
-	// Compact the kept token space for the join.
+	return similarTokenCandidatesPostings(c, dropped, nil, nil, opts, st)
+}
+
+// similarTokenCandidatesPostings is similarTokenCandidates with
+// externally maintained postings (the persistent corpus's inverted
+// index) and an alive mask for tombstoned strings. postings == nil
+// rebuilds them from the member lists; alive == nil means every string
+// is live. Externally maintained posting lists may contain tombstoned
+// ids and ids minted after the caller's view was captured — both are
+// filtered here.
+func similarTokenCandidatesPostings(c *token.Corpus, dropped []bool,
+	postings [][]token.StringID, alive []bool, opts Options, st *Stats) []uint64 {
+	// Compact the kept token space for the join. Tokens whose live
+	// document frequency reached zero (every containing string deleted)
+	// cannot produce candidates; skipping them keeps the NLD join off the
+	// graveyard token space.
 	keptIdx := make([]token.TokenID, 0, c.NumTokens())
 	keptRunes := make([][]rune, 0, c.NumTokens())
 	for tid := 0; tid < c.NumTokens(); tid++ {
-		if !dropped[tid] {
+		if !dropped[tid] && c.Freq[tid] > 0 {
 			keptIdx = append(keptIdx, token.TokenID(tid))
 			keptRunes = append(keptRunes, c.TokenRunes[tid])
 		}
@@ -237,12 +261,17 @@ func similarTokenCandidates(c *token.Corpus, dropped []bool, opts Options, st *S
 	st.Pipeline.Merge(pipe)
 	st.SimilarTokenPairs = int64(len(pairs))
 
-	// Postings: token -> string ids containing it (inverted Members).
-	postings := make([][]token.StringID, c.NumTokens())
-	for sid, mem := range c.Members {
-		for _, tid := range mem {
-			postings[tid] = append(postings[tid], token.StringID(sid))
+	if postings == nil {
+		// Postings: token -> string ids containing it (inverted Members).
+		postings = make([][]token.StringID, c.NumTokens())
+		for sid, mem := range c.Members {
+			for _, tid := range mem {
+				postings[tid] = append(postings[tid], token.StringID(sid))
+			}
 		}
+	}
+	skip := func(sid token.StringID) bool {
+		return alive != nil && (int(sid) >= len(alive) || !alive[sid])
 	}
 
 	// Combiner: collapse duplicate candidates at expansion time (the
@@ -255,8 +284,11 @@ func similarTokenCandidates(c *token.Corpus, dropped []bool, opts Options, st *S
 	for _, p := range pairs {
 		ta, tb := keptIdx[p.A], keptIdx[p.B]
 		for _, sa := range postings[ta] {
+			if skip(sa) {
+				continue
+			}
 			for _, sb := range postings[tb] {
-				if sa == sb {
+				if sa == sb || skip(sb) {
 					continue
 				}
 				a, b := normPair(sa, sb)
