@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-verify bench-candidates bench-corpus equivalence-guard lint ci
+.PHONY: all build test race bench bench-verify bench-candidates bench-segment bench-corpus equivalence-guard lint ci
 
 all: build
 
@@ -24,18 +24,21 @@ bench-verify:
 bench-candidates:
 	$(GO) test -run='^$$' -bench='Candidates|Prefix' -benchtime=1x -benchmem .
 
+bench-segment:
+	$(GO) test -run='^$$' -bench=SegmentProbe -benchtime=1x -benchmem ./internal/stream/
+
 bench-corpus:
 	$(GO) test -run='^$$' -bench='CorpusAdd|SnapshotLoad|WALReplay' -benchtime=1x -benchmem ./internal/corpus/
 
 equivalence-guard:
-	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestRestartEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
-	for pat in TestBoundedEquivalence TestPrefixEquivalence TestRestartEquivalence; do \
+	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
+	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence; do \
 		if ! echo "$$out" | grep -q -- "--- PASS: $$pat"; then \
 			echo "no $$pat tests ran"; exit 1; fi; \
 		if echo "$$out" | grep -q -- "--- SKIP: $$pat"; then \
 			echo "$$pat tests were skipped"; exit 1; fi; \
 	done; \
-	echo "equivalence guard (bounded + prefix + restart): ok"
+	echo "equivalence guard (bounded + prefix + segment-prefix + restart): ok"
 
 lint:
 	$(GO) vet ./...
@@ -44,4 +47,4 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: build lint test race equivalence-guard bench bench-verify bench-candidates bench-corpus
+ci: build lint test race equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus

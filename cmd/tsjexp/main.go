@@ -104,6 +104,7 @@ func main() {
 		experiments.Fig7(w).Render(os.Stdout)
 	case "funnel":
 		experiments.Funnel(w).Render(os.Stdout)
+		experiments.SegmentFunnel(w).Render(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q (want 1..7, funnel, or all)\n", *fig)
 		os.Exit(2)

@@ -283,6 +283,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Verified     int64 `json:"verified"`
 		BudgetPruned int64 `json:"budget_pruned"`
 		PrefixPruned int64 `json:"prefix_pruned"`
+		// Segment-probe funnel: probe tokens skipped by the segment
+		// prefix filter, window fingerprint lookups, tokens reaching the
+		// token-NLD check, and tokens within the token threshold.
+		SegPrefixPruned  int64 `json:"seg_prefix_pruned"`
+		SegKeysProbed    int64 `json:"seg_keys_probed"`
+		SegTokensChecked int64 `json:"seg_tokens_checked"`
+		SegTokensSimilar int64 `json:"seg_tokens_similar"`
 		// Wall times are reported in milliseconds so dashboards need no
 		// duration parsing.
 		CandGenWallMs  float64                `json:"cand_gen_wall_ms"`
@@ -291,6 +298,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Latency        map[string]wireLatency `json:"latency"`
 		Corpus         *tsjoin.CorpusStats    `json:"corpus,omitempty"`
 	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.PrefixPruned,
+		st.SegPrefixPruned, st.SegKeysProbed, st.SegTokensChecked, st.SegTokensSimilar,
 		ms(st.CandGenWall), ms(st.VerifyWall),
 		st.TokensPerShard, lat, corpusStats})
 }

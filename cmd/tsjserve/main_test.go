@@ -131,17 +131,28 @@ func TestServeStatsFilterTelemetry(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var stats struct {
-		Verified      int64    `json:"verified"`
-		BudgetPruned  *int64   `json:"budget_pruned"`
-		PrefixPruned  *int64   `json:"prefix_pruned"`
-		CandGenWallMs *float64 `json:"cand_gen_wall_ms"`
-		VerifyWallMs  *float64 `json:"verify_wall_ms"`
+		Verified         int64    `json:"verified"`
+		BudgetPruned     *int64   `json:"budget_pruned"`
+		PrefixPruned     *int64   `json:"prefix_pruned"`
+		SegPrefixPruned  *int64   `json:"seg_prefix_pruned"`
+		SegKeysProbed    *int64   `json:"seg_keys_probed"`
+		SegTokensChecked *int64   `json:"seg_tokens_checked"`
+		SegTokensSimilar *int64   `json:"seg_tokens_similar"`
+		CandGenWallMs    *float64 `json:"cand_gen_wall_ms"`
+		VerifyWallMs     *float64 `json:"verify_wall_ms"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.BudgetPruned == nil || stats.PrefixPruned == nil {
 		t.Fatal("/stats missing budget_pruned or prefix_pruned")
+	}
+	if stats.SegPrefixPruned == nil || stats.SegKeysProbed == nil ||
+		stats.SegTokensChecked == nil || stats.SegTokensSimilar == nil {
+		t.Fatal("/stats missing segment-probe funnel counters")
+	}
+	if *stats.SegKeysProbed == 0 {
+		t.Fatal("seg_keys_probed not populated by the near-duplicate traffic")
 	}
 	if stats.CandGenWallMs == nil || stats.VerifyWallMs == nil {
 		t.Fatal("/stats missing cand_gen_wall_ms or verify_wall_ms")

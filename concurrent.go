@@ -61,13 +61,14 @@ func NewConcurrentMatcherFromCorpus(c *Corpus, opts ConcurrentMatcherOptions) (*
 
 func streamOptions(opts ConcurrentMatcherOptions) stream.Options {
 	return stream.Options{
-		Threshold:            opts.Threshold,
-		MaxTokenFreq:         opts.MaxTokenFreq,
-		Greedy:               opts.Greedy,
-		ExactTokensOnly:      opts.ExactTokensOnly,
-		DisableBoundedVerify: opts.DisableBoundedVerification,
-		DisablePrefixFilter:  opts.DisablePrefixFilter,
-		Tokenizer:            opts.Tokenizer,
+		Threshold:                  opts.Threshold,
+		MaxTokenFreq:               opts.MaxTokenFreq,
+		Greedy:                     opts.Greedy,
+		ExactTokensOnly:            opts.ExactTokensOnly,
+		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisablePrefixFilter:        opts.DisablePrefixFilter,
+		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
+		Tokenizer:                  opts.Tokenizer,
 	}
 }
 

@@ -112,16 +112,17 @@ func (c *Corpus) SelfJoin(opts Options) ([]Pair, error) {
 // SelfJoinStats is SelfJoin plus the pipeline statistics.
 func (c *Corpus) SelfJoinStats(opts Options) ([]Pair, *Stats, error) {
 	jopts := tsj.Options{
-		Threshold:            opts.Threshold,
-		MaxTokenFreq:         opts.MaxTokenFreq,
-		Matching:             opts.Matching,
-		Aligning:             opts.Aligning,
-		Dedup:                opts.Dedup,
-		MultiMatchAware:      true,
-		Parallelism:          opts.Parallelism,
-		DisableBoundedVerify: opts.DisableBoundedVerification,
-		DisableTokenLDCache:  opts.DisableTokenLDCache,
-		DisablePrefixFilter:  opts.DisablePrefixFilter,
+		Threshold:                  opts.Threshold,
+		MaxTokenFreq:               opts.MaxTokenFreq,
+		Matching:                   opts.Matching,
+		Aligning:                   opts.Aligning,
+		Dedup:                      opts.Dedup,
+		MultiMatchAware:            true,
+		Parallelism:                opts.Parallelism,
+		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisableTokenLDCache:        opts.DisableTokenLDCache,
+		DisablePrefixFilter:        opts.DisablePrefixFilter,
+		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 	}
 	results, st, err := tsj.SelfJoinCorpus(c.c, jopts)
 	if err != nil {

@@ -42,7 +42,7 @@ func (c *TokenLDCache) Len() int { return len(c.m) }
 // ld returns the (budget-capped when max >= 0) distance between the two
 // tokens, from the memo when possible. Entries encode an exact distance d
 // as d >= 0 and the bounded fact "LD > b" as -(b+1).
-func (c *TokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row *[]int) int {
+func (c *TokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row *[]uint16) int {
 	if a > b {
 		a, b = b, a
 		ar, br = br, ar
@@ -68,10 +68,10 @@ func (c *TokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row *[]int
 	var d int
 	var exact bool
 	if max < 0 {
-		d = strdist.LevenshteinRunesScratch(ar, br, row)
+		d = strdist.LevenshteinRunesScratchU16(ar, br, row)
 		exact = true
 	} else {
-		d, exact = strdist.LevenshteinBoundedScratch(ar, br, max, row)
+		d, exact = strdist.LevenshteinBoundedScratchU16(ar, br, max, row)
 	}
 	if hit || len(c.m) < c.maxEntries {
 		if exact {

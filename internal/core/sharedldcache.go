@@ -78,7 +78,7 @@ func (c *SharedTokenLDCache) stripeOf(key uint64) *sharedLDStripe {
 // ld returns the (budget-capped when max >= 0) distance between the two
 // tokens, consulting and updating the shared memo. row is the caller's
 // Levenshtein scratch; the distance is computed outside any lock.
-func (c *SharedTokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row *[]int) int {
+func (c *SharedTokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row *[]uint16) int {
 	if a > b {
 		a, b = b, a
 		ar, br = br, ar
@@ -109,10 +109,10 @@ func (c *SharedTokenLDCache) ld(a, b token.TokenID, ar, br []rune, max int, row 
 	var d int
 	var exact bool
 	if max < 0 {
-		d = strdist.LevenshteinRunesScratch(ar, br, row)
+		d = strdist.LevenshteinRunesScratchU16(ar, br, row)
 		exact = true
 	} else {
-		d, exact = strdist.LevenshteinBoundedScratch(ar, br, max, row)
+		d, exact = strdist.LevenshteinBoundedScratchU16(ar, br, max, row)
 	}
 
 	var entry int32

@@ -25,7 +25,7 @@ func TestSharedTokenLDCacheMatchesDirect(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var row []int
+			var row []uint16
 			for rep := 0; rep < 3; rep++ {
 				for i := range toks {
 					for j := range toks {
@@ -68,7 +68,7 @@ func TestSharedTokenLDCacheUpgrade(t *testing.T) {
 	a, b := []rune("abcdefgh"), []rune("hgfedcba")
 	true_ := strdist.LevenshteinRunes(a, b)
 	c := NewSharedTokenLDCache(0)
-	var row []int
+	var row []uint16
 	if d := c.ld(1, 2, a, b, 1, &row); d <= 1 {
 		t.Fatalf("budget-1 probe returned %d, want > 1", d)
 	}

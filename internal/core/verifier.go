@@ -74,8 +74,8 @@ type Verifier struct {
 	// Like Cache, it is only consulted under VerifyIDs.
 	Shared *SharedTokenLDCache
 
-	cost    []int // flattened k x k cost matrix
-	levRow  []int // Levenshtein DP row
+	cost    []int    // flattened k x k cost matrix
+	levRow  []uint16 // Levenshtein DP row (token lengths fit uint16)
 	scratch assignment.Scratch
 }
 
@@ -199,9 +199,9 @@ func (v *Verifier) tokenLD(xr, yr []rune, xIDs, yIDs []token.TokenID, i, j, max 
 		}
 	}
 	if max < 0 {
-		return strdist.LevenshteinRunesScratch(xr, yr, &v.levRow)
+		return strdist.LevenshteinRunesScratchU16(xr, yr, &v.levRow)
 	}
-	d, _ := strdist.LevenshteinBoundedScratch(xr, yr, max, &v.levRow)
+	d, _ := strdist.LevenshteinBoundedScratchU16(xr, yr, max, &v.levRow)
 	return d
 }
 

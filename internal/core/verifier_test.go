@@ -137,7 +137,7 @@ func TestMaxSLDWithinBoundary(t *testing.T) {
 func TestTokenLDCacheUpgrade(t *testing.T) {
 	c := NewTokenLDCache(4)
 	a, b := []rune("abcdef"), []rune("uvwxyz") // LD 6
-	var row []int
+	var row []uint16
 	if d := c.ld(1, 2, a, b, 2, &row); d != 3 {
 		t.Fatalf("budget 2: got %d, want capped 3", d)
 	}

@@ -142,6 +142,10 @@ type Corpus struct {
 	// corruptSnaps are snapshot generations that failed their CRC at
 	// Open; Compact removes them and never retains one as the fallback.
 	corruptSnaps map[uint64]bool
+	// lock is the advisory flock on the data directory, held from Open to
+	// Close so a second process fails loudly instead of corrupting the
+	// WAL (nil on platforms without flock).
+	lock *os.File
 
 	joinsServed atomic.Int64
 }
@@ -195,11 +199,22 @@ func Open(dir string, opt Options) (*Corpus, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			unlockDir(lock)
+		}
+	}()
 	c := &Corpus{
 		dir:          dir,
 		opt:          opt,
 		tokenID:      make(map[string]token.TokenID),
 		corruptSnaps: make(map[uint64]bool),
+		lock:         lock,
 	}
 	removeStaleTemp(dir)
 
@@ -281,6 +296,7 @@ func Open(dir string, opt Options) (*Corpus, error) {
 		c.wal.close()
 		return nil, err
 	}
+	opened = true
 	return c, nil
 }
 
@@ -687,7 +703,23 @@ func (c *Corpus) Close() error {
 		return nil
 	}
 	c.closed = true
-	return c.wal.close()
+	err := c.wal.close()
+	unlockDir(c.lock)
+	c.lock = nil
+	return err
+}
+
+// ReleaseLockForTest force-releases the advisory directory lock without
+// flushing or closing anything, simulating the owning process dying (a
+// real crash releases flock with the process, but an in-process
+// crash-recovery test abandons the handle, which would otherwise keep
+// the directory locked). For crash-recovery tests only — after calling
+// it, the corpus must not be written again.
+func (c *Corpus) ReleaseLockForTest() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	unlockDir(c.lock)
+	c.lock = nil
 }
 
 // Len returns the total id space (including tombstones).

@@ -77,6 +77,10 @@ func TestAddDeleteReopen(t *testing.T) {
 			if err := c.Close(); err != nil {
 				t.Fatal(err)
 			}
+		} else {
+			// A real crash releases the flock with the process; the
+			// in-process simulation must do it explicitly.
+			c.ReleaseLockForTest()
 		}
 		// Crash case: the file was fsynced per record (SyncEvery=1), so
 		// abandoning the handle loses nothing.

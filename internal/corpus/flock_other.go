@@ -1,0 +1,12 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package corpus
+
+import "os"
+
+// lockDir is a no-op on platforms without flock(2) in the stdlib syscall
+// package (windows, solaris, aix, ...); single-writer per -data directory
+// remains by convention there.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

@@ -1,0 +1,64 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDirLocking: a second Open of the same data directory fails loudly
+// while the first holds it, and succeeds again once the owner closes —
+// including when the first owner exited through an error-free Close after
+// real writes.
+func TestDirLocking(t *testing.T) {
+	dir := t.TempDir()
+	c1 := mustOpen(t, dir, Options{DisableSync: true})
+	if _, err := c1.Add("alpha beta"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{DisableSync: true}); err == nil {
+		t.Fatal("second Open of a locked data dir succeeded")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open failed with an unrelated error: %v", err)
+	}
+
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, dir, Options{DisableSync: true})
+	if c2.Live() != 1 {
+		t.Fatalf("reopened corpus lost data: live=%d", c2.Live())
+	}
+	// Double Close stays idempotent with the lock release in the path.
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirLockingFailedOpenReleases: an Open that fails after taking the
+// lock (here: a broken WAL chain) releases it, so a later valid Open is
+// not wedged.
+func TestDirLockingFailedOpenReleases(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, Options{DisableSync: true})
+	if _, err := c.Add("alpha beta"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the WAL header so Open fails loudly.
+	corrupt(t, dir, 0, 2)
+	if _, err := Open(dir, Options{DisableSync: true}); err == nil {
+		t.Fatal("Open over a corrupt WAL header succeeded")
+	}
+	// The failed Open must not leave the directory locked.
+	if _, err := lockDir(dir); err != nil {
+		t.Fatalf("lock still held after failed Open: %v", err)
+	}
+}

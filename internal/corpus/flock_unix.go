@@ -1,0 +1,36 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, so a second
+// process opening the same -data directory fails loudly instead of
+// interleaving WAL appends with the owner (single-writer was previously
+// by convention only). The lock is advisory and process-scoped: it dies
+// with the process, so a crash never wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+string(os.PathSeparator)+lockFileName, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: %s is locked by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the advisory lock (nil-safe; errors are ignored —
+// the lock dies with the descriptor regardless).
+func unlockDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

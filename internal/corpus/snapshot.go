@@ -54,6 +54,9 @@ const (
 	snapSuffix = ".tsj"
 	walPrefix  = "wal-"
 	walSuffix  = ".log"
+	// lockFileName is the advisory-flock target guarding the directory
+	// against a second concurrent process (see lockDir).
+	lockFileName = "LOCK"
 )
 
 func snapPath(dir string, gen uint64) string {

@@ -79,6 +79,46 @@ func PrefixLen(t float64, aggLen, distinct int) int {
 	return p
 }
 
+// SegmentPrefixLen returns the number of rarest-first distinct tokens of
+// a string whose segments the similar-token generator must index/probe.
+// The bound is the same min(distinct, MaxErrors + 1) as the shared-token
+// prefix, but the argument differs, because a similar-token witness need
+// not be a shared token:
+//
+// Let (x, y) satisfy NSLD <= t and suppose the similar-token path is the
+// pair's only generator — x and y share no (kept) token. Then every
+// distinct (kept) token of x lies in distinct(x) \ distinct(y); each such
+// token has at least one occurrence matched to a non-identical partner or
+// unmatched, costing >= 1 edit apiece, so
+//
+//	|distinct(x)| <= SLD(x, y) <= MaxSLDWithin(t, L(x), L(y)) <= MaxErrors(t, L(x))
+//
+// (the last step by Lemma 6 monotonicity, exactly as in MaxErrors). The
+// prefix length min(distinct, MaxErrors+1) then equals distinct: the
+// threshold-derived prefix is *untruncated*, and every token — in
+// particular every similar-witness carrier — is a prefix token. A pair
+// that does share a token is the shared-token path's responsibility (its
+// prefixes intersect; see FirstCommon / markPrefix), so restricting the
+// segment index to prefix tokens on both the probe and the storage side
+// loses no pair.
+//
+// Two boundary notes. First, nothing above consults the order itself —
+// only the prefix length, which depends on L and the distinct count
+// alone. Probe-side and storage-side selections may therefore use
+// different (even arbitrarily stale) frequency orders and remain
+// lossless. Second, under a finite max-frequency cutoff M the dichotomy
+// leaks: a pair whose every shared token exceeds M is invisible to the
+// shared-token path, yet its witness carrier can sit outside a truncated
+// prefix — necessarily with frequency above M, since it is then at least
+// as frequent as a shared prefix token that the M-gate rejected. Probe
+// sides handle this by also probing tokens beyond the cutoff; storage
+// sides cannot (the index side's frequencies at insert time may lie
+// below a cutoff the token crosses later), so storage pruning is only
+// performed when M is unlimited.
+func SegmentPrefixLen(t float64, aggLen, distinct int) int {
+	return PrefixLen(t, aggLen, distinct)
+}
+
 // Index is the batch-side pruning state for one join: the global token
 // order and every string's prefix under it. Build it once after the
 // token-frequency job; it is immutable afterwards and safe for concurrent
@@ -263,6 +303,10 @@ func NewIndexFromRanked(c *token.Corpus, dropped []bool, rank []int32, ranked []
 // Prefix returns the string's prefix tokens (rank-ascending). The caller
 // must not mutate the returned slice.
 func (ix *Index) Prefix(sid token.StringID) []token.TokenID { return ix.prefix[sid] }
+
+// Distinct returns the string's kept-distinct token count (the |D'| term
+// of the positional filter; 0 for tombstoned strings).
+func (ix *Index) Distinct(sid token.StringID) int { return int(ix.distinct[sid]) }
 
 // FirstCommon returns the first token (in the global order) present in
 // both prefixes, with its position in each, or ok = false when the

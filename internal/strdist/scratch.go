@@ -4,7 +4,7 @@ package strdist
 // large enough, reallocating (amortized, power-of-two) otherwise. The
 // scratch-threaded DP variants below use it so that a reused row reaches a
 // steady state with zero allocations.
-func growRow(row []int, n int) []int {
+func growRow[T int | uint16](row []T, n int) []T {
 	if cap(row) >= n {
 		return row[:n]
 	}
@@ -15,7 +15,7 @@ func growRow(row []int, n int) []int {
 	if c < 16 {
 		c = 16
 	}
-	return make([]int, n, c)
+	return make([]T, n, c)
 }
 
 // LevenshteinRunesScratch is LevenshteinRunes with a caller-owned DP row:
@@ -55,6 +55,145 @@ func LevenshteinRunesScratch(a, b []rune, row *[]int) int {
 		}
 	}
 	return r[len(b)]
+}
+
+// u16Inf is the "outside the band" sentinel of the uint16 DP rows. The
+// rows are only used when the shorter input fits below u16Limit, so a
+// cell can grow past the sentinel by at most len(b) < u16Limit without
+// wrapping uint16 (u16Inf + u16Limit < 65536).
+const (
+	u16Inf   = 1 << 15
+	u16Limit = 1<<15 - 1
+)
+
+// LevenshteinRunesScratchU16 is LevenshteinRunesScratch with a uint16 DP
+// row: token lengths fit comfortably in uint16, and halving the row's
+// element size keeps the whole hot-loop row in fewer cache lines. Inputs
+// whose longer side reaches u16Limit runes (cell values scale with the
+// longer input, so uint16 would wrap) fall back to the []int path with a
+// throwaway row — unreachable for token workloads.
+func LevenshteinRunesScratchU16(a, b []rune, row *[]uint16) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(a) >= u16Limit {
+		var tmp []int
+		return LevenshteinRunesScratch(a, b, &tmp)
+	}
+	r := growRow(*row, len(b)+1)
+	*row = r
+	for j := range r {
+		r[j] = uint16(j)
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := r[0] // row[i-1][0]
+		r[0] = uint16(i)
+		for j := 1; j <= len(b); j++ {
+			cur := r[j] // row[i-1][j]
+			cost := uint16(1)
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost            // substitution / match
+			if d := r[j-1] + 1; d < best { // insertion
+				best = d
+			}
+			if d := cur + 1; d < best { // deletion
+				best = d
+			}
+			prev = cur
+			r[j] = best
+		}
+	}
+	return int(r[len(b)])
+}
+
+// LevenshteinBoundedScratchU16 is LevenshteinBoundedScratch with a uint16
+// DP row (see LevenshteinRunesScratchU16 for the width rationale and the
+// overflow guard). Semantics are identical: it returns LD(a, b) if it is
+// at most max, reporting whether it was; when the distance exceeds max it
+// returns max+1, false.
+func LevenshteinBoundedScratchU16(a, b []rune, max int, row *[]uint16) (int, bool) {
+	if max < 0 {
+		return max + 1, false
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// Length difference alone is a lower bound on LD.
+	if len(b)-len(a) > max {
+		return max + 1, false
+	}
+	if len(a) == 0 {
+		return len(b), true
+	}
+	if len(b) >= u16Limit || max >= u16Limit {
+		var tmp []int
+		return LevenshteinBoundedScratch(a, b, max, &tmp)
+	}
+	m := uint16(max)
+	r := growRow(*row, len(b)+1)
+	*row = r
+	for j := 0; j <= len(b) && j <= max; j++ {
+		r[j] = uint16(j)
+	}
+	for j := max + 1; j <= len(b); j++ {
+		r[j] = u16Inf
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - max
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + max
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// prev holds row[i-1][lo-1]; the cell left of the band start.
+		prev := uint16(u16Inf)
+		if lo-1 >= 0 && lo-1 >= i-1-max {
+			prev = r[lo-1]
+		}
+		if lo == 1 {
+			prev = uint16(i - 1) // column 0 of the previous row
+		}
+		if i-max-1 >= 0 {
+			// Column lo-1 is outside the band for row i.
+			r[lo-1] = u16Inf
+		} else {
+			r[0] = uint16(i)
+		}
+		rowMin := uint16(u16Inf)
+		for j := lo; j <= hi; j++ {
+			cur := r[j] // row[i-1][j] (u16Inf when outside previous band)
+			cost := uint16(1)
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost
+			if d := r[j-1] + 1; d < best {
+				best = d
+			}
+			if d := cur + 1; d < best {
+				best = d
+			}
+			prev = cur
+			r[j] = best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		if rowMin > m {
+			return max + 1, false
+		}
+	}
+	if d := r[len(b)]; d <= m {
+		return int(d), true
+	}
+	return max + 1, false
 }
 
 // LevenshteinBoundedScratch is LevenshteinBounded with a caller-owned DP

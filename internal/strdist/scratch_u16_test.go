@@ -1,0 +1,84 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randToken draws a short token over a deliberately tiny alphabet so
+// random pairs land at every interesting distance, including 0.
+func randToken(rng *rand.Rand, maxLen int) []rune {
+	n := rng.Intn(maxLen + 1)
+	r := make([]rune, n)
+	for i := range r {
+		r[i] = rune('a' + rng.Intn(4))
+	}
+	return r
+}
+
+// TestU16RowEquivalence: the uint16-row DP variants agree exactly with
+// the []int-row variants — same distance, same within-bound verdict — on
+// randomized token pairs across the full range of bounds, including
+// max = 0 and bounds far beyond the true distance.
+func TestU16RowEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var rowI []int
+	var rowU []uint16
+	for trial := 0; trial < 5000; trial++ {
+		a := randToken(rng, 14)
+		b := randToken(rng, 14)
+		wantExact := LevenshteinRunesScratch(a, b, &rowI)
+		if got := LevenshteinRunesScratchU16(a, b, &rowU); got != wantExact {
+			t.Fatalf("unbounded: %q vs %q: u16=%d int=%d", string(a), string(b), got, wantExact)
+		}
+		for max := 0; max <= wantExact+3; max++ {
+			wd, wok := LevenshteinBoundedScratch(a, b, max, &rowI)
+			gd, gok := LevenshteinBoundedScratchU16(a, b, max, &rowU)
+			if wd != gd || wok != gok {
+				t.Fatalf("bounded max=%d: %q vs %q: u16=(%d,%v) int=(%d,%v)",
+					max, string(a), string(b), gd, gok, wd, wok)
+			}
+		}
+	}
+}
+
+// TestU16RowOverflowFallback: inputs whose longer side exceeds the
+// uint16 range take the []int fallback and stay exact (the cell values
+// scale with the longer input, so the guard must test it, not the
+// shorter one).
+func TestU16RowOverflowFallback(t *testing.T) {
+	a := make([]rune, 70000)
+	for i := range a {
+		a[i] = 'x'
+	}
+	b := []rune("abcdefghij")
+	var rowU []uint16
+	if got := LevenshteinRunesScratchU16(a, b, &rowU); got != 70000 {
+		t.Fatalf("long-side overflow: got %d, want 70000", got)
+	}
+	var rowI []int
+	if gd, _ := LevenshteinBoundedScratchU16(a, b, 70001, &rowU); gd != 70000 {
+		wd, _ := LevenshteinBoundedScratch(a, b, 70001, &rowI)
+		t.Fatalf("bounded long-side: got %d, int rows say %d", gd, wd)
+	}
+}
+
+// TestU16RowEquivalenceLong exercises the band/inf handling on longer,
+// highly dissimilar inputs where most of the row sits at the sentinel.
+func TestU16RowEquivalenceLong(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	var rowI []int
+	var rowU []uint16
+	for trial := 0; trial < 200; trial++ {
+		a := randToken(rng, 120)
+		b := randToken(rng, 120)
+		for _, max := range []int{0, 1, 2, 5, 17, 60, 300} {
+			wd, wok := LevenshteinBoundedScratch(a, b, max, &rowI)
+			gd, gok := LevenshteinBoundedScratchU16(a, b, max, &rowU)
+			if wd != gd || wok != gok {
+				t.Fatalf("bounded max=%d len(a)=%d len(b)=%d: u16=(%d,%v) int=(%d,%v)",
+					max, len(a), len(b), gd, gok, wd, wok)
+			}
+		}
+	}
+}

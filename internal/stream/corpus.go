@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/corpus"
+	"repro/internal/prefilter"
 	"repro/internal/token"
 )
 
@@ -27,13 +28,38 @@ func NewShardedFromCorpus(opt Options, shards int, pc *corpus.Corpus) (*ShardedM
 	}
 	v := pc.View()
 	per := make([][]probeToken, len(m.shards))
+	// Storage-side segment pruning on the warm path reuses the corpus's
+	// epoch-stamped frequency order instead of live probe-time
+	// frequencies: each string's prefix is the head of its stored
+	// rank-sorted member list, exactly as the persistent batch join
+	// slices it. Any fixed order is lossless here (the argument in
+	// tokenIndex.insert never consults the order), so staleness against
+	// the live-ingest order costs nothing but pruning power.
+	var prefixSet map[string]struct{}
+	markStorage := !opt.DisableSegmentPrefixFilter && opt.MaxTokenFreq <= 0 && !opt.ExactTokensOnly
+	if markStorage {
+		prefixSet = make(map[string]struct{})
+	}
 	for sid := range v.TC.Strings {
 		ts := v.TC.Strings[sid]
 		if !v.Alive[sid] {
 			m.loadTombstone()
 			continue
 		}
-		m.loadTokenized(ts, per)
+		probe := distinctProbe(ts)
+		if markStorage {
+			ranked := v.Ranked[sid]
+			p := prefilter.SegmentPrefixLen(opt.Threshold, ts.AggregateLen(), len(ranked))
+			clear(prefixSet)
+			for _, tid := range ranked[:p] {
+				prefixSet[v.TC.Tokens[tid]] = struct{}{}
+			}
+			for i := range probe {
+				_, in := prefixSet[probe[i].s]
+				probe[i].nonPrefix = !in
+			}
+		}
+		m.loadTokenized(ts, probe, per)
 	}
 	m.corpus = pc
 	return m, nil
@@ -41,9 +67,11 @@ func NewShardedFromCorpus(opt Options, shards int, pc *corpus.Corpus) (*ShardedM
 
 // loadTokenized appends one string to the index without matching it
 // (warm-load path; the caller is single-threaded at construction time).
-// per is caller-owned per-shard grouping scratch, reused across strings
-// so the restart path does not allocate per token.
-func (m *ShardedMatcher) loadTokenized(ts token.TokenizedString, per [][]probeToken) {
+// probe is the string's distinct-token probe, already carrying any
+// storage-side prefix marks; per is caller-owned per-shard grouping
+// scratch, reused across strings so the restart path does not allocate
+// per token.
+func (m *ShardedMatcher) loadTokenized(ts token.TokenizedString, probe []probeToken, per [][]probeToken) {
 	id := int32(len(m.strings))
 	m.strings = append(m.strings, ts)
 	m.dead = append(m.dead, false)
@@ -51,7 +79,7 @@ func (m *ShardedMatcher) loadTokenized(ts token.TokenizedString, per [][]probeTo
 		m.emptyIDs = append(m.emptyIDs, id)
 		return
 	}
-	m.insertProbe(distinctProbe(ts), id, per, false)
+	m.insertProbe(probe, id, per, false)
 }
 
 // loadTombstone reserves an id for a deleted corpus string: it occupies

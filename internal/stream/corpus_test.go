@@ -59,6 +59,10 @@ func TestRestartEquivalence(t *testing.T) {
 			if err := pc.Close(); err != nil {
 				t.Fatal(err)
 			}
+		} else {
+			// A real crash releases the flock with the process; the
+			// in-process simulation must do it explicitly.
+			pc.ReleaseLockForTest()
 		}
 
 		// Warm restart: snapshot + WAL replay, index-only rebuild.
@@ -120,7 +124,9 @@ func TestRestartEquivalenceTornTail(t *testing.T) {
 		}
 	}
 	m.Close()
-	// Crash: no corpus Close; then the tail of the log is torn mid-frame.
+	// Crash: no corpus Close (the flock dies with the simulated process);
+	// then the tail of the log is torn mid-frame.
+	pc.ReleaseLockForTest()
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)

@@ -13,19 +13,24 @@ import (
 type probeToken struct {
 	s string
 	r []rune
-	// skipExact marks a token outside the arriving string's
-	// threshold-derived prefix: the shared-token inverted-index lookup
-	// skips it (lossless — see markPrefix), while the segment-index probe
-	// and insertion still cover it. Always false with the prefix filter
-	// disabled.
-	skipExact bool
+	// nonPrefix marks a token outside the string's threshold-derived
+	// prefix (its MaxErrors(T, L)+1 rarest distinct tokens under the
+	// frequency order — see markPrefix). The shared-token inverted-index
+	// lookup skips such tokens when the prefix filter is on, the
+	// segment-index probe skips them when the segment prefix filter is on
+	// (subject to the freq > M carve-out below), and segment *storage*
+	// skips them under the conditions in tokenIndex.insert. Always false
+	// with both filters disabled.
+	nonPrefix bool
 	// freq (valid when hasFreq) is the document frequency observed by the
 	// prefix-selection pre-pass. The exact lookup's max-frequency gate
 	// uses this snapshot rather than re-reading the live counter: the
 	// losslessness argument needs the ordering and the gate to agree on
 	// one observation, and under concurrent writers a token could cross
 	// the cutoff between the two reads. Frequencies only grow, so gating
-	// on the snapshot is never stricter than the live gate.
+	// on the snapshot is never stricter than the live gate. The segment
+	// probe's freq > M carve-out judges the same snapshot for the same
+	// reason.
 	freq    int32
 	hasFreq bool
 }
@@ -52,9 +57,11 @@ func distinctProbe(ts token.TokenizedString) []probeToken {
 // callers serialize access (the ShardedMatcher guards each partition with
 // a RWMutex).
 type tokenIndex struct {
-	threshold float64
-	maxFreq   int
-	exactOnly bool
+	threshold    float64
+	maxFreq      int
+	exactOnly    bool
+	prefixFilter bool // exact-path prefix pruning (DisablePrefixFilter off)
+	segFilter    bool // fuzzy-path prefix pruning (DisableSegmentPrefixFilter off)
 
 	// tokenIDs interns distinct token strings to partition-local ids.
 	tokenIDs   map[string]int32
@@ -63,26 +70,40 @@ type tokenIndex struct {
 	postings [][]int32
 	// freq tracks per-token document frequency.
 	freq []int32
+	// segIndexed marks token ids whose segments are present in
+	// segBuckets. With storage-side pruning (see insert) a token is
+	// segment-indexed lazily, the first time it lands inside some
+	// string's prefix; without it, at intern time.
+	segIndexed []bool
 
-	// segIndex maps (tokenLen, targetLen, segIdx, chunk) -> token ids,
-	// mirroring the MassJoin candidate keys. Only index-side entries are
-	// stored; probes generate substrings on the fly.
-	segIndex map[segKey][]int32
-}
+	// segBuckets is the similar-token index: (tokenLen ls, probeLen ly)
+	// -> segment fingerprint -> token ids whose i-th segment under the
+	// (ls, ly) partition hashes there. Replacing the old per-window
+	// string-keyed map with 64-bit fingerprints keys makes both sides of
+	// the index allocation-free: probes derive window fingerprints from a
+	// rolling prefix-hash in O(1) per window instead of materializing a
+	// substring per window. Fingerprint collisions are possible and
+	// harmless: probeSimilar verifies the actual segment runes before
+	// trusting a hit.
+	segBuckets map[uint32]map[uint64][]int32
 
-type segKey struct {
-	tokenLen, targetLen int16
-	seg                 int16
-	chunk               string
+	// plans memoizes the per-(tokenLen, probeLen) partition geometry for
+	// the insert side. Guarded by the caller's write lock like the rest
+	// of the index; the probe side keeps its own memo in probeScratch so
+	// concurrent readers never share it.
+	plans planCache
 }
 
 func newTokenIndex(opt Options) *tokenIndex {
 	return &tokenIndex{
-		threshold: opt.Threshold,
-		maxFreq:   opt.MaxTokenFreq,
-		exactOnly: opt.ExactTokensOnly,
-		tokenIDs:  make(map[string]int32),
-		segIndex:  make(map[segKey][]int32),
+		threshold:    opt.Threshold,
+		maxFreq:      opt.MaxTokenFreq,
+		exactOnly:    opt.ExactTokensOnly,
+		prefixFilter: !opt.DisablePrefixFilter,
+		segFilter:    !opt.DisableSegmentPrefixFilter,
+		tokenIDs:     make(map[string]int32),
+		segBuckets:   make(map[uint32]map[uint64][]int32),
+		plans:        planCache{t: opt.Threshold},
 	}
 }
 
@@ -100,10 +121,31 @@ func (ix *tokenIndex) freqOf(s string) int32 {
 	return 0
 }
 
-// insert registers string id under every probe token, interning tokens
-// (and indexing their segments) on first sight.
+// insert registers string id under every probe token, interning tokens on
+// first sight.
+//
+// Storage-side segment pruning: with the segment prefix filter on and no
+// max-frequency cutoff, a token's segments enter segBuckets only once the
+// token appears inside some string's threshold-derived prefix
+// (p.nonPrefix false) — tokens that only ever occur outside prefixes are
+// never segment-indexed, which shrinks the segment index and the insert
+// cost by exactly the non-prefix share of the token space. Lossless: a
+// pair whose only witness is a similar (non-identical) token pair shares
+// no token at all, so both strings' kept-distinct counts are within their
+// SLD budgets and their prefixes are their entire distinct sets
+// (prefilter.SegmentPrefixLen); any pair that does share a token is the
+// exact path's responsibility, and the inverted index stores every token.
+// The argument never uses the frequency order itself, so insert-time
+// orders may drift arbitrarily (and the warm-load path may use the
+// corpus's stored epoch-stamped order) without losing a pair. Under a
+// finite max-frequency cutoff M storage pruning is disabled: a token
+// shared by a qualifying pair can cross the cutoff between the index-side
+// insert and the probe, stranding a pair whose segment witness was pruned
+// at insert time.
 func (ix *tokenIndex) insert(probe []probeToken, id int32) {
-	for _, p := range probe {
+	storagePrune := ix.segFilter && ix.maxFreq <= 0 && !ix.exactOnly
+	for pi := range probe {
+		p := &probe[pi]
 		tid, ok := ix.tokenIDs[p.s]
 		if !ok {
 			tid = int32(len(ix.tokenRunes))
@@ -111,41 +153,85 @@ func (ix *tokenIndex) insert(probe []probeToken, id int32) {
 			ix.tokenRunes = append(ix.tokenRunes, p.r)
 			ix.postings = append(ix.postings, nil)
 			ix.freq = append(ix.freq, 0)
-			if !ix.exactOnly {
-				ix.indexTokenSegments(tid, p.r)
-			}
+			ix.segIndexed = append(ix.segIndexed, false)
+		}
+		if !ix.exactOnly && !ix.segIndexed[tid] && !(storagePrune && p.nonPrefix) {
+			ix.segIndexed[tid] = true
+			ix.indexTokenSegments(tid, ix.tokenRunes[tid])
 		}
 		ix.postings[tid] = append(ix.postings[tid], id)
 		ix.freq[tid]++
 	}
 }
 
-// indexTokenSegments registers a new distinct token's segments for every
-// compatible probe length (the MassJoin index side).
+// indexTokenSegments registers a distinct token's segment fingerprints
+// for every compatible probe length (the MassJoin index side).
 func (ix *tokenIndex) indexTokenSegments(tid int32, r []rune) {
 	l := len(r)
+	if l >= maxSegLen {
+		return // beyond the packed bucket-key range; never a real token
+	}
 	maxLy := strdist.MaxLenWithin(ix.threshold, l)
+	if maxLy >= maxSegLen {
+		maxLy = maxSegLen - 1
+	}
 	minLy := strdist.MinLenWithin(ix.threshold, l)
 	for ly := minLy; ly <= maxLy; ly++ {
-		tau := strdist.MaxLDWithin(ix.threshold, l, ly)
-		if tau < 0 {
+		pl := ix.plans.plan(l, ly)
+		if pl.tau < 0 {
 			continue
 		}
-		for i, sg := range evenPartition(l, tau+1) {
-			k := segKey{int16(l), int16(ly), int16(i), string(r[sg[0] : sg[0]+sg[1]])}
-			ix.segIndex[k] = append(ix.segIndex[k], tid)
+		bkey := bucketKey(l, ly)
+		bk := ix.segBuckets[bkey]
+		if bk == nil {
+			bk = make(map[uint64][]int32)
+			ix.segBuckets[bkey] = bk
+		}
+		for i := range pl.segs {
+			sp := &pl.segs[i]
+			k := fpKey(hashSeg(r[sp.start:sp.start+sp.n]), i)
+			bk[k] = append(bk[k], tid)
 		}
 	}
 }
 
+// probeCounters is the per-call candidate-generation funnel, accumulated
+// by the matcher into its stats.
+type probeCounters struct {
+	// prefixPruned counts posting entries the exact-path prefix filter
+	// skipped (candidates the unfiltered probe would have generated).
+	prefixPruned int64
+	// segPrefixPruned counts probe tokens whose segment probe was skipped
+	// by the fuzzy-path prefix filter.
+	segPrefixPruned int64
+	// segKeysProbed counts segment-window fingerprint lookups.
+	segKeysProbed int64
+	// segTokensChecked counts distinct indexed tokens reaching the NLD
+	// check (after dedup, self-exclusion, collision verification and the
+	// max-frequency gate).
+	segTokensChecked int64
+	// segTokensSimilar counts checked tokens within the token NLD
+	// threshold (their postings become candidates).
+	segTokensSimilar int64
+}
+
+func (pc *probeCounters) add(o *probeCounters) {
+	pc.prefixPruned += o.prefixPruned
+	pc.segPrefixPruned += o.segPrefixPruned
+	pc.segKeysProbed += o.segKeysProbed
+	pc.segTokensChecked += o.segTokensChecked
+	pc.segTokensSimilar += o.segTokensSimilar
+}
+
 // candidates feeds every indexed string id sharing a prefix token with
 // the probe — or, unless exact-token matching is on, containing a token
-// within the NLD threshold of any probe token — to emit. The same id may
-// be emitted more than once; callers deduplicate. The returned count is
-// the number of posting entries the prefix filter skipped (candidates the
-// unfiltered probe would have generated from non-prefix tokens).
-func (ix *tokenIndex) candidates(probe []probeToken, emit func(int32)) (prefixPruned int64) {
-	for _, p := range probe {
+// within the NLD threshold of a prefix token (see probeSimilar for the
+// prefix restriction's losslessness) — to emit. The same id may be
+// emitted more than once; callers deduplicate. sc is caller-owned probe
+// scratch (one per worker); counters accumulate into pc.
+func (ix *tokenIndex) candidates(probe []probeToken, sc *probeScratch, pc *probeCounters, emit func(int32)) {
+	for pi := range probe {
+		p := &probe[pi]
 		// Shared-token candidates: prefix tokens only. Lossless — a pair
 		// within the threshold that shares any token with the probe shares
 		// one of its MaxErrors+1 rarest tokens (see markPrefix).
@@ -157,8 +243,8 @@ func (ix *tokenIndex) candidates(probe []probeToken, emit func(int32)) (prefixPr
 				f = p.freq
 			}
 			if ix.maxFreq <= 0 || int(f) <= ix.maxFreq {
-				if p.skipExact {
-					prefixPruned += int64(len(ix.postings[tid]))
+				if p.nonPrefix && ix.prefixFilter {
+					pc.prefixPruned += int64(len(ix.postings[tid]))
 				} else {
 					for _, cand := range ix.postings[tid] {
 						emit(cand)
@@ -166,53 +252,88 @@ func (ix *tokenIndex) candidates(probe []probeToken, emit func(int32)) (prefixPr
 				}
 			}
 		}
-		// Similar-token candidates: probe the segment index for every
-		// token — Theorem 3's similar-token responsibility cannot be
-		// restricted to the prefix. The probe token's own interned id is
-		// excluded: identical-token pairs are the exact path's job (its
-		// prefix argument covers them even for skipExact tokens), and
-		// re-emitting them here would both duplicate postings scans and
-		// silently undo the prefix filter's pruning.
-		if !ix.exactOnly {
-			ix.probeSimilar(p.r, selfTid, emit)
+		if ix.exactOnly {
+			continue
 		}
+		// Similar-token candidates: probe the segment index with prefix
+		// tokens only. Lossless (prefilter.SegmentPrefixLen): a qualifying
+		// pair sharing any token is emitted by the exact path above, and a
+		// qualifying pair sharing none has every distinct token inside its
+		// prefix — except that under a finite max-frequency cutoff M a
+		// pair whose shared tokens all exceed M is invisible to the exact
+		// path, and its witness-carrying probe token is then at least as
+		// frequent as a shared prefix token above M; the carve-out keeps
+		// probing tokens beyond the cutoff so those pairs survive.
+		if p.nonPrefix && ix.segFilter &&
+			!(ix.maxFreq > 0 && p.hasFreq && int(p.freq) > ix.maxFreq) {
+			pc.segPrefixPruned++
+			continue
+		}
+		ix.probeSimilar(sc, pc, p.r, selfTid, emit)
 	}
-	return prefixPruned
 }
 
 // probeSimilar finds indexed tokens with NLD <= T to the probe token and
 // feeds their postings to emit. selfTid (-1 for none) is the probe
 // token's own interned id, which is skipped — identical tokens belong to
-// the exact shared-token path.
-func (ix *tokenIndex) probeSimilar(r []rune, selfTid int32, emit func(int32)) {
+// the exact shared-token path. The loop is allocation-free at steady
+// state: window keys come from a rolling prefix-hash over the probe
+// runes, dedup uses the scratch's epoch-stamped visited array, and the
+// partition/window geometry is memoized per (ls, ly) in the scratch.
+func (ix *tokenIndex) probeSimilar(sc *probeScratch, pc *probeCounters, r []rune, selfTid int32, emit func(int32)) {
 	ly := len(r)
+	if ly >= maxSegLen {
+		return
+	}
 	minLs := strdist.MinLenWithin(ix.threshold, ly)
 	maxLs := strdist.MaxLenWithin(ix.threshold, ly)
-	checked := make(map[int32]struct{})
+	if maxLs >= maxSegLen {
+		maxLs = maxSegLen - 1
+	}
+	sc.begin(len(ix.tokenRunes))
+	hashed := false
 	for ls := minLs; ls <= maxLs; ls++ {
-		tau := strdist.MaxLDWithin(ix.threshold, ls, ly)
-		if tau < 0 {
+		// Bucket first: if no indexed token has length ls (for this probe
+		// length), skip the partition geometry and the window walk
+		// entirely.
+		bk := ix.segBuckets[bucketKey(ls, ly)]
+		if bk == nil {
 			continue
 		}
-		for i, sg := range evenPartition(ls, tau+1) {
-			lo, hi := substringWindow(ls, ly, tau, i, sg)
-			for q := lo; q <= hi; q++ {
-				k := segKey{int16(ls), int16(ly), int16(i), string(r[q : q+sg[1]])}
-				for _, tid := range ix.segIndex[k] {
-					if tid == selfTid {
-						continue
-					}
-					if _, done := checked[tid]; done {
-						continue
-					}
-					checked[tid] = struct{}{}
-					if ix.maxFreq > 0 && int(ix.freq[tid]) > ix.maxFreq {
+		pl := sc.plans.plan(ls, ly)
+		if pl.tau < 0 {
+			continue
+		}
+		if !hashed {
+			sc.prepare(r)
+			hashed = true
+		}
+		for i := range pl.segs {
+			sp := &pl.segs[i]
+			for q := sp.lo; q <= sp.hi; q++ {
+				pc.segKeysProbed++
+				tids := bk[fpKey(sc.windowHash(int(q), int(sp.n)), i)]
+				for _, tid := range tids {
+					if tid == selfTid || sc.visited[tid] == sc.epoch {
 						continue
 					}
 					other := ix.tokenRunes[tid]
-					if !ix.tokenNLDWithin(other, r, ls, ly, tau) {
+					// Collision verification: the fingerprint must really
+					// be this token's i-th segment. A mismatch leaves the
+					// token unvisited — a later window may hit it
+					// genuinely.
+					if !runesEqual(other[sp.start:sp.start+sp.n], r[q:q+sp.n]) {
 						continue
 					}
+					sc.visited[tid] = sc.epoch
+					if ix.maxFreq > 0 && int(ix.freq[tid]) > ix.maxFreq {
+						continue
+					}
+					pc.segTokensChecked++
+					if !ix.tokenNLDWithin(other, r, ls, ly, int(pl.tau), &sc.levRow) {
+						continue
+					}
+					pc.segTokensSimilar++
 					for _, cand := range ix.postings[tid] {
 						emit(cand)
 					}
@@ -223,9 +344,9 @@ func (ix *tokenIndex) probeSimilar(r []rune, selfTid int32, emit func(int32)) {
 }
 
 // tokenNLDWithin verifies NLD(x, y) <= T with a banded Levenshtein
-// computation (cheap for short tokens).
-func (ix *tokenIndex) tokenNLDWithin(x, y []rune, lx, ly, tau int) bool {
-	d, ok := strdist.LevenshteinBounded(x, y, tau)
+// computation over the caller's scratch row (cheap for short tokens).
+func (ix *tokenIndex) tokenNLDWithin(x, y []rune, lx, ly, tau int, row *[]uint16) bool {
+	d, ok := strdist.LevenshteinBoundedScratchU16(x, y, tau, row)
 	if !ok {
 		return false
 	}
@@ -277,43 +398,4 @@ func verifyPair(v *core.Verifier, ts, other token.TokenizedString, cand int32, o
 // sortMatches orders matches by id (the contract of Add and Query).
 func sortMatches(out []Match) {
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-}
-
-// evenPartition mirrors passjoin.EvenPartition as [start, len] pairs
-// (duplicated locally to keep this package's hot path allocation-free and
-// dependency-light).
-func evenPartition(l, parts int) [][2]int {
-	segs := make([][2]int, parts)
-	base, rem := l/parts, l%parts
-	pos := 0
-	for i := 0; i < parts; i++ {
-		ln := base
-		if i >= parts-rem {
-			ln++
-		}
-		segs[i] = [2]int{pos, ln}
-		pos += ln
-	}
-	return segs
-}
-
-// substringWindow mirrors passjoin.SubstringWindow (multi-match-aware).
-func substringWindow(ls, lr, tau, i int, sg [2]int) (lo, hi int) {
-	delta := lr - ls
-	p := sg[0]
-	lo = p - i
-	if v := p + delta - (tau - i); v > lo {
-		lo = v
-	}
-	hi = p + i
-	if v := p + delta + (tau - i); v < hi {
-		hi = v
-	}
-	if lo < 0 {
-		lo = 0
-	}
-	if max := lr - sg[1]; hi > max {
-		hi = max
-	}
-	return lo, hi
 }

@@ -8,9 +8,10 @@ import (
 )
 
 // markPrefix implements the streaming half of the threshold-aware prefix
-// filter: it flags every probe token outside the arriving string's
+// filters: it flags every probe token outside the arriving string's
 // threshold-derived prefix so the shared-token inverted-index lookup
-// skips it. freqs[i] must hold the current document frequency of
+// (prefix filter) and the segment-index probe (segment prefix filter) can
+// skip it. freqs[i] must hold the current document frequency of
 // probe[i] (0 for never-seen tokens); in the sharded matcher these come
 // from the per-shard frequency stripes, folded here into one global
 // rarest-first order with the same deterministic tie-break as the batch
@@ -19,25 +20,40 @@ import (
 // caller-owned scratch buffer, reused so steady-state selection
 // allocates nothing.
 //
-// Why one-sided probing is lossless: index-side strings keep all their
-// tokens in the inverted index, and the probe keeps its
-// p = min(distinct, MaxErrors(T, L)+1) rarest tokens. For an indexed x
-// with NSLD(q, x) <= T, every distinct token of q absent from x costs at
-// least one edit, so |distinct(q) \ distinct(x)| <= SLD <= MaxErrors. If
-// no prefix token of q occurred in x, the whole prefix would sit inside
-// that difference — impossible for a full-length prefix (p = MaxErrors+1),
-// and for a truncated one (p = distinct) the strings share no token at
-// all, which the unfiltered shared-token probe would also miss. Under a
-// finite max-frequency cutoff M the same argument applies to the kept
-// tokens: a shared token with freq <= M outside the prefix forces every
-// prefix token's frequency at most M, so the M-gate never hides the
-// witnessing prefix token — provided the gate judges the same frequency
-// observation the ordering used, which is why this pre-pass stamps its
-// snapshot onto the probe (a concurrent writer could otherwise push a
-// witness across the cutoff between selection and probing). Unlike the
-// batch (two-sided) filter, no cross-insert order stability is needed:
-// the argument holds for the snapshot frequencies, whatever earlier
-// inserts saw.
+// Why one-sided probing is lossless for the shared-token path:
+// index-side strings keep all their tokens in the inverted index, and
+// the probe keeps its p = min(distinct, MaxErrors(T, L)+1) rarest
+// tokens. For an indexed x with NSLD(q, x) <= T, every distinct token of
+// q absent from x costs at least one edit, so
+// |distinct(q) \ distinct(x)| <= SLD <= MaxErrors. If no prefix token of
+// q occurred in x, the whole prefix would sit inside that difference —
+// impossible for a full-length prefix (p = MaxErrors+1), and for a
+// truncated one (p = distinct) the strings share no token at all, which
+// the unfiltered shared-token probe would also miss. Under a finite
+// max-frequency cutoff M the same argument applies to the kept tokens: a
+// shared token with freq <= M outside the prefix forces every prefix
+// token's frequency at most M, so the M-gate never hides the witnessing
+// prefix token — provided the gate judges the same frequency observation
+// the ordering used, which is why this pre-pass stamps its snapshot onto
+// the probe (a concurrent writer could otherwise push a witness across
+// the cutoff between selection and probing). Unlike the batch
+// (two-sided) filter, no cross-insert order stability is needed: the
+// argument holds for the snapshot frequencies, whatever earlier inserts
+// saw.
+//
+// Why the same marks also bound the similar-token (segment) probe: a
+// qualifying pair that shares any token is already emitted by the
+// shared-token path above, and a qualifying pair that shares none has
+// |distinct(q) \ distinct(x)| = |distinct(q)| <= SLD <= MaxErrors, so
+// its prefix is untruncated — every distinct token, in particular every
+// similar-witness carrier, is a prefix token (the exact bound is worked
+// out in prefilter.SegmentPrefixLen). The one M-shaped corner: a pair
+// whose every shared token sits beyond the cutoff is invisible to the
+// exact path, and its fuzzy witness carrier u can then sit outside the
+// prefix — but only with snapshot freq(u) >= freq(t*) > M for some
+// shared prefix token t* (non-prefix tokens are at least as frequent as
+// prefix ones). The segment probe therefore carves out tokens beyond the
+// cutoff (see tokenIndex.candidates) and stays lossless under finite M.
 func markPrefix(probe []probeToken, freqs []int32, t float64, ts token.TokenizedString, keys *[]int64) {
 	// Stamp the snapshot onto the probe so the exact lookup's
 	// max-frequency gate judges the same observation the ordering used
@@ -59,6 +75,6 @@ func markPrefix(probe []probeToken, freqs []int32, t float64, ts token.Tokenized
 	*keys = ks
 	slices.Sort(ks)
 	for _, k := range ks[p:] {
-		probe[k&0xffffffff].skipExact = true
+		probe[k&0xffffffff].nonPrefix = true
 	}
 }

@@ -1,0 +1,267 @@
+package stream
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/namegen"
+)
+
+// TestSegmentPrefixEquivalenceStream: the sequential matcher returns
+// identical match sets with the segment prefix filter on and off, at
+// several thresholds, with the shared-token prefix filter both on and
+// off — and the filter actually skips segment probes somewhere in the
+// sweep.
+func TestSegmentPrefixEquivalenceStream(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 55, NumNames: 220})
+	prunedSomewhere := false
+	for _, sharedOff := range []bool{false, true} {
+		for _, th := range []float64{0.1, 0.2, 0.35} {
+			plain, pst := streamAll(t, names, Options{
+				Threshold: th, DisablePrefixFilter: sharedOff, DisableSegmentPrefixFilter: true,
+			})
+			filtered, fst := streamAll(t, names, Options{
+				Threshold: th, DisablePrefixFilter: sharedOff,
+			})
+			if !reflect.DeepEqual(plain, filtered) {
+				t.Fatalf("t=%.2f sharedOff=%v: segment-filtered match sets differ", th, sharedOff)
+			}
+			if pst.SegPrefixPruned != 0 {
+				t.Fatalf("t=%.2f: SegPrefixPruned=%d with the filter disabled", th, pst.SegPrefixPruned)
+			}
+			if fst.SegPrefixPruned > 0 {
+				prunedSomewhere = true
+			}
+			if fst.SegKeysProbed > pst.SegKeysProbed {
+				t.Fatalf("t=%.2f sharedOff=%v: filtering increased segment probes (%d vs %d)",
+					th, sharedOff, fst.SegKeysProbed, pst.SegKeysProbed)
+			}
+		}
+	}
+	if !prunedSomewhere {
+		t.Fatal("SegPrefixPruned never populated across the sweep")
+	}
+}
+
+// TestSegmentPrefixEquivalenceStreamMaxFreq: the filter composes with the
+// max-token-frequency cutoff — the probe-side carve-out keeps probing
+// tokens beyond the cutoff, and storage-side pruning is disabled, so the
+// cutoff matcher's (approximate) match stream is unchanged.
+func TestSegmentPrefixEquivalenceStreamMaxFreq(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 56, NumNames: 220})
+	for _, maxFreq := range []int{2, 5, 20} {
+		for _, th := range []float64{0.15, 0.25} {
+			plain, _ := streamAll(t, names, Options{
+				Threshold: th, MaxTokenFreq: maxFreq, DisableSegmentPrefixFilter: true,
+			})
+			filtered, _ := streamAll(t, names, Options{
+				Threshold: th, MaxTokenFreq: maxFreq,
+			})
+			if !reflect.DeepEqual(plain, filtered) {
+				t.Fatalf("M=%d t=%.2f: segment-filtered match sets differ under the cutoff", maxFreq, th)
+			}
+		}
+	}
+}
+
+// TestSegmentPrefixEquivalenceStreamMaxFreqCarveOut targets the one
+// M-shaped corner of the losslessness argument: a qualifying pair whose
+// every shared token exceeds the cutoff is invisible to the exact path,
+// and its similar-token witness hangs off a probe token that is more
+// frequent than every prefix token — exactly the token the carve-out must
+// keep probing. Without the carve-out the pair is silently lost.
+func TestSegmentPrefixEquivalenceStreamMaxFreqCarveOut(t *testing.T) {
+	u := "commontoken" + strings.Repeat("a", 19) // length 30
+	v := "commontoken" + strings.Repeat("a", 18) + "b"
+	var names []string
+	// Make u frequent (well past M = 1).
+	for i := 0; i < 10; i++ {
+		names = append(names, fmt.Sprintf("%s filler%02d", u, i))
+	}
+	// ra/rb/rc reach frequency 2 before q arrives, so the M = 1 gate
+	// rejects every shared token of the target pair.
+	names = append(names, "ra rb rc zfiller")
+	x := "ra rb rc " + v
+	q := "ra rb rc " + u
+	names = append(names, x)
+	xID := len(names) - 1
+	names = append(names, q) // q arrives last and must match x
+
+	const th = 0.06
+	opt := Options{Threshold: th, MaxTokenFreq: 1}
+	plain, _ := streamAll(t, names, Options{Threshold: th, MaxTokenFreq: 1, DisableSegmentPrefixFilter: true})
+	filtered, _ := streamAll(t, names, opt)
+	if !reflect.DeepEqual(plain, filtered) {
+		t.Fatalf("carve-out corner: match sets differ\nplain: %v\nfiltered: %v",
+			plain[len(plain)-1], filtered[len(filtered)-1])
+	}
+	// The corner must actually have triggered: the unfiltered matcher
+	// finds (x, q) through the u~v similar pair despite every shared
+	// token sitting beyond the cutoff.
+	found := false
+	for _, mt := range plain[len(plain)-1] {
+		if mt.ID == xID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corner not exercised: %q did not match %q under the cutoff (matches %v)",
+			q, x, plain[len(plain)-1])
+	}
+}
+
+// TestSegmentPrefixEquivalenceSharded: the sharded matcher with the
+// segment prefix filter agrees with the unfiltered sequential matcher at
+// several shard counts and thresholds — per-shard segment storage and the
+// globally-folded frequency order must reproduce the sequential
+// decisions exactly.
+func TestSegmentPrefixEquivalenceSharded(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 57, NumNames: 200})
+	for _, th := range []float64{0.1, 0.2, 0.3} {
+		want, _ := streamAll(t, names, Options{Threshold: th, DisableSegmentPrefixFilter: true})
+		for _, shards := range []int{1, 3, 8} {
+			m, err := NewShardedMatcher(Options{Threshold: th}, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([][]Match, len(names))
+			for i, n := range names {
+				_, got[i] = m.Add(n)
+			}
+			st := m.Stats()
+			m.Close()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("t=%.2f shards=%d: segment-filtered sharded match sets differ from unfiltered sequential",
+					th, shards)
+			}
+			if st.SegKeysProbed == 0 {
+				t.Fatalf("t=%.2f shards=%d: SegKeysProbed never populated", th, shards)
+			}
+		}
+	}
+}
+
+// TestSegmentPrefixEquivalenceTies: adversarial frequency ties — every
+// token appears the same number of times, so prefix membership (and with
+// it segment storage and probing) rests entirely on the deterministic
+// tie-break, which must agree between the sequential matcher and every
+// shard count.
+func TestSegmentPrefixEquivalenceTies(t *testing.T) {
+	words := []string{
+		"alpha", "bravo", "carol", "delta", "echos", "fotox",
+		"golfy", "hotel", "india", "julie", "kilos", "limas",
+	}
+	var names []string
+	n := len(words)
+	for rot := 0; rot < 2; rot++ { // every token ends at the same frequency
+		for i := 0; i < n; i++ {
+			names = append(names, fmt.Sprintf("%s %s %s",
+				words[i], words[(i+1+rot)%n], words[(i+3+rot)%n]))
+		}
+	}
+	// Similar-token-only partners (each token one edit off).
+	names = append(names, "alphq bravp carpl", "deltz echps fotpx")
+	const th = 0.3
+	want, _ := streamAll(t, names, Options{Threshold: th, DisableSegmentPrefixFilter: true})
+	seq, _ := streamAll(t, names, Options{Threshold: th})
+	if !reflect.DeepEqual(want, seq) {
+		t.Fatal("tie-broken sequential segment-filtered matcher differs from unfiltered")
+	}
+	for _, shards := range []int{2, 5} {
+		m, err := NewShardedMatcher(Options{Threshold: th}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]Match, len(names))
+		for i, nm := range names {
+			_, got[i] = m.Add(nm)
+		}
+		m.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: tie-broken sharded segment-filtered matcher differs", shards)
+		}
+	}
+}
+
+// TestSegmentPrefixEquivalenceWarmLoad: a matcher warm-loaded from a
+// persistent corpus prunes segment storage using the corpus's stored
+// epoch-stamped order — a different (and possibly stale) order than the
+// live-ingest path uses — and must still serve exactly the queries an
+// unfiltered warm load serves.
+func TestSegmentPrefixEquivalenceWarmLoad(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 58, NumNames: 180})
+	dir := t.TempDir()
+	pc, err := corpus.Open(dir, corpus.Options{DisableSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	for _, n := range names {
+		if _, err := pc.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, th := range []float64{0.1, 0.2, 0.3} {
+		plain, err := NewShardedFromCorpus(Options{Threshold: th, DisableSegmentPrefixFilter: true}, 3, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := NewShardedFromCorpus(Options{Threshold: th}, 3, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			want := plain.Query(n)
+			got := filtered.Query(n)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("t=%.2f: warm-loaded segment-filtered query %q differs: %v vs %v", th, n, got, want)
+			}
+		}
+		plain.Close()
+		filtered.Close()
+	}
+}
+
+// TestSegmentProbeZeroAlloc: the steady-state candidate probe — exact
+// lookups plus the full similar-token segment probe — performs zero
+// allocations once the per-worker scratch is warm.
+func TestSegmentProbeZeroAlloc(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 59, NumNames: 500})
+	m, err := NewMatcher(Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		m.Add(n)
+	}
+	probes := make([][]probeToken, 0, 50)
+	for i := 0; i < 50; i++ {
+		ts := m.opt.Tokenizer(names[i*7%len(names)])
+		probe := distinctProbe(ts)
+		freqs := make([]int32, len(probe))
+		for j, p := range probe {
+			freqs[j] = m.ix.freqOf(p.s)
+		}
+		var keys []int64
+		markPrefix(probe, freqs, m.opt.Threshold, ts, &keys)
+		probes = append(probes, probe)
+	}
+	var pc probeCounters
+	var sink int64
+	emit := func(cand int32) { sink += int64(cand) }
+	probeAll := func() {
+		for _, p := range probes {
+			m.ix.candidates(p, m.scratch, &pc, emit)
+		}
+	}
+	probeAll() // warm the scratch (visited growth, plan memo, hash arrays)
+	if allocs := testing.AllocsPerRun(20, probeAll); allocs != 0 {
+		t.Fatalf("steady-state probe allocates: %.1f allocs/op (want 0)", allocs)
+	}
+	if pc.segKeysProbed == 0 {
+		t.Fatal("probe exercised no segment keys; the zero-alloc claim is vacuous")
+	}
+}

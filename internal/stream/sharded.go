@@ -47,18 +47,25 @@ type ShardedMatcher struct {
 	emptyIDs []int32
 
 	// verPool lends one verification engine (scratch matrices, Hungarian
-	// state) to each verifying worker, so the hot path stays
-	// allocation-free without sharing unsynchronized scratch.
-	verPool sync.Pool
+	// state) to each verifying worker, and scratchPool one segment-probe
+	// scratch (visited stamps, rolling hashes, partition memo) to each
+	// probing worker, so the hot path stays allocation-free without
+	// sharing unsynchronized scratch.
+	verPool     sync.Pool
+	scratchPool sync.Pool
 
-	adds         atomic.Int64
-	queries      atomic.Int64
-	verified     atomic.Int64
-	budgetPruned atomic.Int64
-	prefixPruned atomic.Int64
-	candGenWall  atomic.Int64 // nanoseconds
-	verifyWall   atomic.Int64 // nanoseconds
-	closed       sync.Once
+	adds             atomic.Int64
+	queries          atomic.Int64
+	verified         atomic.Int64
+	budgetPruned     atomic.Int64
+	prefixPruned     atomic.Int64
+	segPrefixPruned  atomic.Int64
+	segKeysProbed    atomic.Int64
+	segTokensChecked atomic.Int64
+	segTokensSimilar atomic.Int64
+	candGenWall      atomic.Int64 // nanoseconds
+	verifyWall       atomic.Int64 // nanoseconds
+	closed           sync.Once
 }
 
 // shard is one index partition and its reader/writer guard.
@@ -84,6 +91,17 @@ type ShardedStats struct {
 	// probe time — shared-token candidates the unfiltered probe would
 	// have generated (0 when DisablePrefixFilter).
 	PrefixPruned int64
+	// SegPrefixPruned counts probe tokens whose segment-index probe was
+	// skipped by the segment prefix filter (0 when
+	// DisableSegmentPrefixFilter).
+	SegPrefixPruned int64
+	// SegKeysProbed / SegTokensChecked / SegTokensSimilar are the
+	// similar-token probe funnel: segment-window fingerprint lookups,
+	// distinct indexed tokens reaching the token-NLD check, and tokens
+	// within the token threshold (whose postings became candidates).
+	SegKeysProbed    int64
+	SegTokensChecked int64
+	SegTokensSimilar int64
 	// CandGenWall / VerifyWall accumulate the wall time spent generating
 	// candidates (shard fan-out, merge, dedup) and verifying them.
 	CandGenWall time.Duration
@@ -111,6 +129,9 @@ func NewShardedMatcher(opt Options, shards int) (*ShardedMatcher, error) {
 	m.verPool.New = func() any {
 		return &core.Verifier{Greedy: opt.Greedy}
 	}
+	m.scratchPool.New = func() any {
+		return newProbeScratch(opt.Threshold)
+	}
 	for i := range m.shards {
 		m.shards[i] = &shard{ix: newTokenIndex(opt)}
 	}
@@ -130,15 +151,19 @@ func (m *ShardedMatcher) Len() int {
 // Stats snapshots the matcher.
 func (m *ShardedMatcher) Stats() ShardedStats {
 	st := ShardedStats{
-		Shards:         len(m.shards),
-		Adds:           m.adds.Load(),
-		Queries:        m.queries.Load(),
-		Verified:       m.verified.Load(),
-		BudgetPruned:   m.budgetPruned.Load(),
-		PrefixPruned:   m.prefixPruned.Load(),
-		CandGenWall:    time.Duration(m.candGenWall.Load()),
-		VerifyWall:     time.Duration(m.verifyWall.Load()),
-		TokensPerShard: make([]int, len(m.shards)),
+		Shards:           len(m.shards),
+		Adds:             m.adds.Load(),
+		Queries:          m.queries.Load(),
+		Verified:         m.verified.Load(),
+		BudgetPruned:     m.budgetPruned.Load(),
+		PrefixPruned:     m.prefixPruned.Load(),
+		SegPrefixPruned:  m.segPrefixPruned.Load(),
+		SegKeysProbed:    m.segKeysProbed.Load(),
+		SegTokensChecked: m.segTokensChecked.Load(),
+		SegTokensSimilar: m.segTokensSimilar.Load(),
+		CandGenWall:      time.Duration(m.candGenWall.Load()),
+		VerifyWall:       time.Duration(m.verifyWall.Load()),
+		TokensPerShard:   make([]int, len(m.shards)),
 	}
 	m.mu.RLock()
 	st.Strings = len(m.strings)
@@ -279,7 +304,7 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 	// hash), so one read-locked visit per owning shard prices the whole
 	// probe, and markPrefix flags the tokens the exact lookup may skip.
 	genStart := time.Now()
-	if !m.opt.DisablePrefixFilter {
+	if !m.opt.DisablePrefixFilter || !m.opt.DisableSegmentPrefixFilter {
 		freqs := make([]int32, len(probe))
 		if len(m.shards) == 1 {
 			sh := m.shards[0]
@@ -318,26 +343,29 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 	// single shard skips the pool round-trip.
 	var wg sync.WaitGroup
 	var cands []int32
-	var prefixPruned int64
+	var pctr probeCounters
 	if len(m.shards) == 1 {
 		sh := m.shards[0]
+		sc := m.scratchPool.Get().(*probeScratch)
 		sh.mu.RLock()
-		prefixPruned = sh.ix.candidates(probe, func(cand int32) { cands = append(cands, cand) })
+		sh.ix.candidates(probe, sc, &pctr, func(cand int32) { cands = append(cands, cand) })
 		sh.mu.RUnlock()
+		m.scratchPool.Put(sc)
 	} else {
 		perShard := make([][]int32, len(m.shards))
-		perPruned := make([]int64, len(m.shards))
+		perCtr := make([]probeCounters, len(m.shards))
 		wg.Add(len(m.shards))
 		for i := range m.shards {
-			sh, out, pruned := m.shards[i], &perShard[i], &perPruned[i]
+			sh, out, ctr := m.shards[i], &perShard[i], &perCtr[i]
 			m.pool.submit(func() {
 				defer wg.Done()
 				var local []int32
+				sc := m.scratchPool.Get().(*probeScratch)
 				sh.mu.RLock()
-				p := sh.ix.candidates(probe, func(cand int32) { local = append(local, cand) })
+				sh.ix.candidates(probe, sc, ctr, func(cand int32) { local = append(local, cand) })
 				sh.mu.RUnlock()
+				m.scratchPool.Put(sc)
 				*out = local
-				*pruned = p
 			})
 		}
 		wg.Wait()
@@ -349,12 +377,27 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		for _, r := range perShard {
 			cands = append(cands, r...)
 		}
-		for _, p := range perPruned {
-			prefixPruned += p
+		for i := range perCtr {
+			pctr.add(&perCtr[i])
 		}
+		// segPrefixPruned is a per-probe-token count and every shard skips
+		// the same pruned tokens; count them once, not once per shard.
+		pctr.segPrefixPruned = perCtr[0].segPrefixPruned
 	}
-	if prefixPruned > 0 {
-		m.prefixPruned.Add(prefixPruned)
+	if pctr.prefixPruned > 0 {
+		m.prefixPruned.Add(pctr.prefixPruned)
+	}
+	if pctr.segPrefixPruned > 0 {
+		m.segPrefixPruned.Add(pctr.segPrefixPruned)
+	}
+	if pctr.segKeysProbed > 0 {
+		m.segKeysProbed.Add(pctr.segKeysProbed)
+	}
+	if pctr.segTokensChecked > 0 {
+		m.segTokensChecked.Add(pctr.segTokensChecked)
+	}
+	if pctr.segTokensSimilar > 0 {
+		m.segTokensSimilar.Add(pctr.segTokensSimilar)
 	}
 
 	// ---- Merge and deduplicate ------------------------------------------

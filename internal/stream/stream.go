@@ -56,6 +56,15 @@ type Options struct {
 	// which is lossless (see markPrefix). Matches are identical either
 	// way; disabling is for ablation and equivalence testing only.
 	DisablePrefixFilter bool
+	// DisableSegmentPrefixFilter switches off threshold-aware pruning of
+	// the similar-token path: by default the segment index is probed only
+	// with the arriving string's threshold-derived prefix tokens (plus,
+	// under a finite MaxTokenFreq, tokens beyond the cutoff), and — when
+	// MaxTokenFreq is unlimited — only prefix tokens are segment-indexed
+	// at all. Lossless (see markPrefix and prefilter.SegmentPrefixLen);
+	// matches are identical either way, and disabling is for ablation
+	// and equivalence testing only.
+	DisableSegmentPrefixFilter bool
 	// Tokenizer defaults to whitespace+punctuation.
 	Tokenizer token.Tokenizer
 }
@@ -94,6 +103,17 @@ type MatcherStats struct {
 	// probe time — shared-token candidates the unfiltered probe would
 	// have generated (0 when DisablePrefixFilter).
 	PrefixPruned int64
+	// SegPrefixPruned counts probe tokens whose segment-index probe was
+	// skipped by the segment prefix filter (0 when
+	// DisableSegmentPrefixFilter).
+	SegPrefixPruned int64
+	// SegKeysProbed / SegTokensChecked / SegTokensSimilar are the
+	// similar-token probe funnel: segment-window fingerprint lookups,
+	// distinct indexed tokens reaching the token-NLD check, and tokens
+	// within the token threshold (whose postings became candidates).
+	SegKeysProbed    int64
+	SegTokensChecked int64
+	SegTokensSimilar int64
 	// CandGenWall / VerifyWall accumulate the wall time spent generating
 	// candidates (index probes, merge, dedup) and verifying them.
 	CandGenWall time.Duration
@@ -107,6 +127,7 @@ type Matcher struct {
 	strings []token.TokenizedString
 	ix      *tokenIndex
 	ver     core.Verifier // reusable verification engine (single-threaded)
+	scratch *probeScratch // reusable segment-probe scratch (single-threaded)
 
 	emptyIDs []int32 // token-less strings
 	seen     []uint32
@@ -121,7 +142,7 @@ type Matcher struct {
 
 	verified     int64
 	budgetPruned int64
-	prefixPruned int64
+	probeCtr     probeCounters
 	candGenWall  time.Duration
 	verifyWall   time.Duration
 }
@@ -131,7 +152,7 @@ func NewMatcher(opt Options) (*Matcher, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	m := &Matcher{opt: opt, ix: newTokenIndex(opt)}
+	m := &Matcher{opt: opt, ix: newTokenIndex(opt), scratch: newProbeScratch(opt.Threshold)}
 	m.ver.Greedy = opt.Greedy
 	return m, nil
 }
@@ -139,12 +160,16 @@ func NewMatcher(opt Options) (*Matcher, error) {
 // Stats snapshots the matcher's verification counters.
 func (m *Matcher) Stats() MatcherStats {
 	return MatcherStats{
-		Strings:      len(m.strings),
-		Verified:     m.verified,
-		BudgetPruned: m.budgetPruned,
-		PrefixPruned: m.prefixPruned,
-		CandGenWall:  m.candGenWall,
-		VerifyWall:   m.verifyWall,
+		Strings:          len(m.strings),
+		Verified:         m.verified,
+		BudgetPruned:     m.budgetPruned,
+		PrefixPruned:     m.probeCtr.prefixPruned,
+		SegPrefixPruned:  m.probeCtr.segPrefixPruned,
+		SegKeysProbed:    m.probeCtr.segKeysProbed,
+		SegTokensChecked: m.probeCtr.segTokensChecked,
+		SegTokensSimilar: m.probeCtr.segTokensSimilar,
+		CandGenWall:      m.candGenWall,
+		VerifyWall:       m.verifyWall,
 	}
 }
 
@@ -193,8 +218,11 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 	}
 
 	// ---- Generate -------------------------------------------------------
+	// The prefix marks serve both filters, so they are computed when
+	// either is on (probeToken.nonPrefix records the raw fact; the index
+	// consults its own filter flags).
 	start := time.Now()
-	if !m.opt.DisablePrefixFilter {
+	if !m.opt.DisablePrefixFilter || !m.opt.DisableSegmentPrefixFilter {
 		m.freqBuf = m.freqBuf[:0]
 		for _, p := range probe {
 			m.freqBuf = append(m.freqBuf, m.ix.freqOf(p.s))
@@ -202,7 +230,7 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 		markPrefix(probe, m.freqBuf, m.opt.Threshold, ts, &m.keyBuf)
 	}
 	m.candBuf = m.candBuf[:0]
-	m.prefixPruned += m.ix.candidates(probe, func(cand int32) {
+	m.ix.candidates(probe, m.scratch, &m.probeCtr, func(cand int32) {
 		if m.seen[cand] == m.gen {
 			return
 		}

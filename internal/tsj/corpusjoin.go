@@ -87,9 +87,19 @@ func SelfJoinCorpus(pc *corpus.Corpus, opts Options) ([]Result, *Stats, error) {
 	}
 
 	// ---- Job 1: shared-token candidates from stored prefixes ------------
-	var pf *prefilter.Index
-	if !opts.DisablePrefixFilter {
-		pf = prefilter.NewIndexFromRanked(c, dropped, v.Rank, v.Ranked, v.Alive, opts.Threshold)
+	// As in SelfJoin, one prefix index serves both Job 1 and Job 2's
+	// segment prefix restriction (prefixFilterWants) — here sliced from
+	// the corpus's stored epoch-stamped order with zero sorts.
+	wantShared, wantSeg := prefixFilterWants(opts)
+	var pf, pfSeg *prefilter.Index
+	if wantShared || wantSeg {
+		ix := prefilter.NewIndexFromRanked(c, dropped, v.Rank, v.Ranked, v.Alive, opts.Threshold)
+		if wantShared {
+			pf = ix
+		}
+		if wantSeg {
+			pfSeg = ix
+		}
 	}
 	var prefixPruned atomic.Int64
 	sharedCands, st1 := mapreduce.Run(engCfg("tsj-corpus-shared-token"), sids,
@@ -137,7 +147,7 @@ func SelfJoinCorpus(pc *corpus.Corpus, opts Options) ([]Result, *Stats, error) {
 
 	// ---- Jobs 2a+2b: similar-token candidates over stored postings ------
 	if opts.Matching == FuzzyTokenMatching {
-		similar := similarTokenCandidatesPostings(c, dropped, v.Postings, v.Alive, opts, st)
+		similar := similarTokenCandidatesPostings(c, dropped, v.Postings, v.Alive, pfSeg, opts, st)
 		candidates = append(candidates, similar...)
 	}
 

@@ -92,9 +92,16 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 	// Prefix-filtered exactly like the self-join's: prefixes are computed
 	// over the combined corpus, and the first-common-token rule plus the
 	// positional/length filters apply to each cross-side pair.
-	var pf *prefilter.Index
-	if !opts.DisablePrefixFilter {
-		pf = prefilter.NewIndex(c, dropped, opts.Threshold)
+	wantShared, wantSeg := prefixFilterWants(opts)
+	var pf, pfSeg *prefilter.Index
+	if wantShared || wantSeg {
+		ix := prefilter.NewIndex(c, dropped, opts.Threshold)
+		if wantShared {
+			pf = ix
+		}
+		if wantSeg {
+			pfSeg = ix
+		}
 	}
 	var prefixPruned atomic.Int64
 	sharedCands, st1 := mapreduce.Run(engCfg("tsj-join-shared-token"), sids,
@@ -150,7 +157,7 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 
 	// ---- Jobs 2a+2b: similar-token candidates ----------------------------
 	if opts.Matching == FuzzyTokenMatching {
-		candidates = append(candidates, similarTokenCandidatesBipartite(c, nr, dropped, opts, st)...)
+		candidates = append(candidates, similarTokenCandidatesBipartite(c, nr, dropped, pfSeg, opts, st)...)
 	}
 
 	// ---- Job 3: dedup + filter + verify ----------------------------------
@@ -215,19 +222,32 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 
 // similarTokenCandidatesBipartite NLD-joins the R-side token space against
 // the P-side token space with the bipartite MassJoin, then expands similar
-// token pairs through cross-side postings.
-func similarTokenCandidatesBipartite(c *token.Corpus, nr token.StringID, dropped []bool, opts Options, st *Stats) []uint64 {
+// token pairs through cross-side postings. pfSeg, when non-nil, restricts
+// both sides' postings to prefix membership (see
+// similarTokenCandidatesPostings for the losslessness argument — the
+// cross-side case is identical, with Job 1's bipartite reducers owning
+// every shared-kept-token pair).
+func similarTokenCandidatesBipartite(c *token.Corpus, nr token.StringID, dropped []bool, pfSeg *prefilter.Index, opts Options, st *Stats) []uint64 {
 	// Postings split by side; a token may have postings on both.
 	postR := make([][]token.StringID, c.NumTokens())
 	postP := make([][]token.StringID, c.NumTokens())
+	var segPruned int64
 	for sid, mem := range c.Members {
-		for _, tid := range mem {
+		list := mem
+		if pfSeg != nil {
+			list = pfSeg.Prefix(token.StringID(sid))
+			segPruned += int64(pfSeg.Distinct(token.StringID(sid)) - len(list))
+		}
+		for _, tid := range list {
 			if token.StringID(sid) < nr {
 				postR[tid] = append(postR[tid], token.StringID(sid))
 			} else {
 				postP[tid] = append(postP[tid], token.StringID(sid))
 			}
 		}
+	}
+	if pfSeg != nil {
+		st.SegPrefixPruned = segPruned
 	}
 
 	// Token spaces per side (kept tokens that occur on that side).

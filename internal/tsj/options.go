@@ -133,9 +133,29 @@ type Options struct {
 	// byte-identical either way (the pruning is lossless under every
 	// Matching mode); disabling is for ablation and equivalence testing.
 	DisablePrefixFilter bool
+	// DisableSegmentPrefixFilter switches off threshold-aware candidate
+	// pruning in the similar-token generator: by default the token-space
+	// NLD join and the postings expansion see only tokens inside some
+	// string's threshold-derived prefix — lossless because a pair whose
+	// only witness is a similar (non-identical) token pair shares no
+	// token, which forces both prefixes to cover the strings' entire
+	// kept-distinct sets (prefilter.SegmentPrefixLen). Results are
+	// byte-identical either way, including under MaxTokenFreq; disabling
+	// is for ablation and equivalence testing only.
+	DisableSegmentPrefixFilter bool
 	// MapTasks / Parallelism forward to the MapReduce engine.
 	MapTasks    int
 	Parallelism int
+}
+
+// prefixFilterWants reports which candidate generators consume a prefix
+// index under opts: Job 1 (shared-token) unless DisablePrefixFilter, and
+// Job 2 (similar-token) unless DisableSegmentPrefixFilter — Job 2 only
+// exists under fuzzy matching. One index serves both; callers build it
+// when either wants it.
+func prefixFilterWants(opts Options) (shared, seg bool) {
+	return !opts.DisablePrefixFilter,
+		!opts.DisableSegmentPrefixFilter && opts.Matching == FuzzyTokenMatching
 }
 
 // DefaultOptions returns the paper's default configuration: T = 0.1,

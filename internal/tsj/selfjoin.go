@@ -89,9 +89,18 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 	// from its first common prefix token, after the positional and length
 	// filters prove the pair can still satisfy NSLD <= T. Lossless: see
 	// the prefilter package for the argument.
-	var pf *prefilter.Index
-	if !opts.DisablePrefixFilter {
-		pf = prefilter.NewIndex(c, dropped, opts.Threshold)
+	// The prefix index serves both filters: Job 1's first-common-token
+	// rule and Job 2's segment prefix restriction (prefixFilterWants).
+	wantShared, wantSeg := prefixFilterWants(opts)
+	var pf, pfSeg *prefilter.Index
+	if wantShared || wantSeg {
+		ix := prefilter.NewIndex(c, dropped, opts.Threshold)
+		if wantShared {
+			pf = ix
+		}
+		if wantSeg {
+			pfSeg = ix
+		}
 	}
 	var prefixPruned atomic.Int64
 	sharedCands, st1 := mapreduce.Run(engCfg("tsj-shared-token"), sids,
@@ -140,7 +149,7 @@ func SelfJoin(c *token.Corpus, opts Options) ([]Result, *Stats, error) {
 
 	// ---- Jobs 2a+2b: similar-token candidates (Sec. III-D) --------------
 	if opts.Matching == FuzzyTokenMatching {
-		similar := similarTokenCandidates(c, dropped, opts, st)
+		similar := similarTokenCandidates(c, dropped, pfSeg, opts, st)
 		candidates = append(candidates, similar...)
 	}
 
@@ -225,8 +234,8 @@ func dedupVerify(candidates []uint64, ver *verifier, opts Options,
 // candidate string pairs (Sec. III-D). The expansion is fused into the
 // next job's map phase: its cost is exactly the number of candidate
 // records produced, which the dedup job's map accounting charges.
-func similarTokenCandidates(c *token.Corpus, dropped []bool, opts Options, st *Stats) []uint64 {
-	return similarTokenCandidatesPostings(c, dropped, nil, nil, opts, st)
+func similarTokenCandidates(c *token.Corpus, dropped []bool, pfSeg *prefilter.Index, opts Options, st *Stats) []uint64 {
+	return similarTokenCandidatesPostings(c, dropped, nil, nil, pfSeg, opts, st)
 }
 
 // similarTokenCandidatesPostings is similarTokenCandidates with
@@ -236,16 +245,48 @@ func similarTokenCandidates(c *token.Corpus, dropped []bool, opts Options, st *S
 // is live. Externally maintained posting lists may contain tombstoned
 // ids and ids minted after the caller's view was captured — both are
 // filtered here.
+//
+// pfSeg, when non-nil, applies the segment prefix filter: the postings
+// are rebuilt over prefix membership only — postings[t] lists the
+// strings whose threshold-derived prefix contains t — which restricts
+// both the token-space NLD join (tokens in no prefix drop out of the
+// joined space) and the expansion. Lossless: a qualifying pair whose
+// only witness is a similar token pair shares no kept token, so both
+// strings' kept-distinct counts are within their SLD budgets and their
+// prefixes are their entire kept-distinct sets
+// (prefilter.SegmentPrefixLen) — both witness carriers are prefix
+// members. Pairs that do share a kept token are Job 1's responsibility.
 func similarTokenCandidatesPostings(c *token.Corpus, dropped []bool,
-	postings [][]token.StringID, alive []bool, opts Options, st *Stats) []uint64 {
+	postings [][]token.StringID, alive []bool, pfSeg *prefilter.Index, opts Options, st *Stats) []uint64 {
+	if pfSeg != nil {
+		pp := make([][]token.StringID, c.NumTokens())
+		var pruned int64
+		for sid := range c.Members {
+			s := token.StringID(sid)
+			if alive != nil && (sid >= len(alive) || !alive[sid]) {
+				continue
+			}
+			pref := pfSeg.Prefix(s)
+			pruned += int64(pfSeg.Distinct(s) - len(pref))
+			for _, tid := range pref {
+				pp[tid] = append(pp[tid], s)
+			}
+		}
+		st.SegPrefixPruned = pruned
+		postings = pp
+	}
 	// Compact the kept token space for the join. Tokens whose live
 	// document frequency reached zero (every containing string deleted)
-	// cannot produce candidates; skipping them keeps the NLD join off the
-	// graveyard token space.
+	// cannot produce candidates — and, under the segment prefix filter,
+	// tokens in no prefix cannot either; skipping both keeps the NLD join
+	// off dead token space.
 	keptIdx := make([]token.TokenID, 0, c.NumTokens())
 	keptRunes := make([][]rune, 0, c.NumTokens())
 	for tid := 0; tid < c.NumTokens(); tid++ {
 		if !dropped[tid] && c.Freq[tid] > 0 {
+			if pfSeg != nil && len(postings[tid]) == 0 {
+				continue
+			}
 			keptIdx = append(keptIdx, token.TokenID(tid))
 			keptRunes = append(keptRunes, c.TokenRunes[tid])
 		}

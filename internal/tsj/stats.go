@@ -26,6 +26,11 @@ type Stats struct {
 	// reducer proved — from positions and aggregate lengths alone — that
 	// NSLD must exceed the threshold (always 0 with DisablePrefixFilter).
 	PrefixPruned int64
+	// SegPrefixPruned counts posting entries (token, string) the segment
+	// prefix filter excluded from the similar-token expansion — non-prefix
+	// tokens that neither entered the token-space NLD join nor expanded
+	// into candidates (always 0 with DisableSegmentPrefixFilter).
+	SegPrefixPruned int64
 	// SimilarTokenPairs is the number of similar (non-identical) token
 	// pairs found by the token-space NLD join.
 	SimilarTokenPairs int64
@@ -52,7 +57,7 @@ type Stats struct {
 // String renders a multi-line summary.
 func (s *Stats) String() string {
 	return fmt.Sprintf(
-		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned prefix=%d len=%d lb=%d budget=%d | verified=%d results=%d",
+		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned prefix=%d seg-prefix=%d len=%d lb=%d budget=%d | verified=%d results=%d",
 		s.KeptTokens, s.DroppedTokens, s.SharedTokenCandidates, s.SimilarTokenCandidates,
-		s.SimilarTokenPairs, s.DedupedCandidates, s.PrefixPruned, s.LengthPruned, s.LBPruned, s.BudgetPruned, s.Verified, s.Results)
+		s.SimilarTokenPairs, s.DedupedCandidates, s.PrefixPruned, s.SegPrefixPruned, s.LengthPruned, s.LBPruned, s.BudgetPruned, s.Verified, s.Results)
 }

@@ -28,16 +28,17 @@ func JoinStats(r, p []string, opts Options) ([]Pair, *Stats, error) {
 	combined = append(combined, p...)
 	c := token.BuildCorpus(combined, tok)
 	jopts := tsj.Options{
-		Threshold:            opts.Threshold,
-		MaxTokenFreq:         opts.MaxTokenFreq,
-		Matching:             opts.Matching,
-		Aligning:             opts.Aligning,
-		Dedup:                opts.Dedup,
-		MultiMatchAware:      true,
-		Parallelism:          opts.Parallelism,
-		DisableBoundedVerify: opts.DisableBoundedVerification,
-		DisableTokenLDCache:  opts.DisableTokenLDCache,
-		DisablePrefixFilter:  opts.DisablePrefixFilter,
+		Threshold:                  opts.Threshold,
+		MaxTokenFreq:               opts.MaxTokenFreq,
+		Matching:                   opts.Matching,
+		Aligning:                   opts.Aligning,
+		Dedup:                      opts.Dedup,
+		MultiMatchAware:            true,
+		Parallelism:                opts.Parallelism,
+		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisableTokenLDCache:        opts.DisableTokenLDCache,
+		DisablePrefixFilter:        opts.DisablePrefixFilter,
+		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 	}
 	results, st, err := tsj.Join(c, len(r), jopts)
 	if err != nil {

@@ -35,6 +35,12 @@ type MatcherOptions struct {
 	// with the arriving string's maxErrors(T, L)+1 rarest tokens, which
 	// is lossless). Matches are identical either way.
 	DisablePrefixFilter bool
+	// DisableSegmentPrefixFilter switches off threshold-aware pruning of
+	// the similar-token (segment index) path: on by default, the segment
+	// index is probed only with prefix tokens, and — when MaxTokenFreq
+	// is unlimited — only prefix tokens are segment-indexed at all.
+	// Matches are identical either way.
+	DisableSegmentPrefixFilter bool
 	// Tokenizer overrides the default whitespace+punctuation tokenizer.
 	Tokenizer Tokenizer
 }
@@ -46,13 +52,14 @@ type Match = stream.Match
 // NewMatcher creates an empty incremental matcher.
 func NewMatcher(opts MatcherOptions) (*Matcher, error) {
 	m, err := stream.NewMatcher(stream.Options{
-		Threshold:            opts.Threshold,
-		MaxTokenFreq:         opts.MaxTokenFreq,
-		Greedy:               opts.Greedy,
-		ExactTokensOnly:      opts.ExactTokensOnly,
-		DisableBoundedVerify: opts.DisableBoundedVerification,
-		DisablePrefixFilter:  opts.DisablePrefixFilter,
-		Tokenizer:            opts.Tokenizer,
+		Threshold:                  opts.Threshold,
+		MaxTokenFreq:               opts.MaxTokenFreq,
+		Greedy:                     opts.Greedy,
+		ExactTokensOnly:            opts.ExactTokensOnly,
+		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisablePrefixFilter:        opts.DisablePrefixFilter,
+		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
+		Tokenizer:                  opts.Tokenizer,
 	})
 	if err != nil {
 		return nil, err

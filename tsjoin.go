@@ -137,6 +137,14 @@ type Options struct {
 	// satisfy NSLD <= T before they are shuffled. Results are identical
 	// either way; disable only for ablation.
 	DisablePrefixFilter bool
+	// DisableSegmentPrefixFilter switches off threshold-aware candidate
+	// pruning in the similar-token generator. By default only prefix
+	// tokens enter the token-space NLD join and the postings expansion —
+	// lossless because a pair discoverable only through a similar token
+	// pair shares no token, which forces both prefixes to cover the
+	// strings' entire distinct sets. Results are identical either way;
+	// disable only for ablation.
+	DisableSegmentPrefixFilter bool
 }
 
 // Pair is one joined pair of input strings: indices into the input slice
@@ -168,16 +176,17 @@ func SelfJoinStats(names []string, opts Options) ([]Pair, *Stats, error) {
 	}
 	c := token.BuildCorpus(names, tok)
 	jopts := tsj.Options{
-		Threshold:            opts.Threshold,
-		MaxTokenFreq:         opts.MaxTokenFreq,
-		Matching:             opts.Matching,
-		Aligning:             opts.Aligning,
-		Dedup:                opts.Dedup,
-		MultiMatchAware:      true,
-		Parallelism:          opts.Parallelism,
-		DisableBoundedVerify: opts.DisableBoundedVerification,
-		DisableTokenLDCache:  opts.DisableTokenLDCache,
-		DisablePrefixFilter:  opts.DisablePrefixFilter,
+		Threshold:                  opts.Threshold,
+		MaxTokenFreq:               opts.MaxTokenFreq,
+		Matching:                   opts.Matching,
+		Aligning:                   opts.Aligning,
+		Dedup:                      opts.Dedup,
+		MultiMatchAware:            true,
+		Parallelism:                opts.Parallelism,
+		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisableTokenLDCache:        opts.DisableTokenLDCache,
+		DisablePrefixFilter:        opts.DisablePrefixFilter,
+		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 	}
 	results, st, err := tsj.SelfJoin(c, jopts)
 	if err != nil {
