@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-verify bench-candidates bench-segment bench-corpus equivalence-guard lint ci
+.PHONY: all build test test-nosimd test-arm64 race bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
 
 all: build
 
@@ -11,6 +11,34 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The portable scalar path must stay green on its own: the nosimd build
+# tag compiles the vector kernel out entirely, exactly like a non-AVX2
+# host.
+test-nosimd:
+	$(GO) test -tags nosimd ./...
+
+# Cross-compile everything (tests included) for arm64 to prove the
+# build-tag fences hold off-amd64; when a qemu-aarch64 user-mode
+# emulator is on PATH (CI's arm64 leg) the test binaries run under it,
+# otherwise they are compiled and discarded via -exec /bin/true.
+test-arm64:
+	CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) build ./...
+	CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) vet ./...
+	@qemu=$$(command -v qemu-aarch64-static || command -v qemu-aarch64); \
+	if [ -n "$$qemu" ]; then \
+		echo "arm64 tests under $$qemu"; \
+		CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) test -exec "$$qemu" -count=1 ./...; \
+	else \
+		echo "qemu-aarch64 absent: arm64 compile-only (tests built, not run)"; \
+		CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) test -exec /bin/true -count=1 ./... >/dev/null; \
+	fi
+
+# Bounded coverage-guided exploration of the two distance-kernel fuzz
+# targets; their seed corpora also run in every plain `go test`.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzLevenshteinSIMDEquivalence -fuzztime 30s ./internal/strdist/simd/
+	$(GO) test -fuzz FuzzLevenshteinBoundedU16 -fuzztime 30s ./internal/strdist/
 
 race:
 	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/... ./internal/corpus/... ./internal/histo/...
@@ -30,21 +58,37 @@ bench-segment:
 bench-corpus:
 	$(GO) test -run='^$$' -bench='CorpusAdd|SnapshotLoad|WALReplay' -benchtime=1x -benchmem ./internal/corpus/
 
+# Full benchmark pass rendered into one machine-readable artifact per
+# commit (CI uploads these so perf trajectories can be diffed offline).
+bench-json:
+	@sha=$$(git rev-parse --short HEAD 2>/dev/null || echo unknown); \
+	{ $(GO) test -run='^$$' -bench='SLD|Verify' -benchmem . && \
+	  $(GO) test -run='^$$' -bench='Candidates|Prefix' -benchtime=1x -benchmem . && \
+	  $(GO) test -run='^$$' -bench=SegmentProbe -benchtime=1x -benchmem ./internal/stream/ && \
+	  $(GO) test -run='^$$' -bench='CorpusAdd|SnapshotLoad|WALReplay' -benchtime=1x -benchmem ./internal/corpus/; } \
+	| $(GO) run ./cmd/benchjson -commit "$$sha" -o "BENCH_$$sha.json"
+
 equivalence-guard:
-	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
-	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence; do \
+	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
+	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence TestSIMDEquivalence; do \
 		if ! echo "$$out" | grep -q -- "--- PASS: $$pat"; then \
 			echo "no $$pat tests ran"; exit 1; fi; \
 		if echo "$$out" | grep -q -- "--- SKIP: $$pat"; then \
 			echo "$$pat tests were skipped"; exit 1; fi; \
 	done; \
-	echo "equivalence guard (bounded + prefix + segment-prefix + restart): ok"
+	echo "equivalence guard (bounded + prefix + segment-prefix + restart + simd): ok"
 
+# vet + gofmt always; staticcheck and govulncheck when installed (CI
+# installs both — locally they degrade to a notice, never a failure).
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-ci: build lint test race equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus
+ci: build lint test test-nosimd race equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus

@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive one benchmark
+// artifact per commit (BENCH_<sha>.json) and performance trajectories
+// can be diffed across the history without re-running anything.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -commit $(git rev-parse --short HEAD) -o BENCH_abc123.json
+//
+// Every benchmark result line becomes one record carrying the full
+// sub-benchmark name, the iteration count, and every reported metric
+// (ns/op, B/op, allocs/op, and custom b.ReportMetric units such as the
+// verify engine's ns/pair) keyed by unit. The goos/goarch/pkg/cpu
+// header lines are attached to each record so artifacts from different
+// CI matrix legs stay self-describing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one benchmark result line in context.
+type Record struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the artifact schema.
+type Doc struct {
+	Commit     string   `json:"commit,omitempty"`
+	RecordedAt string   `json:"recorded_at"`
+	Records    []Record `json:"records"`
+}
+
+// parseBench scans `go test -bench` output, collecting result lines and
+// the goos/goarch/pkg/cpu context that precedes them. Non-benchmark
+// lines (PASS, ok, test logs) are ignored.
+func parseBench(r io.Reader) ([]Record, error) {
+	var (
+		recs                   []Record
+		goos, goarch, pkg, cpu string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			cpu = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  value unit  [value unit]...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{
+			Name:       fields[0],
+			Pkg:        pkg,
+			Goos:       goos,
+			Goarch:     goarch,
+			CPU:        cpu,
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		bad := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		if !bad {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	commit := flag.String("commit", "", "commit hash to stamp into the artifact")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	recs, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatalf("reading stdin: %v", err)
+	}
+	if len(recs) == 0 {
+		log.Fatal("no benchmark result lines on stdin (run with `go test -bench ... | benchjson`)")
+	}
+	doc := Doc{
+		Commit:     *commit,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Records:    recs,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("benchjson: %d records -> %s\n", len(recs), *out)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.80GHz
+BenchmarkVerifyBounded/t=0.1 	14050412	       173.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVerifyBatch/t=0.3/simd            	  109737	     20569 ns/op	       231.6 ns/pair	       0 B/op	       0 allocs/op
+--- some test log line
+PASS
+ok  	repro	20.793s
+goos: linux
+goarch: amd64
+pkg: repro/internal/stream
+cpu: Intel(R) Xeon(R) CPU @ 2.80GHz
+BenchmarkSegmentProbe/T=0.10-8 	 1000000	      1043 ns/op
+PASS
+ok  	repro/internal/stream	1.201s
+`
+
+func TestParseBench(t *testing.T) {
+	recs, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	r := recs[1]
+	if r.Name != "BenchmarkVerifyBatch/t=0.3/simd" || r.Pkg != "repro" || r.Iterations != 109737 {
+		t.Fatalf("record mismatch: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 20569 || r.Metrics["ns/pair"] != 231.6 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics mismatch: %+v", r.Metrics)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || !strings.Contains(r.CPU, "Xeon") {
+		t.Fatalf("context mismatch: %+v", r)
+	}
+	// The third record must carry the second pkg header, not the first.
+	if recs[2].Pkg != "repro/internal/stream" {
+		t.Fatalf("pkg context not updated: %+v", recs[2])
+	}
+	if recs[2].Metrics["ns/op"] != 1043 {
+		t.Fatalf("single-metric record mismatch: %+v", recs[2].Metrics)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	recs, err := parseBench(strings.NewReader("PASS\nok \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records from non-bench output", len(recs))
+	}
+}

@@ -290,6 +290,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SegKeysProbed    int64 `json:"seg_keys_probed"`
 		SegTokensChecked int64 `json:"seg_tokens_checked"`
 		SegTokensSimilar int64 `json:"seg_tokens_similar"`
+		// Batched-verification funnel: pairs through the vector path,
+		// kernel invocations, occupied lanes, scalar-fallback cells.
+		BatchedPairs     int64 `json:"batched_pairs"`
+		SIMDKernels      int64 `json:"simd_kernels"`
+		SIMDLanes        int64 `json:"simd_lanes"`
+		BatchScalarCells int64 `json:"batch_scalar_cells"`
 		// Wall times are reported in milliseconds so dashboards need no
 		// duration parsing.
 		CandGenWallMs  float64                `json:"cand_gen_wall_ms"`
@@ -299,6 +305,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Corpus         *tsjoin.CorpusStats    `json:"corpus,omitempty"`
 	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.PrefixPruned,
 		st.SegPrefixPruned, st.SegKeysProbed, st.SegTokensChecked, st.SegTokensSimilar,
+		st.BatchedPairs, st.SIMDKernels, st.SIMDLanes, st.BatchScalarCells,
 		ms(st.CandGenWall), ms(st.VerifyWall),
 		st.TokensPerShard, lat, corpusStats})
 }
@@ -321,6 +328,7 @@ func run() error {
 	shards := flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
 	greedy := flag.Bool("greedy", false, "greedy-token-aligning verification")
 	exactTokens := flag.Bool("exact-tokens", false, "exact-token matching only")
+	noSIMD := flag.Bool("nosimd", false, "disable the vectorized batched verification path")
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
 	syncEvery := flag.Int("sync-every", 1, "fsync the WAL every N records (1 = every add durable on return)")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "checkpoint the corpus on this interval (0 = manual /snapshot only)")
@@ -332,6 +340,7 @@ func run() error {
 			MaxTokenFreq:    *maxFreq,
 			Greedy:          *greedy,
 			ExactTokensOnly: *exactTokens,
+			DisableSIMD:     *noSIMD,
 		},
 		Shards: *shards,
 	}
@@ -395,7 +404,8 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (threshold=%g shards=%d durable=%v)", *addr, *threshold, m.Shards(), c != nil)
+		log.Printf("listening on %s (threshold=%g shards=%d durable=%v simd=%v)",
+			*addr, *threshold, m.Shards(), c != nil, tsjoin.SIMDAvailable() && !*noSIMD)
 		errc <- srv.ListenAndServe()
 	}()
 

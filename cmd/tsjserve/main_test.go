@@ -138,6 +138,10 @@ func TestServeStatsFilterTelemetry(t *testing.T) {
 		SegKeysProbed    *int64   `json:"seg_keys_probed"`
 		SegTokensChecked *int64   `json:"seg_tokens_checked"`
 		SegTokensSimilar *int64   `json:"seg_tokens_similar"`
+		BatchedPairs     *int64   `json:"batched_pairs"`
+		SIMDKernels      *int64   `json:"simd_kernels"`
+		SIMDLanes        *int64   `json:"simd_lanes"`
+		BatchScalarCells *int64   `json:"batch_scalar_cells"`
 		CandGenWallMs    *float64 `json:"cand_gen_wall_ms"`
 		VerifyWallMs     *float64 `json:"verify_wall_ms"`
 	}
@@ -153,6 +157,13 @@ func TestServeStatsFilterTelemetry(t *testing.T) {
 	}
 	if *stats.SegKeysProbed == 0 {
 		t.Fatal("seg_keys_probed not populated by the near-duplicate traffic")
+	}
+	if stats.BatchedPairs == nil || stats.SIMDKernels == nil ||
+		stats.SIMDLanes == nil || stats.BatchScalarCells == nil {
+		t.Fatal("/stats missing batched-verification counters")
+	}
+	if tsjoin.SIMDAvailable() && stats.Verified > 0 && *stats.BatchedPairs == 0 {
+		t.Fatal("batched_pairs not populated despite a live kernel and verified pairs")
 	}
 	if stats.CandGenWallMs == nil || stats.VerifyWallMs == nil {
 		t.Fatal("/stats missing cand_gen_wall_ms or verify_wall_ms")

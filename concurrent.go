@@ -66,6 +66,7 @@ func streamOptions(opts ConcurrentMatcherOptions) stream.Options {
 		Greedy:                     opts.Greedy,
 		ExactTokensOnly:            opts.ExactTokensOnly,
 		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisableSIMD:                opts.DisableSIMD,
 		DisablePrefixFilter:        opts.DisablePrefixFilter,
 		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 		Tokenizer:                  opts.Tokenizer,

@@ -121,6 +121,7 @@ func (c *Corpus) SelfJoinStats(opts Options) ([]Pair, *Stats, error) {
 		Parallelism:                opts.Parallelism,
 		DisableBoundedVerify:       opts.DisableBoundedVerification,
 		DisableTokenLDCache:        opts.DisableTokenLDCache,
+		DisableSIMD:                opts.DisableSIMD,
 		DisablePrefixFilter:        opts.DisablePrefixFilter,
 		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 	}

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"repro/internal/strdist"
+	"repro/internal/strdist/simd"
+	"repro/internal/token"
+)
+
+// BatchKernelAvailable reports whether the vectorized batch kernel is
+// live on this build and CPU (amd64 with AVX2, not built with
+// -tags nosimd). When false, VerifyBatch transparently verifies pair by
+// pair with the scalar engine.
+func BatchKernelAvailable() bool { return simd.Available() }
+
+// BatchResult is the verdict for one candidate of a batched
+// verification — the same triple Verify returns.
+type BatchResult struct {
+	SLD    int
+	Within bool
+	Pruned bool
+}
+
+// BatchCounters observes the batched verification path. Callers pass
+// one to VerifyBatch (nil is allowed) and fold it into their stats.
+type BatchCounters struct {
+	// Batched counts candidates verified through the batch machinery
+	// (as opposed to the per-pair scalar fallback).
+	Batched int64
+	// Kernels counts vector-kernel invocations.
+	Kernels int64
+	// Lanes counts occupied kernel lanes summed over invocations; the
+	// mean lanes-per-kernel (Lanes/Kernels, out of simd.Width) is the
+	// batching efficiency.
+	Lanes int64
+	// ScalarCells counts token-pair cells inside the batch path that
+	// fell back to the scalar DP (oversized or non-BMP tokens).
+	ScalarCells int64
+}
+
+// Add folds o into b.
+func (b *BatchCounters) Add(o BatchCounters) {
+	b.Batched += o.Batched
+	b.Kernels += o.Kernels
+	b.Lanes += o.Lanes
+	b.ScalarCells += o.ScalarCells
+}
+
+const (
+	// batchMinCands is the smallest candidate list worth bucketing; a
+	// single survivor verifies scalar.
+	batchMinCands = 2
+	// batchMaxTokenLen routes pathologically long tokens to the scalar
+	// banded DP, which exploits the budget band the full-matrix kernel
+	// forgoes; it also keeps every DP value far below uint16 saturation.
+	batchMaxTokenLen = 64
+	// batchMaxBudget keeps per-lane caps inside uint16 headroom
+	// (caps+1 must not saturate); budgets this large only arise from
+	// degenerate thresholds, which verify scalar.
+	batchMaxBudget = 1<<15 - 2
+	// batchTinyBudget routes candidates with budgets this small to the
+	// scalar engine: its banded DP touches only ~2*budget+3 cells per row
+	// and its row-minima abort fires within a couple of rows, which the
+	// full-matrix kernel cannot beat no matter how full its lanes are.
+	batchTinyBudget = 1
+)
+
+// batchEntry is one cost-matrix column cell source: candidate c's token
+// j (of rune length lb, 0 for scalar-routed entries).
+type batchEntry struct {
+	c  int32
+	j  int16
+	lb int16
+}
+
+// batchGroup is one kernel lane group: sortedEnts[lo:hi] all share
+// token length lb, their transposed runes live at blocks[blockOff:],
+// and caps carries each lane's pair budget (padding lanes replicate the
+// last occupied lane, keeping the kernel's all-lanes abort honest).
+type batchGroup struct {
+	lo, hi   int
+	lb       int
+	blockOff int
+	maxCap   int
+	caps     [simd.Width]uint16
+}
+
+// batchScratch is the reusable state of VerifyBatch; like the rest of
+// the Verifier's scratch it reaches a zero-allocation steady state.
+type batchScratch struct {
+	budgets    []int
+	done       []bool
+	rowMin     []int
+	rowSum     []int
+	minTok     []int
+	cellOff    []int
+	probe      []uint16
+	probeOff   []int
+	kernelEnts []batchEntry
+	sortedEnts []batchEntry
+	scalarEnts []batchEntry
+	blocks     []uint16
+	cells      []uint16
+	groups     []batchGroup
+	krow       []uint16
+	kout       [simd.Width]uint16
+}
+
+// growSlice returns a slice of length n backed by s when possible.
+func growSlice[T int | bool | uint16 | batchEntry](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	ns := make([]T, n, c)
+	copy(ns, s[:cap(s)])
+	return ns
+}
+
+// narrowProbe caches the probe's tokens as uint16 runes (the kernel's
+// input width), reporting false when any token is too long or carries
+// runes outside the BMP — those probes verify scalar.
+func (bs *batchScratch) narrowProbe(x token.TokenizedString) bool {
+	bs.probe = bs.probe[:0]
+	bs.probeOff = bs.probeOff[:0]
+	for i := 0; i < x.Count(); i++ {
+		r := x.TokenRunes(i)
+		if len(r) == 0 || len(r) > batchMaxTokenLen {
+			return false
+		}
+		bs.probeOff = append(bs.probeOff, len(bs.probe))
+		for _, c := range r {
+			if c < 0 || c >= 0x10000 {
+				return false
+			}
+			bs.probe = append(bs.probe, uint16(c))
+		}
+	}
+	bs.probeOff = append(bs.probeOff, len(bs.probe))
+	return true
+}
+
+// kernelToken reports whether a candidate token can ride a kernel lane.
+func kernelToken(r []rune) bool {
+	if len(r) == 0 || len(r) > batchMaxTokenLen {
+		return false
+	}
+	for _, c := range r {
+		if c < 0 || c >= 0x10000 {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyBatch verifies one probe x against many candidates ys at
+// threshold t, writing per-candidate verdicts into out (len(out) must
+// equal len(ys)). Verdicts are identical to calling Verify per pair —
+// property-tested by TestSIMDEquivalenceVerifyBatch — but the token-pair
+// Levenshtein cells are computed a lane-width at a time: candidate
+// tokens are bucketed by rune length, and each bucket sweeps all
+// simd.Width lanes against the same probe token in one kernel
+// invocation. The scalar path's pruning survives batching: every cell is
+// capped at the pair budget + 1, per-row minima accumulate into the
+// assignment lower bound, and a candidate is abandoned (Pruned) the
+// moment the bound passes its budget, before the alignment runs.
+//
+// When the kernel is unavailable (BatchKernelAvailable false), the
+// batch is too small, or the probe carries oversized/non-BMP tokens,
+// every pair verifies through the scalar engine instead. ctr, when
+// non-nil, accumulates batching counters either way.
+func (v *Verifier) VerifyBatch(x token.TokenizedString, ys []*token.TokenizedString, t float64, out []BatchResult, ctr *BatchCounters) {
+	if len(ys) == 0 {
+		return
+	}
+	if t < 0 {
+		for i := range out {
+			out[i] = BatchResult{0, false, true}
+		}
+		return
+	}
+	if v.DisableBatch || !simd.Available() || len(ys) < batchMinCands || x.Count() == 0 {
+		v.verifyBatchScalar(x, ys, t, out)
+		return
+	}
+	if v.bs == nil {
+		v.bs = &batchScratch{}
+	}
+	bs := v.bs
+	if !bs.narrowProbe(x) {
+		v.verifyBatchScalar(x, ys, t, out)
+		return
+	}
+
+	n := len(ys)
+	m := x.Count()
+	lx := x.AggregateLen()
+	if ctr != nil {
+		ctr.Batched += int64(n)
+	}
+
+	// ---- Per-candidate budgets, trivial cases, cell bucketing -----------
+	bs.budgets = growSlice(bs.budgets, n)
+	bs.done = growSlice(bs.done, n)
+	bs.rowMin = growSlice(bs.rowMin, n)
+	bs.rowSum = growSlice(bs.rowSum, n)
+	bs.minTok = growSlice(bs.minTok, n)
+	bs.cellOff = growSlice(bs.cellOff, n)
+	bs.kernelEnts = bs.kernelEnts[:0]
+	bs.scalarEnts = bs.scalarEnts[:0]
+	cellTotal := 0
+	for c, y := range ys {
+		bs.done[c] = false
+		bs.rowSum[c] = 0
+		b := MaxSLDWithin(t, lx, y.AggregateLen())
+		bs.budgets[c] = b
+		if y.Count() == 0 {
+			out[c] = BatchResult{lx, lx <= b, false}
+			bs.done[c] = true
+			continue
+		}
+		if b > batchMaxBudget || b <= batchTinyBudget {
+			sld, within, pruned := v.verify(x, *y, nil, nil, b)
+			out[c] = BatchResult{sld, within, pruned}
+			bs.done[c] = true
+			continue
+		}
+		bs.cellOff[c] = cellTotal
+		cellTotal += m * y.Count()
+		minTok := int(^uint(0) >> 2)
+		for j := 0; j < y.Count(); j++ {
+			r := y.TokenRunes(j)
+			if len(r) < minTok {
+				minTok = len(r)
+			}
+			if kernelToken(r) {
+				bs.kernelEnts = append(bs.kernelEnts, batchEntry{c: int32(c), j: int16(j), lb: int16(len(r))})
+			} else {
+				bs.scalarEnts = append(bs.scalarEnts, batchEntry{c: int32(c), j: int16(j)})
+			}
+		}
+		bs.minTok[c] = minTok
+	}
+	bs.cells = growSlice(bs.cells, cellTotal)
+
+	// ---- Length-sort the kernel cells and carve lane groups -------------
+	// Counting sort by lb: tiny, stable, allocation-free.
+	var count [batchMaxTokenLen + 1]int32
+	for _, e := range bs.kernelEnts {
+		count[e.lb]++
+	}
+	pos := int32(0)
+	for lb := range count {
+		c := count[lb]
+		count[lb] = pos
+		pos += c
+	}
+	bs.sortedEnts = growSlice(bs.sortedEnts, len(bs.kernelEnts))
+	for _, e := range bs.kernelEnts {
+		bs.sortedEnts[count[e.lb]] = e
+		count[e.lb]++
+	}
+
+	bs.groups = bs.groups[:0]
+	bs.blocks = bs.blocks[:0]
+	for lo := 0; lo < len(bs.sortedEnts); {
+		lb := int(bs.sortedEnts[lo].lb)
+		hi := lo + 1
+		for hi < len(bs.sortedEnts) && int(bs.sortedEnts[hi].lb) == lb && hi-lo < simd.Width {
+			hi++
+		}
+		g := batchGroup{lo: lo, hi: hi, lb: lb, blockOff: len(bs.blocks)}
+		base := g.blockOff
+		bs.blocks = growSlice(bs.blocks, base+lb*simd.Width)
+		for idx := lo; idx < hi; idx++ {
+			e := bs.sortedEnts[idx]
+			l := idx - lo
+			for jj, rn := range ys[e.c].TokenRunes(int(e.j)) {
+				bs.blocks[base+jj*simd.Width+l] = uint16(rn)
+			}
+			cp := bs.budgets[e.c]
+			g.caps[l] = uint16(cp)
+			if cp > g.maxCap {
+				g.maxCap = cp
+			}
+		}
+		// Pad unoccupied lanes by replicating the last occupied one so
+		// the kernel's all-lanes abort only ever sees real data.
+		last := hi - lo - 1
+		for l := hi - lo; l < simd.Width; l++ {
+			for jj := 0; jj < lb; jj++ {
+				bs.blocks[base+jj*simd.Width+l] = bs.blocks[base+jj*simd.Width+last]
+			}
+			g.caps[l] = g.caps[last]
+		}
+		bs.groups = append(bs.groups, g)
+		lo = hi
+	}
+
+	// ---- Row sweep: one kernel invocation per (probe token, group) ------
+	// Mirrors buildCost row by row: cells capped at budget+1, per-row
+	// minima accumulate the assignment lower bound, candidates die the
+	// row the bound passes their budget (identical partial sums).
+	const inf = int(^uint(0) >> 2)
+	for i := 0; i < m; i++ {
+		la := bs.probeOff[i+1] - bs.probeOff[i]
+		probeTok := bs.probe[bs.probeOff[i]:bs.probeOff[i+1]]
+		for c := range ys {
+			if !bs.done[c] {
+				bs.rowMin[c] = inf
+			}
+		}
+		for gi := range bs.groups {
+			g := &bs.groups[gi]
+			allDone := true
+			for idx := g.lo; idx < g.hi; idx++ {
+				if !bs.done[bs.sortedEnts[idx].c] {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				continue
+			}
+			d := la - g.lb
+			if d < 0 {
+				d = -d
+			}
+			if d > g.maxCap {
+				// Every lane is length-pruned: LD >= |la-lb| > cap, so
+				// each cell is its cap+1 without touching the kernel.
+				for idx := g.lo; idx < g.hi; idx++ {
+					e := bs.sortedEnts[idx]
+					if bs.done[e.c] {
+						continue
+					}
+					cell := bs.budgets[e.c] + 1
+					bs.cells[bs.cellOff[e.c]+i*ys[e.c].Count()+int(e.j)] = uint16(cell)
+					if cell < bs.rowMin[e.c] {
+						bs.rowMin[e.c] = cell
+					}
+				}
+				continue
+			}
+			simd.LevBatch16(probeTok, bs.blocks[g.blockOff:g.blockOff+g.lb*simd.Width], g.lb, &g.caps, &bs.krow, &bs.kout)
+			if ctr != nil {
+				ctr.Kernels++
+				ctr.Lanes += int64(g.hi - g.lo)
+			}
+			for idx := g.lo; idx < g.hi; idx++ {
+				e := bs.sortedEnts[idx]
+				if bs.done[e.c] {
+					continue
+				}
+				cell := int(bs.kout[idx-g.lo])
+				bs.cells[bs.cellOff[e.c]+i*ys[e.c].Count()+int(e.j)] = uint16(cell)
+				if cell < bs.rowMin[e.c] {
+					bs.rowMin[e.c] = cell
+				}
+			}
+		}
+		if len(bs.scalarEnts) > 0 {
+			xr := x.TokenRunes(i)
+			for _, e := range bs.scalarEnts {
+				if bs.done[e.c] {
+					continue
+				}
+				d, _ := strdist.LevenshteinBoundedScratchU16(xr, ys[e.c].TokenRunes(int(e.j)), bs.budgets[e.c], &v.levRow)
+				bs.cells[bs.cellOff[e.c]+i*ys[e.c].Count()+int(e.j)] = uint16(d)
+				if d < bs.rowMin[e.c] {
+					bs.rowMin[e.c] = d
+				}
+				if ctr != nil {
+					ctr.ScalarCells++
+				}
+			}
+		}
+		for c, y := range ys {
+			if bs.done[c] {
+				continue
+			}
+			rm := bs.rowMin[c]
+			if y.Count() < m {
+				// ε columns: deleting probe token i costs la (capped).
+				eps := la
+				if cap1 := bs.budgets[c] + 1; eps > cap1 {
+					eps = cap1
+				}
+				if eps < rm {
+					rm = eps
+				}
+			}
+			bs.rowSum[c] += rm
+			if bs.rowSum[c] > bs.budgets[c] {
+				out[c] = BatchResult{bs.rowSum[c], false, true}
+				bs.done[c] = true
+			}
+		}
+	}
+
+	// ---- ε rows, matrix assembly, alignment -----------------------------
+	for c, y := range ys {
+		if bs.done[c] {
+			continue
+		}
+		nc := y.Count()
+		b := bs.budgets[c]
+		cap1 := b + 1
+		for i := m; i < nc; i++ {
+			// Growing ε into candidate tokens: the row minimum is the
+			// shortest token (capped), exactly buildCost's ε rows.
+			rm := bs.minTok[c]
+			if rm > cap1 {
+				rm = cap1
+			}
+			bs.rowSum[c] += rm
+			if bs.rowSum[c] > b {
+				out[c] = BatchResult{bs.rowSum[c], false, true}
+				bs.done[c] = true
+				break
+			}
+		}
+		if bs.done[c] {
+			continue
+		}
+		k := m
+		if nc > k {
+			k = nc
+		}
+		if cap(v.cost) < k*k {
+			v.cost = make([]int, k*k, 2*k*k)
+		}
+		v.cost = v.cost[:k*k]
+		cells := bs.cells[bs.cellOff[c]:]
+		for i := 0; i < k; i++ {
+			row := v.cost[i*k : (i+1)*k]
+			if i < m {
+				for j := 0; j < nc; j++ {
+					row[j] = int(cells[i*nc+j])
+				}
+				if nc < k {
+					eps := bs.probeOff[i+1] - bs.probeOff[i]
+					if eps > cap1 {
+						eps = cap1
+					}
+					for j := nc; j < k; j++ {
+						row[j] = eps
+					}
+				}
+			} else {
+				for j := 0; j < nc; j++ {
+					e := len(y.TokenRunes(j))
+					if e > cap1 {
+						e = cap1
+					}
+					row[j] = e
+				}
+			}
+		}
+		var total int
+		var ok, early bool
+		if v.Greedy {
+			total, ok, early = v.scratch.GreedyFlat(v.cost, k, b)
+		} else {
+			total, ok, early = v.scratch.HungarianFlat(v.cost, k, b)
+		}
+		out[c] = BatchResult{total, ok, !ok && early}
+	}
+}
+
+// verifyBatchScalar is the per-pair fallback with verdict parity.
+func (v *Verifier) verifyBatchScalar(x token.TokenizedString, ys []*token.TokenizedString, t float64, out []BatchResult) {
+	for i, y := range ys {
+		sld, within, pruned := v.Verify(x, *y, t)
+		out[i] = BatchResult{sld, within, pruned}
+	}
+}

@@ -73,10 +73,15 @@ type Verifier struct {
 	// per join instead of once per worker. Cache wins when both are set.
 	// Like Cache, it is only consulted under VerifyIDs.
 	Shared *SharedTokenLDCache
+	// DisableBatch forces VerifyBatch onto the per-pair scalar path even
+	// when the vector kernel is available; the verdicts are identical
+	// either way (see VerifyBatch).
+	DisableBatch bool
 
 	cost    []int    // flattened k x k cost matrix
 	levRow  []uint16 // Levenshtein DP row (token lengths fit uint16)
 	scratch assignment.Scratch
+	bs      *batchScratch // VerifyBatch state, lazily allocated
 }
 
 // Verify decides NSLD(x, y) <= t with the threshold-derived budget.

@@ -1,0 +1,67 @@
+package strdist
+
+import "testing"
+
+// clampRunes bounds a fuzz string to max runes so each execution stays
+// fast; content is untouched (the U16 path must handle any rune,
+// including astral-plane ones, by construction).
+func clampRunes(s string, max int) []rune {
+	r := []rune(s)
+	if len(r) > max {
+		r = r[:max]
+	}
+	return r
+}
+
+// FuzzLevenshteinBoundedU16 cross-checks the banded uint16 verifier
+// core — the DP the batch kernel's scalar spill path and the bounded
+// verifier both run per token pair — against the exact full-matrix
+// oracle on arbitrary rune pairs and budgets: within budget the bounded
+// distance must equal the exact one, over budget it must report
+// (max+1, false), and the reused scratch row must not leak state
+// between calls. The checked-in seeds double as a regression corpus in
+// plain `go test`; CI additionally runs a bounded `-fuzz` exploration.
+func FuzzLevenshteinBoundedU16(f *testing.F) {
+	f.Add("barak obama", "obama barack", uint16(3))
+	f.Add("kernel", "colonel", uint16(0))
+	f.Add("", "nonempty", uint16(4))
+	f.Add("é✓ürich", "z\U0001F600rich", uint16(5))
+	f.Add("aaaaaaaaaaaaaaaa", "ab", uint16(2))
+	f.Add("mississippi", "mississippi", uint16(65535))
+	f.Fuzz(func(t *testing.T, a, b string, maxSeed uint16) {
+		ar := clampRunes(a, 48)
+		br := clampRunes(b, 48)
+		max := int(maxSeed % 96)
+		if maxSeed%97 == 0 {
+			max = int(maxSeed) // exercise the wide-budget int fallback
+		}
+		exact := LevenshteinRunes(ar, br)
+
+		var row []uint16
+		d, ok := LevenshteinBoundedScratchU16(ar, br, max, &row)
+		if exact <= max {
+			if !ok || d != exact {
+				t.Fatalf("U16(%q, %q, %d) = (%d, %v), want (%d, true)", a, b, max, d, ok, exact)
+			}
+		} else if ok || d != max+1 {
+			t.Fatalf("U16(%q, %q, %d) = (%d, %v), want (%d, false); exact %d", a, b, max, d, ok, max+1, exact)
+		}
+
+		// The scratch row is reused dirty across pairs in production;
+		// a second call over the same row must agree with the first.
+		d2, ok2 := LevenshteinBoundedScratchU16(ar, br, max, &row)
+		if d2 != d || ok2 != ok {
+			t.Fatalf("dirty-row rerun (%d, %v) != first (%d, %v) on (%q, %q, %d)", d2, ok2, d, ok, a, b, max)
+		}
+
+		// The int-row variant and the allocating wrapper share the
+		// contract; all three must agree verdict for verdict.
+		var irow []int
+		di, oki := LevenshteinBoundedScratch(ar, br, max, &irow)
+		db, okb := LevenshteinBounded(ar, br, max)
+		if di != d || oki != ok || db != d || okb != ok {
+			t.Fatalf("bounded variants disagree on (%q, %q, %d): u16 (%d, %v), int (%d, %v), alloc (%d, %v)",
+				a, b, max, d, ok, di, oki, db, okb)
+		}
+	})
+}

@@ -1,0 +1,36 @@
+//go:build amd64 && !nosimd
+
+package simd
+
+// cpuid and xgetbv are implemented in cpuid_amd64.s. The detection is
+// self-contained (no golang.org/x/sys/cpu dependency): CPUID leaf 7
+// advertises AVX2, and XGETBV confirms the OS actually saves the YMM
+// register state across context switches — both checks are required
+// before executing VEX-encoded instructions.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be set by the OS.
+	xeax, _ := xgetbv()
+	if xeax&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const cpuidAVX2 = 1 << 5
+	return ebx7&cpuidAVX2 != 0
+}

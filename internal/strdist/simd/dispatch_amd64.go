@@ -1,0 +1,21 @@
+//go:build amd64 && !nosimd
+
+package simd
+
+// Available reports whether the vectorized batch kernel is live: AVX2
+// detected at init and the build not forced scalar with -tags nosimd.
+func Available() bool { return hasAVX2 }
+
+// levBatch16AVX2 is the assembly kernel (lev_amd64.s). See LevBatch16
+// for the contract; row must hold Width*(lb+1) uint16s.
+//
+//go:noescape
+func levBatch16AVX2(probe *uint16, la int, cand *uint16, lb int, caps *uint16, row *uint16, out *uint16)
+
+func levBatch16(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	if !hasAVX2 {
+		levBatch16Generic(probe, cand, lb, caps, row, out)
+		return
+	}
+	levBatch16AVX2(&probe[0], len(probe), &cand[0], lb, &caps[0], &row[0], &out[0])
+}

@@ -1,0 +1,11 @@
+//go:build !amd64 || nosimd
+
+package simd
+
+// Available reports whether the vectorized batch kernel is live. This
+// build (non-amd64, or -tags nosimd) always runs the portable kernel.
+func Available() bool { return false }
+
+func levBatch16(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	levBatch16Generic(probe, cand, lb, caps, row, out)
+}

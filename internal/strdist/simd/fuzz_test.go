@@ -1,0 +1,82 @@
+package simd
+
+import (
+	"testing"
+
+	"repro/internal/strdist"
+)
+
+// sanitizeLanes turns arbitrary fuzz strings into a kernel-legal lane
+// group: BMP-only runes, equal candidate lengths (by repeating b's
+// runes cyclically with a per-lane mutation), bounded sizes.
+func sanitizeLanes(a, b string, capSeed uint16) (probe []rune, cands [][]rune, caps []int, ok bool) {
+	probe = keepBMP([]rune(a), 32)
+	base := keepBMP([]rune(b), 32)
+	if len(probe) == 0 || len(base) == 0 {
+		return nil, nil, nil, false
+	}
+	cands = make([][]rune, Width)
+	caps = make([]int, Width)
+	for l := 0; l < Width; l++ {
+		c := make([]rune, len(base))
+		copy(c, base)
+		// Deterministic per-lane mutation keeps lanes distinct without
+		// changing the length.
+		c[l%len(c)] = rune('a' + l)
+		cands[l] = c
+		caps[l] = int((capSeed + uint16(l)*3) % 48)
+	}
+	return probe, cands, caps, true
+}
+
+func keepBMP(rs []rune, max int) []rune {
+	out := rs[:0]
+	for _, r := range rs {
+		if r >= 0 && r < 0x10000 {
+			out = append(out, r)
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// FuzzLevenshteinSIMDEquivalence asserts the dispatched kernel (AVX2
+// assembly where available) and the portable reference both equal the
+// scalar DP, lane for lane, on arbitrary rune pairs and caps. The
+// checked-in seeds double as a regression corpus in plain `go test`.
+func FuzzLevenshteinSIMDEquivalence(f *testing.F) {
+	f.Add("barak obama", "obama barack", uint16(3))
+	f.Add("kernel", "colonel", uint16(0))
+	f.Add("aaaa", "aaab", uint16(1))
+	f.Add("é✓ürich", "zurich", uint16(5))
+	f.Add("x", "y", uint16(40))
+	f.Add("mississippi", "mississippi", uint16(2))
+	f.Fuzz(func(t *testing.T, a, b string, capSeed uint16) {
+		probe, cands, caps, ok := sanitizeLanes(a, b, capSeed)
+		if !ok {
+			return
+		}
+		lb := len(cands[0])
+		block, capv := buildLanes(cands, lb, caps)
+		var row, row2 []uint16
+		var out, out2 [Width]uint16
+		LevBatch16(narrow(probe), block, lb, &capv, &row, &out)
+		levBatch16Generic(narrow(probe), block, lb, &capv, growTestRow(&row2, lb), &out2)
+		if out != out2 {
+			t.Fatalf("dispatched %v != generic %v (probe %q base %q)", out, out2, a, b)
+		}
+		for l := 0; l < Width; l++ {
+			d := strdist.LevenshteinRunes(probe, cands[l])
+			want := d
+			if want > caps[l] {
+				want = caps[l] + 1
+			}
+			if int(out[l]) != want {
+				t.Fatalf("lane %d: kernel %d, want min(LD=%d, cap=%d + 1) (probe %q cand %q)",
+					l, out[l], d, caps[l], string(probe), string(cands[l]))
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package simd
+
+// levBatch16Generic is the portable reference kernel: the exact
+// lane-for-lane computation of the AVX2 kernel, including the
+// all-lanes row-minima abort and the caps[l]+1 clamp, so the assembly
+// and every fallback configuration produce identical bytes. It is the
+// dispatch target on non-amd64 architectures and under -tags nosimd,
+// and the oracle the equivalence tests and fuzzers compare against.
+func levBatch16Generic(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	la := len(probe)
+	// row[j*Width+l] = D[i-1][j] for lane l.
+	for j := 0; j <= lb; j++ {
+		v := satU16(j)
+		for l := 0; l < Width; l++ {
+			row[j*Width+l] = v
+		}
+	}
+	var prev, left, rowMin [Width]uint16
+	for i := 1; i <= la; i++ {
+		ai := probe[i-1]
+		iv := satU16(i)
+		for l := 0; l < Width; l++ {
+			prev[l] = row[l] // D[i-1][0]
+			row[l] = iv      // D[i][0]
+			left[l] = iv
+			rowMin[l] = iv
+		}
+		for j := 1; j <= lb; j++ {
+			for l := 0; l < Width; l++ {
+				cur := row[j*Width+l] // D[i-1][j]
+				var cost uint16 = 1
+				if cand[(j-1)*Width+l] == ai {
+					cost = 0
+				}
+				best := addSat(prev[l], cost)
+				if d := addSat(cur, 1); d < best {
+					best = d
+				}
+				if d := addSat(left[l], 1); d < best {
+					best = d
+				}
+				row[j*Width+l] = best
+				if best < rowMin[l] {
+					rowMin[l] = best
+				}
+				prev[l] = cur
+				left[l] = best
+			}
+		}
+		allDead := true
+		for l := 0; l < Width; l++ {
+			if rowMin[l] <= caps[l] {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			for l := 0; l < Width; l++ {
+				out[l] = addSat(caps[l], 1)
+			}
+			return
+		}
+	}
+	for l := 0; l < Width; l++ {
+		d := row[lb*Width+l]
+		if c1 := addSat(caps[l], 1); d > c1 {
+			d = c1
+		}
+		out[l] = d
+	}
+}
+
+// addSat is the saturating uint16 addition the vector kernel performs
+// with VPADDUSW.
+func addSat(a, b uint16) uint16 {
+	s := uint32(a) + uint32(b)
+	if s > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(s)
+}
+
+// satU16 narrows a non-negative int with uint16 saturation.
+func satU16(v int) uint16 {
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
+}

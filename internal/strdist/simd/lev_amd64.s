@@ -1,0 +1,121 @@
+//go:build amd64 && !nosimd
+
+#include "textflag.h"
+
+// levBatch16AVX2 sweeps 16 independent Levenshtein dynamic programs in
+// the word lanes of the 256-bit registers: one probe token (broadcast
+// per row) against 16 candidate tokens of equal rune length lb, stored
+// lane-major (cand[j*16+l] = rune j of lane l). The DP row is the
+// uint16 layout of strdist.LevenshteinBoundedScratchU16, widened to 16
+// lanes: row[j] is a 16-lane vector holding D[i][j] per candidate.
+//
+// Per cell (identical to the scalar recurrence):
+//
+//	best = min(prev + cost, cur + 1, left + 1)
+//
+// with saturating adds (VPADDUSW) so no lane ever wraps. After each row
+// the per-lane row minimum — a lower bound on the final distance, since
+// any edit path crosses every row — is compared against the per-lane
+// caps; once every lane's bound exceeds its cap the kernel aborts and
+// reports caps+1 everywhere, mirroring the scalar banded DP's
+// row-minima abort. Results are clamped to caps+1, so out <= cap is
+// exact and out == cap+1 encodes LD > cap.
+//
+// Register map:
+//
+//	Y1  ai (probe rune, broadcast)   Y10 i (row number, broadcast)
+//	Y2  prev = D[i-1][j-1]           Y12 caps
+//	Y3  left = D[i][j-1]             Y13 caps+1
+//	Y4  row minimum                  Y14 all-ones words (constant 1)
+//	Y5  cur  = D[i-1][j]             Y15 zero
+//	Y6  candidate runes, column j
+//	Y7  cost / best scratch          Y8, Y9 del / ins scratch
+//
+// func levBatch16AVX2(probe *uint16, la int, cand *uint16, lb int, caps *uint16, row *uint16, out *uint16)
+TEXT ·levBatch16AVX2(SB), NOSPLIT, $0-56
+	MOVQ probe+0(FP), SI
+	MOVQ la+8(FP), AX
+	MOVQ cand+16(FP), DI
+	MOVQ lb+24(FP), BX
+	MOVQ caps+32(FP), DX
+	MOVQ row+40(FP), R8
+	MOVQ out+48(FP), R9
+
+	VPXOR    Y15, Y15, Y15
+	VMOVDQU  (DX), Y12
+	VPCMPEQW Y14, Y14, Y14
+	VPSRLW   $15, Y14, Y14      // each word lane = 1
+	VPADDUSW Y14, Y12, Y13      // caps+1
+
+	// row[j] = broadcast(j) for j = 0..lb.
+	VPXOR Y0, Y0, Y0
+	MOVQ  R8, R10
+	MOVQ  BX, CX
+	INCQ  CX
+
+initrow:
+	VMOVDQU  Y0, (R10)
+	VPADDUSW Y14, Y0, Y0
+	ADDQ     $32, R10
+	DECQ     CX
+	JNZ      initrow
+
+	MOVQ  $0, R11               // i-1
+	VPXOR Y10, Y10, Y10         // i (incremented at loop head)
+
+rowloop:
+	VPBROADCASTW (SI)(R11*2), Y1
+
+	VMOVDQU  (R8), Y2           // prev = D[i-1][0]
+	VPADDUSW Y14, Y10, Y10      // i
+	VMOVDQU  Y10, (R8)          // D[i][0] = i
+	VMOVDQA  Y10, Y3            // left
+	VMOVDQA  Y10, Y4            // rowMin (column 0 participates)
+
+	MOVQ DI, R12                // candidate runes, column 1
+	MOVQ R8, R10                // cell pointer: D[.][j] at 32(R10)
+	MOVQ BX, CX
+
+colloop:
+	VMOVDQU  32(R10), Y5        // cur = D[i-1][j]
+	VMOVDQU  (R12), Y6
+	VPCMPEQW Y6, Y1, Y7         // 0xFFFF where runes equal
+	VPANDN   Y14, Y7, Y7        // cost = 1 - equal
+	VPADDUSW Y7, Y2, Y7         // sub = prev + cost
+	VPADDUSW Y14, Y5, Y8        // del = cur + 1
+	VPADDUSW Y14, Y3, Y9        // ins = left + 1
+	VPMINUW  Y8, Y7, Y7
+	VPMINUW  Y9, Y7, Y7         // best
+	VMOVDQU  Y7, 32(R10)
+	VPMINUW  Y7, Y4, Y4
+	VMOVDQA  Y5, Y2             // prev = cur
+	VMOVDQA  Y7, Y3             // left = best
+	ADDQ     $32, R10
+	ADDQ     $32, R12
+	DECQ     CX
+	JNZ      colloop
+
+	// All lanes dead (rowMin > cap everywhere)?
+	VPSUBUSW  Y12, Y4, Y4       // max(rowMin - caps, 0): nonzero iff dead
+	VPCMPEQW  Y15, Y4, Y4       // 0xFFFF iff lane alive
+	VPMOVMSKB Y4, R13
+	TESTL     R13, R13
+	JZ        abort
+
+	INCQ R11
+	CMPQ R11, AX
+	JLT  rowloop
+
+	// out = min(D[la][lb], caps+1)
+	MOVQ    BX, CX
+	SHLQ    $5, CX
+	VMOVDQU (R8)(CX*1), Y0
+	VPMINUW Y13, Y0, Y0
+	VMOVDQU Y0, (R9)
+	VZEROUPPER
+	RET
+
+abort:
+	VMOVDQU Y13, (R9)
+	VZEROUPPER
+	RET

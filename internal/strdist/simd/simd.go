@@ -1,0 +1,52 @@
+// Package simd provides vectorized batched inner loops for the banded
+// Levenshtein verification stage. One kernel invocation sweeps Width
+// independent dynamic programs — the same probe token against Width
+// candidate tokens of equal length — through uint16 DP rows laid out
+// lane-major, the layout the uint16 scratch rows of internal/strdist
+// were shaped for.
+//
+// The AVX2 kernel (lev_amd64.s) is selected at init via CPUID feature
+// detection and gated behind `amd64 && !nosimd` build tags; every other
+// configuration — other architectures, or any build with `-tags nosimd`
+// — runs the portable generic kernel, which is bit-identical by
+// construction and property-tested against both the assembly and the
+// scalar DP (TestSIMDEquivalenceKernel, FuzzLevenshteinSIMDEquivalence).
+package simd
+
+// Width is the number of DP lanes one kernel invocation sweeps: 16
+// uint16 lanes of one 256-bit vector register.
+const Width = 16
+
+// LevBatch16 computes, for every lane l in [0, Width),
+//
+//	out[l] = min(LD(probe, cand lane l), caps[l]+1)
+//
+// where cand is the lane-major transposed rune matrix of Width candidate
+// tokens that all have rune length lb (cand[j*Width+l] is rune j of lane
+// l) and probe is one token's runes narrowed to uint16. A result
+// out[l] <= caps[l] is the exact Levenshtein distance; out[l] ==
+// caps[l]+1 means only LD > caps[l] (the kernel may abort a row early
+// once every lane's row minimum exceeds its cap — the same row-minima
+// lower bound the scalar banded DP aborts on).
+//
+// row is caller-owned scratch, grown as needed and retained across
+// calls so steady-state invocations allocate nothing.
+//
+// Preconditions (the caller enforces them; internal/core routes
+// violating cells to the scalar DP): len(probe) >= 1, lb >= 1, every
+// rune of probe and cand below 0x10000 and narrowed injectively, and
+// len(probe)+lb < 32768 so no DP cell saturates uint16 arithmetic.
+// Unused lanes must be padded by replicating an occupied lane (runes
+// and cap) so the all-lanes abort sees only real data.
+func LevBatch16(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row *[]uint16, out *[Width]uint16) {
+	need := Width * (lb + 1)
+	if cap(*row) < need {
+		c := cap(*row) * 2
+		if c < need {
+			c = need
+		}
+		*row = make([]uint16, need, c)
+	}
+	*row = (*row)[:need]
+	levBatch16(probe, cand, lb, caps, *row, out)
+}

@@ -1,0 +1,158 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/strdist"
+)
+
+// randToken draws a token of exactly n runes from a small alphabet so
+// rune collisions (and therefore interesting DP structure) are common.
+func randToken(rng *rand.Rand, n int, alphabet []rune) []rune {
+	r := make([]rune, n)
+	for i := range r {
+		r[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return r
+}
+
+func narrow(rs []rune) []uint16 {
+	u := make([]uint16, len(rs))
+	for i, r := range rs {
+		u[i] = uint16(r)
+	}
+	return u
+}
+
+// buildLanes transposes cands (each of rune length lb) into the
+// lane-major kernel layout, replicating the last candidate into unused
+// lanes, and returns the matching caps vector.
+func buildLanes(cands [][]rune, lb int, caps []int) ([]uint16, [Width]uint16) {
+	block := make([]uint16, lb*Width)
+	var capv [Width]uint16
+	for l := 0; l < Width; l++ {
+		src := l
+		if src >= len(cands) {
+			src = len(cands) - 1
+		}
+		for j := 0; j < lb; j++ {
+			block[j*Width+l] = uint16(cands[src][j])
+		}
+		capv[l] = uint16(caps[src])
+	}
+	return block, capv
+}
+
+// expect is the scalar contract: min(LD, cap+1).
+func expect(probe, cand []rune, cap int) int {
+	d := strdist.LevenshteinRunes(probe, cand)
+	if d > cap {
+		return cap + 1
+	}
+	return d
+}
+
+// TestSIMDEquivalenceKernel drives the dispatched kernel (the AVX2
+// assembly when available, the portable kernel otherwise) and the
+// generic reference across random same-length candidate groups and
+// asserts both agree with the scalar DP on every lane. This is the
+// family the CI equivalence guard requires to run un-skipped.
+func TestSIMDEquivalenceKernel(t *testing.T) {
+	t.Logf("assembly kernel available: %v", Available())
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []rune("abcdeé✓") // multi-byte but BMP runes included
+	var row, row2 []uint16
+	for iter := 0; iter < 2000; iter++ {
+		la := 1 + rng.Intn(16)
+		lb := 1 + rng.Intn(16)
+		probe := randToken(rng, la, alphabet)
+		nc := 1 + rng.Intn(Width)
+		cands := make([][]rune, nc)
+		caps := make([]int, nc)
+		for c := range cands {
+			cands[c] = randToken(rng, lb, alphabet)
+			caps[c] = rng.Intn(20)
+		}
+		block, capv := buildLanes(cands, lb, caps)
+		var out, out2 [Width]uint16
+		LevBatch16(narrow(probe), block, lb, &capv, &row, &out)
+		levBatch16Generic(narrow(probe), block, lb, &capv, growTestRow(&row2, lb), &out2)
+		for l := 0; l < nc; l++ {
+			want := expect(probe, cands[l], caps[l])
+			if int(out[l]) != want && !abortConsistent(out[l], capv[l], want) {
+				t.Fatalf("iter %d lane %d: dispatched kernel %d, want %d (cap %d, probe %q, cand %q)",
+					iter, l, out[l], want, caps[l], string(probe), string(cands[l]))
+			}
+			if out2[l] != out[l] {
+				t.Fatalf("iter %d lane %d: generic %d != dispatched %d", iter, l, out2[l], out[l])
+			}
+		}
+	}
+}
+
+// abortConsistent accepts the one place kernel output may differ from
+// min(LD, cap+1) pointwise: never — the all-lanes abort only fires when
+// every lane's distance exceeds its cap, in which case cap+1 is exactly
+// min(LD, cap+1). Kept as an explicit assertion of that reasoning.
+func abortConsistent(got, cap uint16, want int) bool { return false }
+
+func growTestRow(row *[]uint16, lb int) []uint16 {
+	need := Width * (lb + 1)
+	if cap(*row) < need {
+		*row = make([]uint16, need)
+	}
+	*row = (*row)[:need]
+	return *row
+}
+
+// TestSIMDEquivalenceAbortParity forces the early-abort path (tiny caps,
+// distant strings) on both kernels and checks they agree cell-for-cell.
+func TestSIMDEquivalenceAbortParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []rune("xy")
+	distant := []rune("qrstuvwz")
+	var row, row2 []uint16
+	for iter := 0; iter < 500; iter++ {
+		la := 4 + rng.Intn(12)
+		lb := 4 + rng.Intn(12)
+		probe := randToken(rng, la, alphabet)
+		nc := 1 + rng.Intn(Width)
+		cands := make([][]rune, nc)
+		caps := make([]int, nc)
+		for c := range cands {
+			cands[c] = randToken(rng, lb, distant)
+			caps[c] = rng.Intn(3) // almost always dead
+		}
+		block, capv := buildLanes(cands, lb, caps)
+		var out, out2 [Width]uint16
+		LevBatch16(narrow(probe), block, lb, &capv, &row, &out)
+		levBatch16Generic(narrow(probe), block, lb, &capv, growTestRow(&row2, lb), &out2)
+		if out != out2 {
+			t.Fatalf("iter %d: dispatched %v != generic %v", iter, out, out2)
+		}
+		for l := 0; l < nc; l++ {
+			want := expect(probe, cands[l], caps[l])
+			if int(out[l]) != want {
+				t.Fatalf("iter %d lane %d: got %d want %d", iter, l, out[l], want)
+			}
+		}
+	}
+}
+
+// TestLevBatch16ZeroAlloc pins the steady state: a reused row means no
+// allocations per kernel invocation.
+func TestLevBatch16ZeroAlloc(t *testing.T) {
+	probe := narrow([]rune("kernel"))
+	cands := [][]rune{[]rune("colonel"), []rune("colonel"), []rune("kernels"), []rune("colonel")}
+	block, capv := buildLanes(cands, 7, []int{5, 5, 5, 5})
+	var row []uint16
+	var out [Width]uint16
+	LevBatch16(probe, block, 7, &capv, &row, &out) // warm the row
+	allocs := testing.AllocsPerRun(100, func() {
+		LevBatch16(probe, block, 7, &capv, &row, &out)
+	})
+	if allocs != 0 {
+		t.Fatalf("LevBatch16 allocates %v/op in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/namegen"
+)
+
+// TestSIMDEquivalenceStream: the sequential matcher returns
+// byte-identical match sets with the vectorized batch path on and off,
+// for both aligners, and the SIMD counters light up exactly when the
+// kernel is live. This is the stream leg of the CI equivalence guard.
+func TestSIMDEquivalenceStream(t *testing.T) {
+	t.Logf("batch kernel available: %v", core.BatchKernelAvailable())
+	names := namegen.Generate(namegen.Config{Seed: 43, NumNames: 220})
+	for _, greedy := range []bool{false, true} {
+		for _, th := range []float64{0.15, 0.3} {
+			scalar, sst := streamAll(t, names, Options{
+				Threshold: th, Greedy: greedy, DisableSIMD: true,
+			})
+			batched, bst := streamAll(t, names, Options{
+				Threshold: th, Greedy: greedy,
+			})
+			if !reflect.DeepEqual(scalar, batched) {
+				t.Fatalf("t=%.2f greedy=%v: batched match sets differ from scalar", th, greedy)
+			}
+			if sst.BatchedPairs != 0 || sst.SIMDKernels != 0 {
+				t.Fatalf("t=%.2f greedy=%v: SIMD counters nonzero with DisableSIMD (%+v)",
+					th, greedy, sst)
+			}
+			if bst.Verified != sst.Verified || bst.BudgetPruned != sst.BudgetPruned {
+				t.Fatalf("t=%.2f greedy=%v: batching changed Verified/BudgetPruned (%d/%d vs %d/%d)",
+					th, greedy, bst.Verified, bst.BudgetPruned, sst.Verified, sst.BudgetPruned)
+			}
+			if core.BatchKernelAvailable() {
+				if bst.BatchedPairs == 0 || bst.SIMDKernels == 0 {
+					t.Fatalf("t=%.2f greedy=%v: kernel live but SIMD counters idle (%+v)",
+						th, greedy, bst)
+				}
+				if bst.SIMDLanes < bst.SIMDKernels || bst.SIMDLanes > 16*bst.SIMDKernels {
+					t.Fatalf("t=%.2f greedy=%v: lane count %d incoherent for %d kernels",
+						th, greedy, bst.SIMDLanes, bst.SIMDKernels)
+				}
+			} else if bst.BatchedPairs != 0 {
+				t.Fatalf("t=%.2f greedy=%v: BatchedPairs=%d without a kernel",
+					th, greedy, bst.BatchedPairs)
+			}
+		}
+	}
+}
+
+// TestSIMDEquivalenceSharded: the sharded matcher agrees with the
+// sequential scalar baseline at several shard counts with the batch path
+// on, and its SIMD counters behave like the sequential ones.
+func TestSIMDEquivalenceSharded(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 44, NumNames: 200})
+	const th = 0.2
+	want, _ := streamAll(t, names, Options{Threshold: th, DisableSIMD: true})
+	for _, shards := range []int{1, 3, 8} {
+		m, err := NewShardedMatcher(Options{Threshold: th}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]Match, len(names))
+		for i, n := range names {
+			_, got[i] = m.Add(n)
+		}
+		st := m.Stats()
+		m.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: batched sharded match sets differ from scalar sequential", shards)
+		}
+		if core.BatchKernelAvailable() {
+			if st.BatchedPairs == 0 {
+				t.Fatalf("shards=%d: kernel live but BatchedPairs=0", shards)
+			}
+			if st.SIMDLanes < st.SIMDKernels || st.SIMDLanes > 16*st.SIMDKernels {
+				t.Fatalf("shards=%d: lane count %d incoherent for %d kernels",
+					shards, st.SIMDLanes, st.SIMDKernels)
+			}
+		} else if st.BatchedPairs != 0 {
+			t.Fatalf("shards=%d: BatchedPairs=%d without a kernel", shards, st.BatchedPairs)
+		}
+	}
+}

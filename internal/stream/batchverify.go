@@ -1,0 +1,92 @@
+package stream
+
+import (
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// batchVerifier couples a verification engine with the candidate-group
+// scratch of the batched verify path: all of one probe's
+// filter-surviving candidates are handed to core.Verifier.VerifyBatch in
+// one call, which buckets their tokens by length and sweeps the
+// Levenshtein cells a vector-lane-width at a time (falling back to the
+// scalar engine, with identical verdicts, when the kernel is
+// unavailable or batching is disabled). Like the Verifier it wraps, a
+// batchVerifier is single-threaded scratch: one per worker.
+type batchVerifier struct {
+	ver core.Verifier
+	ids []int32
+	ys  []*token.TokenizedString
+	res []core.BatchResult
+}
+
+// verifyCands filters one probe's candidates (the Sec. III-E length and
+// lower-bound prunes, plus the optional tombstone mask) and verifies the
+// survivors against ts, appending matches to out in candidate order.
+// Returns the extended slice plus the verified and budget-pruned counts
+// for the caller's stats; kernel-level counters accumulate into ctr.
+// Match sets are identical to per-pair verification.
+func (b *batchVerifier) verifyCands(ts token.TokenizedString, strs []token.TokenizedString, dead []bool, cands []int32, opt *Options, ctr *core.BatchCounters, out []Match) ([]Match, int64, int64) {
+	if opt.DisableBoundedVerify {
+		// Exact unbounded verification has no batch form (the kernel is
+		// budget-capped by construction); keep the per-pair pipeline.
+		var verified, pruned int64
+		for _, cand := range cands {
+			if dead != nil && dead[cand] {
+				continue
+			}
+			mt, ok, oc := verifyPair(&b.ver, ts, strs[cand], cand, opt)
+			if oc.verified {
+				verified++
+			}
+			if oc.budgetPruned {
+				pruned++
+			}
+			if ok {
+				out = append(out, mt)
+			}
+		}
+		return out, verified, pruned
+	}
+
+	t := opt.Threshold
+	la := ts.AggregateLen()
+	b.ids = b.ids[:0]
+	b.ys = b.ys[:0]
+	for _, cand := range cands {
+		if dead != nil && dead[cand] {
+			continue
+		}
+		other := &strs[cand]
+		if core.LengthPrune(la, other.AggregateLen(), t) {
+			continue
+		}
+		if core.LowerBoundPrune(ts, *other, t) {
+			continue
+		}
+		b.ids = append(b.ids, cand)
+		b.ys = append(b.ys, other)
+	}
+	if len(b.ids) == 0 {
+		return out, 0, 0
+	}
+	if cap(b.res) < len(b.ids) {
+		b.res = make([]core.BatchResult, len(b.ids), 2*len(b.ids))
+	}
+	b.res = b.res[:len(b.ids)]
+	b.ver.VerifyBatch(ts, b.ys, t, b.res, ctr)
+	var pruned int64
+	for i, r := range b.res {
+		if r.Pruned {
+			pruned++
+		}
+		if r.Within {
+			out = append(out, Match{
+				ID:   int(b.ids[i]),
+				SLD:  r.SLD,
+				NSLD: core.NSLDFromSLD(r.SLD, la, b.ys[i].AggregateLen()),
+			})
+		}
+	}
+	return out, int64(len(b.ids)), pruned
+}

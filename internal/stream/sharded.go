@@ -58,6 +58,10 @@ type ShardedMatcher struct {
 	queries          atomic.Int64
 	verified         atomic.Int64
 	budgetPruned     atomic.Int64
+	batchedPairs     atomic.Int64
+	simdKernels      atomic.Int64
+	simdLanes        atomic.Int64
+	batchScalarCells atomic.Int64
 	prefixPruned     atomic.Int64
 	segPrefixPruned  atomic.Int64
 	segKeysProbed    atomic.Int64
@@ -102,6 +106,18 @@ type ShardedStats struct {
 	SegKeysProbed    int64
 	SegTokensChecked int64
 	SegTokensSimilar int64
+	// BatchedPairs counts candidate pairs verified through the batched
+	// vector path (0 when DisableSIMD, when bounded verification is off,
+	// or when the kernel is unavailable on this hardware/build).
+	BatchedPairs int64
+	// SIMDKernels / SIMDLanes count vector-kernel invocations and the
+	// occupied lanes they carried; SIMDLanes/SIMDKernels (out of 16) is
+	// the lane-fill efficiency.
+	SIMDKernels int64
+	SIMDLanes   int64
+	// BatchScalarCells counts token-pair cells inside the batched path
+	// that fell back to the scalar DP (oversized or non-BMP tokens).
+	BatchScalarCells int64
 	// CandGenWall / VerifyWall accumulate the wall time spent generating
 	// candidates (shard fan-out, merge, dedup) and verifying them.
 	CandGenWall time.Duration
@@ -127,7 +143,7 @@ func NewShardedMatcher(opt Options, shards int) (*ShardedMatcher, error) {
 		pool:   newWorkerPool(shards),
 	}
 	m.verPool.New = func() any {
-		return &core.Verifier{Greedy: opt.Greedy}
+		return &batchVerifier{ver: core.Verifier{Greedy: opt.Greedy, DisableBatch: opt.DisableSIMD}}
 	}
 	m.scratchPool.New = func() any {
 		return newProbeScratch(opt.Threshold)
@@ -161,6 +177,10 @@ func (m *ShardedMatcher) Stats() ShardedStats {
 		SegKeysProbed:    m.segKeysProbed.Load(),
 		SegTokensChecked: m.segTokensChecked.Load(),
 		SegTokensSimilar: m.segTokensSimilar.Load(),
+		BatchedPairs:     m.batchedPairs.Load(),
+		SIMDKernels:      m.simdKernels.Load(),
+		SIMDLanes:        m.simdLanes.Load(),
+		BatchScalarCells: m.batchScalarCells.Load(),
 		CandGenWall:      time.Duration(m.candGenWall.Load()),
 		VerifyWall:       time.Duration(m.verifyWall.Load()),
 		TokensPerShard:   make([]int, len(m.shards)),
@@ -450,34 +470,31 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 }
 
 // verifyChunk filters and verifies one ascending run of candidate ids
-// with a pooled verification engine, batching the stats counters so the
-// atomics are touched once per chunk, not once per pair. Tombstoned ids
-// (dead) are skipped — their posting entries linger until a restart.
+// with a pooled batch-verification engine: the chunk's filter survivors
+// go through one batched verify against the shared probe, and the stats
+// counters touch the atomics once per chunk, not once per pair.
+// Tombstoned ids (dead) are skipped — their posting entries linger until
+// a restart.
 func (m *ShardedMatcher) verifyChunk(ts token.TokenizedString, strs []token.TokenizedString, dead []bool, cands []int32) []Match {
-	ver := m.verPool.Get().(*core.Verifier)
-	var out []Match
-	var verified, budgetPruned int64
-	for _, cand := range cands {
-		if dead[cand] {
-			continue
-		}
-		mt, ok, oc := verifyPair(ver, ts, strs[cand], cand, &m.opt)
-		if oc.verified {
-			verified++
-		}
-		if oc.budgetPruned {
-			budgetPruned++
-		}
-		if ok {
-			out = append(out, mt)
-		}
-	}
-	m.verPool.Put(ver)
+	bv := m.verPool.Get().(*batchVerifier)
+	var ctr core.BatchCounters
+	out, verified, budgetPruned := bv.verifyCands(ts, strs, dead, cands, &m.opt, &ctr, nil)
+	m.verPool.Put(bv)
 	if verified > 0 {
 		m.verified.Add(verified)
 	}
 	if budgetPruned > 0 {
 		m.budgetPruned.Add(budgetPruned)
+	}
+	if ctr.Batched > 0 {
+		m.batchedPairs.Add(ctr.Batched)
+	}
+	if ctr.Kernels > 0 {
+		m.simdKernels.Add(ctr.Kernels)
+		m.simdLanes.Add(ctr.Lanes)
+	}
+	if ctr.ScalarCells > 0 {
+		m.batchScalarCells.Add(ctr.ScalarCells)
 	}
 	return out
 }

@@ -56,6 +56,13 @@ type Options struct {
 	// which is lossless (see markPrefix). Matches are identical either
 	// way; disabling is for ablation and equivalence testing only.
 	DisablePrefixFilter bool
+	// DisableSIMD switches off the vectorized batched verification path:
+	// by default (on hardware and builds where core.BatchKernelAvailable)
+	// each probe's filter-surviving candidates are verified as one batch
+	// whose token-distance cells run a vector-lane-width at a time.
+	// Matches are identical either way; disabling is for ablation,
+	// equivalence testing, and ruling out kernel issues in the field.
+	DisableSIMD bool
 	// DisableSegmentPrefixFilter switches off threshold-aware pruning of
 	// the similar-token path: by default the segment index is probed only
 	// with the arriving string's threshold-derived prefix tokens (plus,
@@ -114,6 +121,18 @@ type MatcherStats struct {
 	SegKeysProbed    int64
 	SegTokensChecked int64
 	SegTokensSimilar int64
+	// BatchedPairs counts candidate pairs verified through the batched
+	// vector path (0 when DisableSIMD, when bounded verification is off,
+	// or when the kernel is unavailable on this hardware/build).
+	BatchedPairs int64
+	// SIMDKernels / SIMDLanes count vector-kernel invocations and the
+	// occupied lanes they carried; SIMDLanes/SIMDKernels (out of 16) is
+	// the lane-fill efficiency.
+	SIMDKernels int64
+	SIMDLanes   int64
+	// BatchScalarCells counts token-pair cells inside the batched path
+	// that fell back to the scalar DP (oversized or non-BMP tokens).
+	BatchScalarCells int64
 	// CandGenWall / VerifyWall accumulate the wall time spent generating
 	// candidates (index probes, merge, dedup) and verifying them.
 	CandGenWall time.Duration
@@ -126,7 +145,7 @@ type Matcher struct {
 	opt     Options
 	strings []token.TokenizedString
 	ix      *tokenIndex
-	ver     core.Verifier // reusable verification engine (single-threaded)
+	bver    batchVerifier // reusable verification engine + batch scratch (single-threaded)
 	scratch *probeScratch // reusable segment-probe scratch (single-threaded)
 
 	emptyIDs []int32 // token-less strings
@@ -142,6 +161,7 @@ type Matcher struct {
 
 	verified     int64
 	budgetPruned int64
+	batchCtr     core.BatchCounters
 	probeCtr     probeCounters
 	candGenWall  time.Duration
 	verifyWall   time.Duration
@@ -153,7 +173,8 @@ func NewMatcher(opt Options) (*Matcher, error) {
 		return nil, err
 	}
 	m := &Matcher{opt: opt, ix: newTokenIndex(opt), scratch: newProbeScratch(opt.Threshold)}
-	m.ver.Greedy = opt.Greedy
+	m.bver.ver.Greedy = opt.Greedy
+	m.bver.ver.DisableBatch = opt.DisableSIMD
 	return m, nil
 }
 
@@ -168,6 +189,10 @@ func (m *Matcher) Stats() MatcherStats {
 		SegKeysProbed:    m.probeCtr.segKeysProbed,
 		SegTokensChecked: m.probeCtr.segTokensChecked,
 		SegTokensSimilar: m.probeCtr.segTokensSimilar,
+		BatchedPairs:     m.batchCtr.Batched,
+		SIMDKernels:      m.batchCtr.Kernels,
+		SIMDLanes:        m.batchCtr.Lanes,
+		BatchScalarCells: m.batchCtr.ScalarCells,
 		CandGenWall:      m.candGenWall,
 		VerifyWall:       m.verifyWall,
 	}
@@ -241,18 +266,10 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 	m.candGenWall += genDone.Sub(start)
 
 	// ---- Verify ---------------------------------------------------------
-	for _, cand := range m.candBuf {
-		mt, ok, oc := verifyPair(&m.ver, ts, m.strings[cand], cand, &m.opt)
-		if oc.verified {
-			m.verified++
-		}
-		if oc.budgetPruned {
-			m.budgetPruned++
-		}
-		if ok {
-			out = append(out, mt)
-		}
-	}
+	var verified, pruned int64
+	out, verified, pruned = m.bver.verifyCands(ts, m.strings, nil, m.candBuf, &m.opt, &m.batchCtr, out)
+	m.verified += verified
+	m.budgetPruned += pruned
 	m.verifyWall += time.Since(genDone)
 	sortMatches(out)
 	return out

@@ -186,17 +186,31 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 			func(k token.StringID, partners []token.StringID, ctx *mapreduce.ReduceCtx[Result]) {
 				seen := make(map[token.StringID]struct{}, len(partners))
 				pv := ver.get()
-				for _, p := range partners {
-					if _, dup := seen[p]; dup {
-						continue
+				if ver.batch {
+					// Batched path: dedup first, then verify the whole
+					// partner list (one shared probe) in lane-width groups.
+					pv.partners = pv.partners[:0]
+					for _, p := range partners {
+						if _, dup := seen[p]; dup {
+							continue
+						}
+						seen[p] = struct{}{}
+						pv.partners = append(pv.partners, p)
 					}
-					seen[p] = struct{}{}
-					// Restore (R, P) orientation.
-					a, b := k, p
-					if a > b {
-						a, b = b, a
+					ver.verifyPartners(k, pv.partners, pv, ctx)
+				} else {
+					for _, p := range partners {
+						if _, dup := seen[p]; dup {
+							continue
+						}
+						seen[p] = struct{}{}
+						// Restore id-ascending orientation.
+						a, b := k, p
+						if a > b {
+							a, b = b, a
+						}
+						ver.verifyPair(a, b, pv, ctx)
 					}
-					ver.verifyPair(a, b, pv, ctx)
 				}
 				ver.put(pv)
 			},
@@ -209,6 +223,10 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 	st.Verified = ver.verified.Load()
 	st.BudgetPruned = ver.budgetPruned.Load()
 	st.Results = ver.results.Load() + st.EmptyStringPairs
+	st.BatchedPairs = ver.batchedPairs.Load()
+	st.SIMDKernels = ver.simdKernels.Load()
+	st.SIMDLanes = ver.simdLanes.Load()
+	st.BatchScalarCells = ver.batchScalarCells.Load()
 
 	results = append(results, verified...)
 	sort.Slice(results, func(i, j int) bool {

@@ -124,6 +124,14 @@ type Options struct {
 	// LD memo (on by default; it only applies when bounded verification
 	// is on). Results are unaffected.
 	DisableTokenLDCache bool
+	// DisableSIMD switches off the vectorized batched verification path:
+	// by default (when bounded verification is on and the kernel is live
+	// on this hardware/build — core.BatchKernelAvailable) each
+	// grouping-on-one-string reducer verifies its partner list in
+	// lane-width batches against the shared probe string. Results are
+	// byte-identical either way; disabling is for ablation, equivalence
+	// testing, and ruling out kernel issues in the field.
+	DisableSIMD bool
 	// DisablePrefixFilter switches off threshold-aware candidate pruning
 	// in the shared-token generator: by default only each string's
 	// threshold-derived prefix (its MaxErrors(T, L)+1 rarest tokens under

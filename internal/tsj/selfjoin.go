@@ -201,13 +201,27 @@ func dedupVerify(candidates []uint64, ver *verifier, opts Options,
 			func(k token.StringID, partners []token.StringID, ctx *mapreduce.ReduceCtx[Result]) {
 				seen := make(map[token.StringID]struct{}, len(partners))
 				pv := ver.get()
-				for _, p := range partners {
-					if _, dup := seen[p]; dup {
-						continue
+				if ver.batch {
+					// Batched path: dedup first, then verify the whole
+					// partner list (one shared probe) in lane-width groups.
+					pv.partners = pv.partners[:0]
+					for _, p := range partners {
+						if _, dup := seen[p]; dup {
+							continue
+						}
+						seen[p] = struct{}{}
+						pv.partners = append(pv.partners, p)
 					}
-					seen[p] = struct{}{}
-					a, b := normPair(k, p)
-					ver.verifyPair(a, b, pv, ctx)
+					ver.verifyPartners(k, pv.partners, pv, ctx)
+				} else {
+					for _, p := range partners {
+						if _, dup := seen[p]; dup {
+							continue
+						}
+						seen[p] = struct{}{}
+						a, b := normPair(k, p)
+						ver.verifyPair(a, b, pv, ctx)
+					}
 				}
 				ver.put(pv)
 			},
@@ -226,6 +240,10 @@ func dedupVerify(candidates []uint64, ver *verifier, opts Options,
 	st.Verified = ver.verified.Load()
 	st.BudgetPruned = ver.budgetPruned.Load()
 	st.Results = ver.results.Load() + st.EmptyStringPairs
+	st.BatchedPairs = ver.batchedPairs.Load()
+	st.SIMDKernels = ver.simdKernels.Load()
+	st.SIMDLanes = ver.simdLanes.Load()
+	st.BatchScalarCells = ver.batchScalarCells.Load()
 	return verified
 }
 

@@ -1,0 +1,96 @@
+package tsj
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSIMDEquivalenceJoin: self-joins and bipartite joins return
+// byte-identical sorted result slices with the vectorized batch path on
+// and off, across aligners and dedup strategies, and the SIMD counters
+// light up exactly when the kernel is live. This is the join leg of the
+// CI equivalence guard.
+func TestSIMDEquivalenceJoin(t *testing.T) {
+	t.Logf("batch kernel available: %v", core.BatchKernelAvailable())
+	rng := rand.New(rand.NewSource(314))
+	for _, threshold := range []float64{0.1, 0.25} {
+		for _, align := range []Aligning{HungarianAligning, GreedyAligning} {
+			for _, dedup := range []Dedup{GroupOnOneString, GroupOnBothStrings} {
+				c := nameCorpus(rng, 120)
+				base := Options{Threshold: threshold, Aligning: align, Dedup: dedup}
+				off := base
+				off.DisableSIMD = true
+
+				got, gst, err := SelfJoin(c, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wst, err := SelfJoin(c, off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("t=%.2f %v %v: batched self-join differs from scalar (%d vs %d results)",
+						threshold, align, dedup, len(got), len(want))
+				}
+				if wst.BatchedPairs != 0 || wst.SIMDKernels != 0 {
+					t.Fatalf("t=%.2f %v %v: SIMD counters nonzero with DisableSIMD", threshold, align, dedup)
+				}
+				if gst.Verified != wst.Verified || gst.BudgetPruned != wst.BudgetPruned ||
+					gst.LengthPruned != wst.LengthPruned || gst.LBPruned != wst.LBPruned {
+					t.Fatalf("t=%.2f %v %v: batching changed the verify funnel (%+v vs %+v)",
+						threshold, align, dedup, gst, wst)
+				}
+				switch {
+				case !core.BatchKernelAvailable() || dedup == GroupOnBothStrings:
+					// Per-pair reducers (and kernel-less builds) never batch.
+					if gst.BatchedPairs != 0 {
+						t.Fatalf("t=%.2f %v %v: BatchedPairs=%d on a per-pair path",
+							threshold, align, dedup, gst.BatchedPairs)
+					}
+				default:
+					if gst.BatchedPairs == 0 {
+						t.Fatalf("t=%.2f %v %v: kernel live but BatchedPairs=0", threshold, align, dedup)
+					}
+					if gst.SIMDLanes < gst.SIMDKernels || gst.SIMDLanes > 16*gst.SIMDKernels {
+						t.Fatalf("t=%.2f %v %v: lane count %d incoherent for %d kernels",
+							threshold, align, dedup, gst.SIMDLanes, gst.SIMDKernels)
+					}
+				}
+			}
+		}
+	}
+
+	// Bipartite join leg.
+	rc := nameCorpus(rng, 60)
+	pc := nameCorpus(rng, 60)
+	rNames := make([]string, rc.NumStrings())
+	for i, s := range rc.Strings {
+		rNames[i] = s.String()
+	}
+	pNames := make([]string, pc.NumStrings())
+	for i, s := range pc.Strings {
+		pNames[i] = s.String()
+	}
+	c, nr := buildBipartite(rNames, pNames)
+	base := Options{Threshold: 0.2}
+	off := base
+	off.DisableSIMD = true
+	got, gst, err := Join(c, nr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Join(c, nr, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("bipartite: batched join differs from scalar (%d vs %d results)", len(got), len(want))
+	}
+	if core.BatchKernelAvailable() && gst.BatchedPairs == 0 {
+		t.Fatal("bipartite: kernel live but BatchedPairs=0")
+	}
+}

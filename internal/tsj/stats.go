@@ -52,12 +52,24 @@ type Stats struct {
 	// EmptyStringPairs counts pairs of token-less strings (NSLD = 0)
 	// emitted by the preamble.
 	EmptyStringPairs int64
+	// BatchedPairs counts candidate pairs verified through the batched
+	// vector path (always 0 with DisableSIMD, DisableBoundedVerify, or
+	// when the kernel is unavailable on this hardware/build).
+	BatchedPairs int64
+	// SIMDKernels / SIMDLanes count vector-kernel invocations and the
+	// occupied lanes they carried; SIMDLanes/SIMDKernels (out of 16) is
+	// the lane-fill efficiency.
+	SIMDKernels int64
+	SIMDLanes   int64
+	// BatchScalarCells counts token-pair cells inside the batched path
+	// that fell back to the scalar DP (oversized or non-BMP tokens).
+	BatchScalarCells int64
 }
 
 // String renders a multi-line summary.
 func (s *Stats) String() string {
 	return fmt.Sprintf(
-		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned prefix=%d seg-prefix=%d len=%d lb=%d budget=%d | verified=%d results=%d",
+		"tokens kept=%d dropped=%d | candidates shared=%d similar=%d (token pairs=%d) deduped=%d | pruned prefix=%d seg-prefix=%d len=%d lb=%d budget=%d | verified=%d (batched=%d kernels=%d lanes=%d) results=%d",
 		s.KeptTokens, s.DroppedTokens, s.SharedTokenCandidates, s.SimilarTokenCandidates,
-		s.SimilarTokenPairs, s.DedupedCandidates, s.PrefixPruned, s.SegPrefixPruned, s.LengthPruned, s.LBPruned, s.BudgetPruned, s.Verified, s.Results)
+		s.SimilarTokenPairs, s.DedupedCandidates, s.PrefixPruned, s.SegPrefixPruned, s.LengthPruned, s.LBPruned, s.BudgetPruned, s.Verified, s.BatchedPairs, s.SIMDKernels, s.SIMDLanes, s.Results)
 }

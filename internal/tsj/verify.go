@@ -26,20 +26,34 @@ type verifier struct {
 	// rather than once per pooled engine (nil when bounding or the cache
 	// is disabled).
 	shared *core.SharedTokenLDCache
+	// batch gates the vectorized batched verify path of the
+	// grouping-on-one-string reducers: on only when the kernel is live
+	// (core.BatchKernelAvailable), bounded verification is on, and the
+	// caller didn't opt out. Off, partner lists verify pair by pair
+	// through the (token-LD-cached) scalar engine.
+	batch bool
 
-	lengthPruned atomic.Int64
-	lbPruned     atomic.Int64
-	verified     atomic.Int64
-	budgetPruned atomic.Int64
-	results      atomic.Int64
+	lengthPruned     atomic.Int64
+	lbPruned         atomic.Int64
+	verified         atomic.Int64
+	budgetPruned     atomic.Int64
+	results          atomic.Int64
+	batchedPairs     atomic.Int64
+	simdKernels      atomic.Int64
+	simdLanes        atomic.Int64
+	batchScalarCells atomic.Int64
 }
 
 // pairVerifier is one worker's verification state: the threshold-aware
 // core engine plus the position-aligned token-id buffers that feed its
-// token-LD cache.
+// token-LD cache and the candidate-group scratch of the batched path.
 type pairVerifier struct {
 	v          core.Verifier
 	xIDs, yIDs []token.TokenID
+	partners   []token.StringID
+	ids        []token.StringID
+	ys         []*token.TokenizedString
+	res        []core.BatchResult
 }
 
 // newVerifier builds the stage and its engine pool from the join options.
@@ -48,6 +62,7 @@ func newVerifier(c *token.Corpus, opts Options) *verifier {
 	if !opts.DisableBoundedVerify && !opts.DisableTokenLDCache {
 		v.shared = core.NewSharedTokenLDCache(0)
 	}
+	v.batch = !opts.DisableSIMD && !opts.DisableBoundedVerify && core.BatchKernelAvailable()
 	v.pool.New = func() any {
 		pv := &pairVerifier{}
 		pv.v.Greedy = opts.Aligning == GreedyAligning
@@ -147,4 +162,99 @@ func (v *verifier) verifyPair(a, b token.StringID, pv *pairVerifier, ctx *mapred
 	}
 	v.results.Add(1)
 	ctx.Emit(Result{A: a, B: b, SLD: sld, NSLD: core.NSLDFromSLD(sld, la, lb)})
+}
+
+// verifyPartners verifies one grouping-on-one-string reduce key's
+// deduplicated partner list. Partners on the far side of the pair
+// normalization (p < k, so the pair verifies as (p, k) with the partner
+// as x) go through the scalar per-pair engine — verdicts, including
+// greedy tie-breaking, which is orientation-sensitive, stay bit-identical
+// to the unbatched reducer. Partners with k < p all share the probe
+// x = Strings[k], so their filter survivors verify as one batch whose
+// token-distance cells run a vector-lane-width at a time
+// (core.Verifier.VerifyBatch); results are identical, property-tested by
+// TestSIMDEquivalenceJoin. Emission order within a reduce key differs
+// from the per-pair loop, but join results are sorted before return.
+func (v *verifier) verifyPartners(k token.StringID, partners []token.StringID, pv *pairVerifier, ctx *mapreduce.ReduceCtx[Result]) {
+	x := &v.corpus.Strings[k]
+	la := x.AggregateLen()
+	t := v.opts.Threshold
+	pv.ids = pv.ids[:0]
+	pv.ys = pv.ys[:0]
+	var lengthPruned, lbPruned, verified int64
+	for _, p := range partners {
+		if p < k {
+			v.verifyPair(p, k, pv, ctx)
+			continue
+		}
+		y := &v.corpus.Strings[p]
+		lb := y.AggregateLen()
+		// The Sec. III-E filters and the cost accounting, cell for cell
+		// the same as verifyPair's.
+		if !v.opts.DisableLengthFilter && core.LengthPrune(la, lb, t) {
+			lengthPruned++
+			continue
+		}
+		if !v.opts.DisableLBFilter {
+			ctx.AddCost(float64(x.Count() + y.Count()))
+			if core.LowerBoundPrune(*x, *y, t) {
+				lbPruned++
+				continue
+			}
+		}
+		kk := x.Count()
+		if y.Count() > kk {
+			kk = y.Count()
+		}
+		align := 2 * float64(kk*kk*kk)
+		if v.opts.Aligning == GreedyAligning {
+			align = float64(kk*kk) * math.Log2(float64(kk)+1)
+		}
+		ctx.AddCost(float64(la*lb) + align)
+		verified++
+		pv.ids = append(pv.ids, p)
+		pv.ys = append(pv.ys, y)
+	}
+	if lengthPruned > 0 {
+		v.lengthPruned.Add(lengthPruned)
+	}
+	if lbPruned > 0 {
+		v.lbPruned.Add(lbPruned)
+	}
+	if verified > 0 {
+		v.verified.Add(verified)
+	}
+	if len(pv.ids) == 0 {
+		return
+	}
+	if cap(pv.res) < len(pv.ids) {
+		pv.res = make([]core.BatchResult, len(pv.ids), 2*len(pv.ids))
+	}
+	pv.res = pv.res[:len(pv.ids)]
+	var ctr core.BatchCounters
+	pv.v.VerifyBatch(*x, pv.ys, t, pv.res, &ctr)
+	var budgetPruned, results int64
+	for i, r := range pv.res {
+		if r.Pruned {
+			budgetPruned++
+		}
+		if r.Within {
+			results++
+			ctx.Emit(Result{A: k, B: pv.ids[i], SLD: r.SLD, NSLD: core.NSLDFromSLD(r.SLD, la, pv.ys[i].AggregateLen())})
+		}
+	}
+	if budgetPruned > 0 {
+		v.budgetPruned.Add(budgetPruned)
+	}
+	if results > 0 {
+		v.results.Add(results)
+	}
+	v.batchedPairs.Add(ctr.Batched)
+	if ctr.Kernels > 0 {
+		v.simdKernels.Add(ctr.Kernels)
+		v.simdLanes.Add(ctr.Lanes)
+	}
+	if ctr.ScalarCells > 0 {
+		v.batchScalarCells.Add(ctr.ScalarCells)
+	}
 }

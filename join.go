@@ -37,6 +37,7 @@ func JoinStats(r, p []string, opts Options) ([]Pair, *Stats, error) {
 		Parallelism:                opts.Parallelism,
 		DisableBoundedVerify:       opts.DisableBoundedVerification,
 		DisableTokenLDCache:        opts.DisableTokenLDCache,
+		DisableSIMD:                opts.DisableSIMD,
 		DisablePrefixFilter:        opts.DisablePrefixFilter,
 		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 	}

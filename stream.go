@@ -30,6 +30,11 @@ type MatcherOptions struct {
 	// SLD budget the threshold implies and abandoned as soon as any
 	// lower bound exceeds it). Matches are identical either way.
 	DisableBoundedVerification bool
+	// DisableSIMD switches off the vectorized batched verification path
+	// (on by default where the kernel is live — see SIMDAvailable: each
+	// arrival's filter-surviving candidates verify in lane-width batches).
+	// Matches are identical either way.
+	DisableSIMD bool
 	// DisablePrefixFilter switches off threshold-aware candidate
 	// pruning (on by default: the shared-token index is probed only
 	// with the arriving string's maxErrors(T, L)+1 rarest tokens, which
@@ -57,6 +62,7 @@ func NewMatcher(opts MatcherOptions) (*Matcher, error) {
 		Greedy:                     opts.Greedy,
 		ExactTokensOnly:            opts.ExactTokensOnly,
 		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisableSIMD:                opts.DisableSIMD,
 		DisablePrefixFilter:        opts.DisablePrefixFilter,
 		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 		Tokenizer:                  opts.Tokenizer,

@@ -71,6 +71,12 @@ func NSLD(a, b string) float64 { return core.NSLD(Tokenize(a), Tokenize(b)) }
 func SLDTokens(x, y TokenizedString) int      { return core.SLD(x, y) }
 func NSLDTokens(x, y TokenizedString) float64 { return core.NSLD(x, y) }
 
+// SIMDAvailable reports whether the vectorized batched verification
+// kernel is live on this build and CPU (amd64 with AVX2, not built with
+// -tags nosimd). When false, the batched paths transparently verify with
+// the scalar engine — results are identical either way.
+func SIMDAvailable() bool { return core.BatchKernelAvailable() }
+
 // Matching selects the TSJ candidate-generation strategy.
 type Matching = tsj.Matching
 
@@ -129,6 +135,13 @@ type Options struct {
 	// token-pair Levenshtein memo (on by default; hot postings re-verify
 	// the same token pairs many times). Results are unaffected.
 	DisableTokenLDCache bool
+	// DisableSIMD switches off the vectorized batched verification path.
+	// By default, on hardware and builds where the kernel is live (see
+	// SIMDAvailable), each grouping-on-one-string reducer verifies its
+	// partner list in lane-width batches against the shared probe string.
+	// Results are identical either way; disable only for ablation or to
+	// rule out kernel issues in the field.
+	DisableSIMD bool
 	// DisablePrefixFilter switches off threshold-aware candidate pruning
 	// in the shared-token generator. By default only each string's
 	// threshold-derived prefix — its maxErrors(T, L)+1 rarest tokens
@@ -185,6 +198,7 @@ func SelfJoinStats(names []string, opts Options) ([]Pair, *Stats, error) {
 		Parallelism:                opts.Parallelism,
 		DisableBoundedVerify:       opts.DisableBoundedVerification,
 		DisableTokenLDCache:        opts.DisableTokenLDCache,
+		DisableSIMD:                opts.DisableSIMD,
 		DisablePrefixFilter:        opts.DisablePrefixFilter,
 		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
 	}
