@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nosimd test-arm64 race bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
+.PHONY: all build test test-nosimd test-arm64 race torture bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
 
 all: build
 
@@ -41,7 +41,16 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzLevenshteinBoundedU16 -fuzztime 30s ./internal/strdist/
 
 race:
-	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/... ./internal/corpus/... ./internal/histo/...
+	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/... ./internal/corpus/... ./internal/histo/... ./cmd/tsjserve/...
+
+# Storage fault-injection suite under the race detector: the op-sweep
+# torture test (every WAL/snapshot/compact I/O operation failed in turn,
+# then reopen + invariant check), degraded-mode sealing and recovery,
+# and the bit-rot loud-failure contract — plus the serving layer's
+# degraded-mode end-to-end test. -short strides the sweep; the full
+# sweep runs in the plain `test` target.
+torture:
+	$(GO) test -race -short -run 'Torture|Degraded|BitRot' -count=1 ./internal/corpus/ ./cmd/tsjserve/
 
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkShardedAdd -benchtime=1x .
@@ -69,14 +78,14 @@ bench-json:
 	| $(GO) run ./cmd/benchjson -commit "$$sha" -o "BENCH_$$sha.json"
 
 equivalence-guard:
-	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
-	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence TestSIMDEquivalence; do \
+	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence|TestTortureOpSweep' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
+	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence TestSIMDEquivalence TestTortureOpSweep; do \
 		if ! echo "$$out" | grep -q -- "--- PASS: $$pat"; then \
 			echo "no $$pat tests ran"; exit 1; fi; \
 		if echo "$$out" | grep -q -- "--- SKIP: $$pat"; then \
 			echo "$$pat tests were skipped"; exit 1; fi; \
 	done; \
-	echo "equivalence guard (bounded + prefix + segment-prefix + restart + simd): ok"
+	echo "equivalence guard (bounded + prefix + segment-prefix + restart + simd + torture): ok"
 
 # vet + gofmt always; staticcheck and govulncheck when installed (CI
 # installs both — locally they degrade to a notice, never a failure).
@@ -91,4 +100,4 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-ci: build lint test test-nosimd race equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus
+ci: build lint test test-nosimd race torture equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus

@@ -16,8 +16,10 @@
 //	POST /snapshot {"compact": true}              checkpoint the corpus (-data only)
 //	               -> {"generation": 3, "strings": 1041}
 //	GET  /stats    -> matcher funnel/wall counters, per-endpoint latency
-//	                  quantiles, and (with -data) corpus/WAL counters
-//	GET  /healthz  -> ok
+//	                  quantiles and error/shed/panic counters, and (with
+//	                  -data) corpus/WAL counters
+//	GET  /healthz  -> ok        pure liveness: 200 while the process serves
+//	GET  /readyz   -> ready     flips to 503 while the corpus is degraded
 //
 // With -data DIR the index is durable: every add is appended to a
 // CRC-framed write-ahead log under DIR before it becomes visible, POST
@@ -25,9 +27,19 @@
 // warm-loads the whole index from snapshot + WAL replay — same ids, same
 // matches — instead of starting empty.
 //
+// Degraded mode: a storage failure that seals the corpus write path (a
+// failed WAL fsync cannot be retried soundly — the kernel may drop the
+// dirty pages and report the next fsync clean) flips the server
+// read-only. /query and /stats keep serving from memory, mutating
+// endpoints return 503 with Retry-After, /readyz reports not-ready, and
+// a background loop attempts recovery (a full generation rotation
+// through fresh descriptors) with exponential backoff until the
+// filesystem heals.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// (including Adds mid-WAL-append) drain, the worker pool is released,
-// and finally the corpus WAL is flushed and closed.
+// (including Adds mid-WAL-append) drain, the background snapshot and
+// recovery loops are joined, the worker pool is released, and finally
+// the corpus WAL is flushed and closed.
 package main
 
 import (
@@ -40,6 +52,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,6 +65,16 @@ import (
 // maxBodyBytes bounds request bodies; a /join batch of ~10k names fits.
 const maxBodyBytes = 4 << 20
 
+// endpointCounters are one instrumented endpoint's error-path tallies.
+type endpointCounters struct {
+	// errors counts responses with status >= 400 (including sheds and
+	// panics); shed counts requests rejected at the concurrency limit;
+	// panics counts handler panics converted to 500s.
+	errors atomic.Int64
+	shed   atomic.Int64
+	panics atomic.Int64
+}
+
 // server wires a ConcurrentMatcher (and optionally its backing corpus)
 // to the HTTP API.
 type server struct {
@@ -59,15 +84,30 @@ type server struct {
 	// lat holds one latency histogram per endpoint, keyed by the
 	// endpoint name reported in /stats.
 	lat map[string]*histo.Histogram
+	ctr map[string]*endpointCounters
+	// inflight is the load-shedding semaphore: a request that cannot
+	// acquire a slot without blocking is rejected with 503 rather than
+	// queued — queueing under overload only converts overload into
+	// latency and memory growth.
+	inflight chan struct{}
 }
 
-func newServer(m *tsjoin.ConcurrentMatcher, c *tsjoin.Corpus) *server {
+func newServer(m *tsjoin.ConcurrentMatcher, c *tsjoin.Corpus, maxInflight int) *server {
+	if maxInflight <= 0 {
+		maxInflight = 256
+	}
 	lat := make(map[string]*histo.Histogram)
+	ctr := make(map[string]*endpointCounters)
 	for _, name := range endpointNames {
 		lat[name] = &histo.Histogram{}
+		ctr[name] = &endpointCounters{}
 	}
-	return &server{m: m, c: c, lat: lat}
+	return &server{m: m, c: c, lat: lat, ctr: ctr, inflight: make(chan struct{}, maxInflight)}
 }
+
+// degraded reports the backing corpus's degraded state (nil when
+// in-memory or healthy).
+func (s *server) degraded() error { return s.m.Degraded() }
 
 // endpointNames are the instrumented endpoints, in /stats display order.
 var endpointNames = []string{"add", "query", "join", "delete", "snapshot"}
@@ -87,30 +127,118 @@ func toWire(ms []tsjoin.Match) []wireMatch {
 	return out
 }
 
-// handler builds the route table. Mutating endpoints are wrapped with
-// their latency histogram.
+// handler builds the route table. Instrumented endpoints get the full
+// request-lifecycle wrapper (shedding, panic recovery, status capture,
+// latency); mutating endpoints additionally fail fast while the corpus
+// is degraded. /snapshot stays ungated — it IS the manual heal path
+// (a successful rotation clears the degraded state).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/add", s.timed("add", s.handleAdd))
-	mux.HandleFunc("/query", s.timed("query", s.handleQuery))
-	mux.HandleFunc("/join", s.timed("join", s.handleJoin))
-	mux.HandleFunc("/delete", s.timed("delete", s.handleDelete))
-	mux.HandleFunc("/snapshot", s.timed("snapshot", s.handleSnapshot))
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/add", s.instrument("add", s.writeGate(s.handleAdd)))
+	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("/join", s.instrument("join", s.writeGate(s.handleJoin)))
+	mux.HandleFunc("/delete", s.instrument("delete", s.writeGate(s.handleDelete)))
+	mux.HandleFunc("/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("/stats", requireGet(s.handleStats))
+	mux.HandleFunc("/healthz", requireGet(func(w http.ResponseWriter, r *http.Request) {
+		// Pure liveness: answers while the process can serve at all, even
+		// degraded — orchestrators must not restart a replica that is
+		// serving reads and waiting out a disk fault. Readiness (routing)
+		// is /readyz.
 		fmt.Fprintln(w, "ok")
-	})
+	}))
+	mux.HandleFunc("/readyz", requireGet(s.handleReady))
 	return mux
 }
 
-// timed records the handler's wall time into the endpoint's histogram.
-func (s *server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
-	hist := s.lat[name]
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		h(w, r)
-		hist.Observe(time.Since(start))
+// statusWriter captures the response status so the middleware can count
+// error responses without inspecting handler internals.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
 	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument is the request-lifecycle wrapper: load-shedding semaphore,
+// panic-to-500 recovery, status capture for the error counters, and the
+// latency histogram.
+func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.lat[name]
+	ctr := s.ctr[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			ctr.shed.Add(1)
+			ctr.errors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: concurrency limit reached", http.StatusServiceUnavailable)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				ctr.panics.Add(1)
+				ctr.errors.Add(1)
+				log.Printf("panic in /%s: %v\n%s", name, p, debug.Stack())
+				if sw.status == 0 {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			} else if sw.status >= http.StatusBadRequest {
+				ctr.errors.Add(1)
+			}
+			hist.Observe(time.Since(start))
+		}()
+		h(sw, r)
+	}
+}
+
+// writeGate fails mutating requests fast while the corpus is degraded,
+// before they touch the sealed write path.
+func (s *server) writeGate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.degraded(); err != nil {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "degraded, serving read-only: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// requireGet rejects everything but GET/HEAD on read-only endpoints.
+func requireGet(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if err := s.degraded(); err != nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "degraded: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // decode parses a JSON body into v, enforcing method and size limits.
@@ -123,10 +251,28 @@ func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return false
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return false
 	}
 	return true
+}
+
+// persistError maps a persistence failure to its status: degraded-mode
+// failures are 503 with Retry-After (the replica heals in place or an
+// operator intervenes; the request is safe to retry elsewhere), anything
+// else is a 500.
+func persistError(w http.ResponseWriter, what string, err error) {
+	if errors.Is(err, tsjoin.ErrDegraded) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, what+": "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, what+": "+err.Error(), http.StatusInternalServerError)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -145,7 +291,7 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	id, matches, err := s.m.AddDurable(req.Name)
 	if err != nil {
-		http.Error(w, "persistence failure: "+err.Error(), http.StatusInternalServerError)
+		persistError(w, "persistence failure", err)
 		return
 	}
 	writeJSON(w, struct {
@@ -175,7 +321,7 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	first, matches, err := s.m.AddAllDurable(req.Names)
 	if err != nil {
-		http.Error(w, "persistence failure: "+err.Error(), http.StatusInternalServerError)
+		persistError(w, "persistence failure", err)
 		return
 	}
 	type result struct {
@@ -207,11 +353,11 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// durable) in step. Unknown/double deletes are the caller's fault; a
 	// WAL failure is ours.
 	if err := s.m.Delete(*req.ID); err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, tsjoin.ErrNotFound) {
-			status = http.StatusBadRequest
+			http.Error(w, "delete: "+err.Error(), http.StatusBadRequest)
+			return
 		}
-		http.Error(w, "delete: "+err.Error(), status)
+		persistError(w, "delete", err)
 		return
 	}
 	writeJSON(w, struct {
@@ -237,7 +383,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		err = s.c.Snapshot()
 	}
 	if err != nil {
-		http.Error(w, "snapshot: "+err.Error(), http.StatusInternalServerError)
+		persistError(w, "snapshot", err)
 		return
 	}
 	st := s.c.Stats()
@@ -257,6 +403,13 @@ type wireLatency struct {
 	MeanMs float64 `json:"mean_ms"`
 }
 
+// wireEndpoint is the JSON form of one endpoint's error-path counters.
+type wireEndpoint struct {
+	Errors int64 `json:"errors"`
+	Shed   int64 `json:"shed"`
+	Panics int64 `json:"panics"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.m.Stats()
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -269,6 +422,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			P99Ms:  ms(h.Quantile(0.99)),
 			MeanMs: ms(h.Mean()),
 		}
+	}
+	endpoints := make(map[string]wireEndpoint, len(s.ctr))
+	for name, c := range s.ctr {
+		endpoints[name] = wireEndpoint{
+			Errors: c.errors.Load(),
+			Shed:   c.shed.Load(),
+			Panics: c.panics.Load(),
+		}
+	}
+	var degradedCause string
+	if err := s.degraded(); err != nil {
+		degradedCause = err.Error()
 	}
 	var corpusStats *tsjoin.CorpusStats
 	if s.c != nil {
@@ -298,16 +463,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchScalarCells int64 `json:"batch_scalar_cells"`
 		// Wall times are reported in milliseconds so dashboards need no
 		// duration parsing.
-		CandGenWallMs  float64                `json:"cand_gen_wall_ms"`
-		VerifyWallMs   float64                `json:"verify_wall_ms"`
-		TokensPerShard []int                  `json:"tokens_per_shard"`
-		Latency        map[string]wireLatency `json:"latency"`
-		Corpus         *tsjoin.CorpusStats    `json:"corpus,omitempty"`
+		CandGenWallMs  float64                 `json:"cand_gen_wall_ms"`
+		VerifyWallMs   float64                 `json:"verify_wall_ms"`
+		TokensPerShard []int                   `json:"tokens_per_shard"`
+		Latency        map[string]wireLatency  `json:"latency"`
+		Endpoints      map[string]wireEndpoint `json:"endpoints"`
+		Degraded       bool                    `json:"degraded"`
+		DegradedCause  string                  `json:"degraded_cause,omitempty"`
+		Corpus         *tsjoin.CorpusStats     `json:"corpus,omitempty"`
 	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.PrefixPruned,
 		st.SegPrefixPruned, st.SegKeysProbed, st.SegTokensChecked, st.SegTokensSimilar,
 		st.BatchedPairs, st.SIMDKernels, st.SIMDLanes, st.BatchScalarCells,
 		ms(st.CandGenWall), ms(st.VerifyWall),
-		st.TokensPerShard, lat, corpusStats})
+		st.TokensPerShard, lat, endpoints, degradedCause != "", degradedCause, corpusStats})
 }
 
 func main() {
@@ -332,6 +500,9 @@ func run() error {
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
 	syncEvery := flag.Int("sync-every", 1, "fsync the WAL every N records (1 = every add durable on return)")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "checkpoint the corpus on this interval (0 = manual /snapshot only)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before load shedding with 503")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP response write timeout")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	flag.Parse()
 
 	mopts := tsjoin.ConcurrentMatcherOptions{
@@ -373,32 +544,32 @@ func run() error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(m, c).handler(),
+		Handler:           newServer(m, c, *maxInflight).handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Background maintenance loops. They touch the corpus, so shutdown
+	// must join them (bg.Wait below) before the corpus closes — the old
+	// detached-goroutine version could race a periodic Compact against
+	// Close.
+	var bg sync.WaitGroup
 	if c != nil && *snapshotEvery > 0 {
+		bg.Add(1)
 		go func() {
-			t := time.NewTicker(*snapshotEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					if !c.Stats().Dirty {
-						continue // nothing mutated since the last checkpoint
-					}
-					if err := c.Compact(); err != nil {
-						log.Printf("periodic snapshot: %v", err)
-					} else {
-						log.Printf("periodic snapshot: generation %d", c.Stats().Generation)
-					}
-				}
-			}
+			defer bg.Done()
+			runPeriodicSnapshots(ctx, c, *snapshotEvery)
+		}()
+	}
+	if c != nil {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			runRecovery(ctx, c, time.Second)
 		}()
 	}
 
@@ -424,6 +595,8 @@ func run() error {
 		}
 		cancel()
 	}
+	stop()
+	bg.Wait()
 	m.Close()
 	if c != nil {
 		if err := c.Close(); err != nil {
@@ -436,4 +609,60 @@ func run() error {
 		return serveErr
 	}
 	return nil
+}
+
+// runPeriodicSnapshots checkpoints the corpus on an interval, skipping
+// when nothing mutated since the last checkpoint and while the corpus
+// is degraded (the recovery loop owns the heal — checkpointing against
+// a failing disk would just spin it). Consecutive failures back the
+// interval off exponentially (capped at 64x) so a persistently sick
+// filesystem isn't hammered; one success resets the cadence.
+func runPeriodicSnapshots(ctx context.Context, c *tsjoin.Corpus, every time.Duration) {
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(every << min(fails, 6)):
+		}
+		if c.Degraded() != nil || !c.Stats().Dirty {
+			continue
+		}
+		if err := c.Compact(); err != nil {
+			fails++
+			log.Printf("periodic snapshot: %v (next attempt in %v)", err, every<<min(fails, 6))
+		} else {
+			fails = 0
+			log.Printf("periodic snapshot: generation %d", c.Stats().Generation)
+		}
+	}
+}
+
+// runRecovery heals a degraded corpus: while the write path is sealed
+// it periodically attempts a full generation rotation through fresh
+// descriptors (Corpus.Recover), backing off exponentially up to 16x
+// while the filesystem keeps failing. While healthy it idles at the
+// base interval, which costs one read-locked nil check.
+func runRecovery(ctx context.Context, c *tsjoin.Corpus, base time.Duration) {
+	delay := base
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		if c.Degraded() == nil {
+			delay = base
+			continue
+		}
+		if err := c.Recover(); err != nil {
+			if delay < 16*base {
+				delay *= 2
+			}
+			log.Printf("degraded: recovery failed: %v (next attempt in %v)", err, delay)
+		} else {
+			delay = base
+			log.Printf("recovered: write path restored at generation %d", c.Stats().Generation)
+		}
+	}
 }

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	tsjoin "repro"
+	"repro/internal/iofault"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *tsjoin.ConcurrentMatcher) {
@@ -20,7 +23,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *tsjoin.ConcurrentMatcher) {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Close)
-	ts := httptest.NewServer(newServer(m, nil).handler())
+	ts := httptest.NewServer(newServer(m, nil, 0).handler())
 	t.Cleanup(ts.Close)
 	return ts, m
 }
@@ -42,7 +45,7 @@ func newDurableTestServer(t *testing.T, dir string) (*httptest.Server, *tsjoin.C
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(m, c).handler())
+	ts := httptest.NewServer(newServer(m, c, 0).handler())
 	done := false
 	shutdown := func() {
 		if done {
@@ -359,20 +362,284 @@ func TestServeDurableWarmRestart(t *testing.T) {
 	}
 }
 
-func TestServeErrors(t *testing.T) {
-	ts, _ := newTestServer(t)
-	if resp := post(t, ts.URL+"/add", `{not json`, nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed body: status %d", resp.StatusCode)
+// request issues an arbitrary-method HTTP request and returns the
+// response (body closed; status and headers remain readable).
+func request(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if resp := post(t, ts.URL+"/add", `{"nmae": "typo"}`, nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := http.Get(ts.URL + "/add")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /add: status %d", resp.StatusCode)
+	return resp
+}
+
+// TestServeErrorPaths: every malformed-request class maps to its
+// status — wrong method (including writes to the read-only endpoints),
+// malformed and unknown-field JSON, missing/unknown delete ids, and
+// oversized bodies (413, not a generic 400).
+func TestServeErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+	oversized := `{"name": "` + strings.Repeat("a", maxBodyBytes+16) + `"}`
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"malformed json", http.MethodPost, "/add", `{not json`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/add", `{"nmae": "typo"}`, http.StatusBadRequest},
+		{"get on mutating endpoint", http.MethodGet, "/add", "", http.StatusMethodNotAllowed},
+		{"put on query", http.MethodPut, "/query", `{"name": "x"}`, http.StatusMethodNotAllowed},
+		{"missing delete id", http.MethodPost, "/delete", `{}`, http.StatusBadRequest},
+		{"unknown delete id", http.MethodPost, "/delete", `{"id": 99}`, http.StatusBadRequest},
+		{"oversized body", http.MethodPost, "/add", oversized, http.StatusRequestEntityTooLarge},
+		{"post to stats", http.MethodPost, "/stats", `{}`, http.StatusMethodNotAllowed},
+		{"post to healthz", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{"delete on readyz", http.MethodDelete, "/readyz", "", http.StatusMethodNotAllowed},
+		{"get stats", http.MethodGet, "/stats", "", http.StatusOK},
+		{"get healthz", http.MethodGet, "/healthz", "", http.StatusOK},
+		{"get readyz", http.MethodGet, "/readyz", "", http.StatusOK},
+	}
+	for _, tc := range cases {
+		if resp := request(t, tc.method, ts.URL+tc.path, tc.body); resp.StatusCode != tc.want {
+			t.Errorf("%s: %s %s -> status %d, want %d", tc.name, tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+
+	// The failures above must be visible in the per-endpoint error
+	// counters.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Endpoints map[string]struct {
+			Errors int64 `json:"errors"`
+			Shed   int64 `json:"shed"`
+			Panics int64 `json:"panics"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Endpoints["add"].Errors < 4 {
+		t.Fatalf("add error counter = %d, want >= 4 (malformed, unknown field, method, oversized)", stats.Endpoints["add"].Errors)
+	}
+	if stats.Endpoints["delete"].Errors != 2 {
+		t.Fatalf("delete error counter = %d, want 2", stats.Endpoints["delete"].Errors)
+	}
+	if stats.Endpoints["query"].Panics != 0 || stats.Endpoints["query"].Shed != 0 {
+		t.Fatalf("spurious panic/shed counts: %+v", stats.Endpoints["query"])
+	}
+}
+
+// TestServeShedOverload: when every concurrency slot is held, requests
+// are rejected immediately with 503 + Retry-After (never queued), the
+// shed counter advances, and freeing the slots restores service.
+func TestServeShedOverload(t *testing.T) {
+	m, err := tsjoin.NewConcurrentMatcher(tsjoin.ConcurrentMatcherOptions{
+		MatcherOptions: tsjoin.MatcherOptions{Threshold: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	s := newServer(m, nil, 1)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+
+	s.inflight <- struct{}{} // occupy the only slot
+	resp := request(t, http.MethodPost, ts.URL+"/query", `{"name": "x"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded query: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if got := s.ctr["query"].shed.Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	<-s.inflight // drain; service resumes
+	if resp := request(t, http.MethodPost, ts.URL+"/query", `{"name": "x"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after drain: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServePanicRecovery: a handler panic becomes a 500, is counted,
+// and does not kill the server.
+func TestServePanicRecovery(t *testing.T) {
+	m, err := tsjoin.NewConcurrentMatcher(tsjoin.ConcurrentMatcherOptions{
+		MatcherOptions: tsjoin.MatcherOptions{Threshold: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	s := newServer(m, nil, 0)
+	h := s.instrument("add", func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodPost, "/add", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", rec.Code)
+	}
+	if got := s.ctr["add"].panics.Load(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+	if got := s.ctr["add"].errors.Load(); got != 1 {
+		t.Fatalf("error counter = %d, want 1", got)
+	}
+	// The wrapper recovered: the same server keeps serving.
+	rec2 := httptest.NewRecorder()
+	s.instrument("query", s.handleQuery)(rec2, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{"name": "x"}`)))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("request after panic: status %d, want 200", rec2.Code)
+	}
+}
+
+// TestServeDegradedEndToEnd: a WAL fsync failure flips the server to
+// read-only — the failing mutation and everything after it get 503 +
+// Retry-After while /query and /stats keep serving, /readyz reports
+// not-ready while /healthz stays 200 — and the background recovery loop
+// heals the corpus and restores writes without a restart.
+func TestServeDegradedEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	inj := iofault.NewInjector(iofault.OS, iofault.Disarmed())
+	c, err := tsjoin.OpenCorpus(dir, tsjoin.CorpusOptions{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tsjoin.NewConcurrentMatcherFromCorpus(c, tsjoin.ConcurrentMatcherOptions{
+		MatcherOptions: tsjoin.MatcherOptions{Threshold: 0.2},
+		Shards:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(m, c, 0)
+	ts := httptest.NewServer(s.handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	var recoveryDone chan struct{}  // non-nil once the recovery loop starts
+	t.Cleanup(func() { c.Close() }) // LIFO: runs after shutdown below
+	stopped := false
+	shutdown := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		if recoveryDone != nil {
+			<-recoveryDone
+		}
+		ts.Close()
+		m.Close()
+	}
+	t.Cleanup(shutdown)
+
+	var add struct {
+		ID int `json:"id"`
+	}
+	post(t, ts.URL+"/add", `{"name": "barak obama"}`, &add)
+	if add.ID != 0 {
+		t.Fatalf("healthy add: %+v", add)
+	}
+
+	// Fail the next WAL fsync: the add is rejected and the write path
+	// seals.
+	inj.SetPlan(iofault.Plan{FailAt: 0, Only: iofault.OpSync})
+	resp := request(t, http.MethodPost, ts.URL+"/add", `{"name": "angela merkel"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("add over failing fsync: status %d, want 503", resp.StatusCode)
+	}
+	// Subsequent mutations are gated before touching the matcher.
+	resp = request(t, http.MethodPost, ts.URL+"/add", `{"name": "emmanuel macron"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("gated add: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+
+	// Reads keep serving from the live index.
+	var query struct {
+		Matches []wireMatch `json:"matches"`
+	}
+	if resp := post(t, ts.URL+"/query", `{"name": "barak obamma"}`, &query); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query: status %d, want 200", resp.StatusCode)
+	}
+	if len(query.Matches) != 1 || query.Matches[0].ID != 0 {
+		t.Fatalf("degraded query result: %+v", query)
+	}
+
+	// /readyz flips; /healthz (pure liveness) does not; /stats says why.
+	if resp := request(t, http.MethodGet, ts.URL+"/readyz", ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz: status %d, want 503", resp.StatusCode)
+	}
+	if resp := request(t, http.MethodGet, ts.URL+"/healthz", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded /healthz: status %d, want 200", resp.StatusCode)
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Degraded      bool   `json:"degraded"`
+		DegradedCause string `json:"degraded_cause"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !stats.Degraded || stats.DegradedCause == "" {
+		t.Fatalf("degraded /stats: %+v", stats)
+	}
+
+	// Start the recovery loop (only now, so it cannot heal the corpus
+	// between the assertions above): the injector is healthy again, so
+	// the loop rotates to a fresh generation and writes and readiness
+	// come back.
+	recoveryDone = make(chan struct{})
+	go func() {
+		defer close(recoveryDone)
+		runRecovery(ctx, c, 2*time.Millisecond)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.degraded() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery loop did not heal the corpus in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	post(t, ts.URL+"/add", `{"name": "angela merkel"}`, &add)
+	if add.ID != 1 {
+		t.Fatalf("post-recovery add: %+v (rolled-back add must not have consumed an id)", add)
+	}
+	if resp := request(t, http.MethodGet, ts.URL+"/readyz", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed /readyz: status %d, want 200", resp.StatusCode)
+	}
+
+	// The acknowledged state — and only it — survives a restart.
+	shutdown()
+	if err := c.Close(); err != nil {
+		t.Fatalf("close after heal: %v", err)
+	}
+	c2, err := tsjoin.OpenCorpus(dir, tsjoin.CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 2 || c2.Live() != 2 {
+		t.Fatalf("restart after heal: Len=%d Live=%d, want 2/2", c2.Len(), c2.Live())
 	}
 }

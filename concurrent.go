@@ -109,6 +109,18 @@ func (m *ConcurrentMatcher) Delete(id int) error { return m.m.Delete(id) }
 // Safe for concurrent use with Adds and other Queries.
 func (m *ConcurrentMatcher) Query(s string) []Match { return m.m.Query(s) }
 
+// Degraded reports the backing corpus's degraded state (see
+// Corpus.Degraded): nil while healthy or for an in-memory matcher,
+// otherwise an ErrDegraded-wrapped error. Queries keep serving from
+// the live index either way; durable writes fail fast until the corpus
+// is healed (Corpus.Recover).
+func (m *ConcurrentMatcher) Degraded() error {
+	if c := m.m.Corpus(); c != nil {
+		return c.Degraded()
+	}
+	return nil
+}
+
 // Len returns the number of indexed strings.
 func (m *ConcurrentMatcher) Len() int { return m.m.Len() }
 

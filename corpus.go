@@ -2,6 +2,7 @@ package tsjoin
 
 import (
 	"repro/internal/corpus"
+	"repro/internal/iofault"
 	"repro/internal/token"
 	"repro/internal/tsj"
 )
@@ -10,6 +11,13 @@ import (
 // deleted (a caller error — check with errors.Is to distinguish it from
 // persistence failures).
 var ErrNotFound = corpus.ErrNotFound
+
+// ErrDegraded marks a corpus whose write path has been sealed by a
+// storage failure (a failed WAL fsync or rollback, or a failed
+// directory fsync): mutations fail fast with it while reads keep
+// serving from memory. Check with errors.Is; heal with Recover (or
+// Snapshot), which rotates to a fresh on-disk generation.
+var ErrDegraded = corpus.ErrDegraded
 
 // Corpus is a durable, mutable corpus of tokenized strings: adds and
 // deletes are persisted through a CRC-framed write-ahead log, state is
@@ -46,6 +54,12 @@ type CorpusOptions struct {
 	// purely a pruning-power knob — join results are identical under any
 	// setting).
 	RerankSlack float64
+	// FS overrides the filesystem the durability layer runs over; nil
+	// means the real OS filesystem. It exists for fault-injection tests
+	// (see internal/iofault), which is why its type is internal: an
+	// injector exercises every WAL/snapshot recovery path by failing a
+	// chosen write, fsync, or rename.
+	FS iofault.FS
 }
 
 // CorpusStats snapshots a corpus's state and persistence counters.
@@ -60,6 +74,7 @@ func OpenCorpus(dir string, opts CorpusOptions) (*Corpus, error) {
 		SyncEvery:   opts.SyncEvery,
 		DisableSync: opts.DisableSync,
 		RerankSlack: opts.RerankSlack,
+		FS:          opts.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -145,6 +160,18 @@ func (c *Corpus) Compact() error  { return c.c.Compact() }
 
 // Sync forces any batched WAL appends to stable storage.
 func (c *Corpus) Sync() error { return c.c.Sync() }
+
+// Degraded reports the corpus's degraded state: nil while healthy,
+// otherwise an ErrDegraded-wrapped error naming the storage failure
+// that sealed the write path. Reads are unaffected by degradation.
+func (c *Corpus) Degraded() error { return c.c.Degraded() }
+
+// Recover attempts to heal a degraded corpus by checkpointing the
+// in-memory state — exactly the acknowledged mutations — into a fresh
+// generation through new file descriptors. A no-op when healthy.
+// Retrying the failed fsync itself would be unsound: the kernel may
+// have dropped the dirty pages and would report a hollow success.
+func (c *Corpus) Recover() error { return c.c.Recover() }
 
 // Stats snapshots the corpus counters.
 func (c *Corpus) Stats() CorpusStats { return c.c.Stats() }

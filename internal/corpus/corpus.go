@@ -51,6 +51,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/iofault"
 	"repro/internal/token"
 )
 
@@ -84,6 +85,11 @@ type Options struct {
 	// the order of the first epoch forever (results are unaffected;
 	// pruning power degrades).
 	RerankSlack float64
+	// FS is the filesystem seam every durability path runs over; nil
+	// means the real OS filesystem. Fault-injection tests install an
+	// iofault.Injector here to fail a chosen write, fsync, rename or
+	// dir-fsync and exercise the recovery paths.
+	FS iofault.FS
 }
 
 // Corpus is the durable corpus. All methods are safe for concurrent use;
@@ -93,6 +99,7 @@ type Corpus struct {
 	mu  sync.RWMutex
 	dir string
 	opt Options
+	fs  iofault.FS
 
 	// ---- logical state --------------------------------------------------
 	strings []token.TokenizedString
@@ -135,6 +142,13 @@ type Corpus struct {
 	snapshots   int64
 	closed      bool
 	encBuf      []byte
+	// degraded, when non-nil, is the storage failure that sealed the
+	// write path: a failed WAL fsync or rollback (the generation can no
+	// longer be trusted to persist what it acknowledges) or a failed
+	// directory fsync after a rotation. Reads keep working from memory;
+	// mutations fail fast with ErrDegraded until Recover (or Snapshot)
+	// rotates to a fresh generation end-to-end.
+	degraded error
 	// dirty is set by every applied mutation (including replayed ones)
 	// and cleared by a snapshot: when false, the newest snapshot already
 	// holds the exact state, so periodic checkpoints can skip.
@@ -177,6 +191,9 @@ type Stats struct {
 	// has been applied since the newest snapshot — false means a
 	// checkpoint would write an identical snapshot and can be skipped.
 	Dirty bool
+	// Degraded reports whether the write path is sealed after a storage
+	// failure (see Corpus.Degraded).
+	Degraded bool
 	// JoinsServed counts SelfJoinCorpus calls answered from the stored
 	// order.
 	JoinsServed int64
@@ -196,7 +213,11 @@ func Open(dir string, opt Options) (*Corpus, error) {
 	if opt.RerankSlack == 0 {
 		opt.RerankSlack = defaultRerankSlack
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opt.FS
+	if fs == nil {
+		fs = iofault.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	lock, err := lockDir(dir)
@@ -212,24 +233,25 @@ func Open(dir string, opt Options) (*Corpus, error) {
 	c := &Corpus{
 		dir:          dir,
 		opt:          opt,
+		fs:           fs,
 		tokenID:      make(map[string]token.TokenID),
 		corruptSnaps: make(map[uint64]bool),
 		lock:         lock,
 	}
-	removeStaleTemp(dir)
+	removeStaleTemp(fs, dir)
 
 	// Newest valid snapshot wins; a corrupt one falls back a generation
 	// (Compact retains one prior generation precisely for this). If
 	// snapshots exist but none decodes, fail loudly — opening an empty
 	// corpus over a directory that demonstrably held data would present
 	// total data loss as a clean start.
-	snaps, err := listGens(dir, snapPrefix, snapSuffix)
+	snaps, err := listGens(fs, dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return nil, err
 	}
 	loaded := false
 	for i := len(snaps) - 1; i >= 0; i-- {
-		st, err := readSnapshot(snapPath(dir, snaps[i]))
+		st, err := readSnapshot(fs, snapPath(dir, snaps[i]))
 		if err != nil {
 			c.corruptSnaps[snaps[i]] = true
 			continue
@@ -250,7 +272,7 @@ func Open(dir string, opt Options) (*Corpus, error) {
 	// cannot start at zero, fail loudly — opening an empty corpus over a
 	// directory that demonstrably held data would present total data loss
 	// as a clean start.
-	walGens, err := listGens(dir, walPrefix, walSuffix)
+	walGens, err := listGens(fs, dir, walPrefix, walSuffix)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +297,7 @@ func Open(dir string, opt Options) (*Corpus, error) {
 		if g != expected {
 			return nil, fmt.Errorf("corpus: wal generation %d missing (found %d)", expected, g)
 		}
-		off, records, clean, err := replayWAL(walPath(dir, g), apply)
+		off, records, clean, err := replayWAL(fs, walPath(dir, g), apply)
 		if err != nil {
 			return nil, err
 		}
@@ -288,7 +310,7 @@ func Open(dir string, opt Options) (*Corpus, error) {
 		expected = g + 1
 	}
 
-	c.wal, err = newWALWriter(walPath(dir, c.gen), offset, opt.SyncEvery, opt.DisableSync)
+	c.wal, err = newWALWriter(fs, walPath(dir, c.gen), offset, opt.SyncEvery, opt.DisableSync)
 	if err != nil {
 		return nil, err
 	}
@@ -302,15 +324,15 @@ func Open(dir string, opt Options) (*Corpus, error) {
 
 // removeStaleTemp clears half-written snapshot temp files from a crashed
 // Snapshot call.
-func removeStaleTemp(dir string) {
-	ents, err := os.ReadDir(dir)
+func removeStaleTemp(fs iofault.FS, dir string) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range ents {
 		name := e.Name()
 		if len(name) > 4 && name[:5] == "snap-" && name[len(name)-4:] == ".tmp" {
-			os.Remove(dir + string(os.PathSeparator) + name)
+			fs.Remove(dir + string(os.PathSeparator) + name)
 		}
 	}
 }
@@ -452,6 +474,34 @@ func (c *Corpus) applyAdd(ts token.TokenizedString) token.StringID {
 // tombstoned — a caller error, as opposed to a persistence failure.
 var ErrNotFound = errors.New("unknown or already-deleted id")
 
+// ErrDegraded marks the corpus's degraded mode: a storage failure sealed
+// the write path, so mutations fail fast while reads keep serving from
+// memory. Recover (or Snapshot) heals by rotating to a fresh generation;
+// errors.Is(err, ErrDegraded) identifies the condition.
+var ErrDegraded = errors.New("corpus degraded: write path sealed")
+
+// degradedErr renders the current degraded state as an ErrDegraded-
+// wrapped error. Caller holds at least the read lock; c.degraded != nil.
+func (c *Corpus) degradedErr() error {
+	return fmt.Errorf("%w: %v", ErrDegraded, c.degraded)
+}
+
+// noteWAL post-processes a failed WAL operation: if it left the writer
+// sealed (fsync failed, or a rollback could not restore the validated
+// prefix), the corpus enters degraded mode and the error is tagged with
+// ErrDegraded. A clean per-op failure — the append failed but rollback
+// restored the log — passes through untagged; the corpus stays healthy.
+func (c *Corpus) noteWAL(err error) error {
+	if err == nil {
+		return nil
+	}
+	if c.wal.broken != nil {
+		c.degraded = c.wal.broken
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	return err
+}
+
 // applyDelete tombstones a string. Its content, member lists and posting
 // entries are retained (point-in-time views may still hold them; readers
 // filter by alive) — a restart from a compacted snapshot sheds them.
@@ -534,6 +584,9 @@ func (c *Corpus) AddTokenized(ts token.TokenizedString) (token.StringID, error) 
 	if c.closed {
 		return -1, errors.New("corpus: closed")
 	}
+	if c.degraded != nil {
+		return -1, c.degradedErr()
+	}
 	m := c.wal.mark()
 	c.encBuf = encodeAdd(c.encBuf, ts)
 	if err := c.wal.append(c.encBuf); err != nil {
@@ -541,7 +594,7 @@ func (c *Corpus) AddTokenized(ts token.TokenizedString) (token.StringID, error) 
 		// never applied, so a replay must not see it (it would shift every
 		// later id).
 		c.wal.rollback(m)
-		return -1, err
+		return -1, c.noteWAL(err)
 	}
 	return c.applyAdd(ts), nil
 }
@@ -555,18 +608,21 @@ func (c *Corpus) AddTokenizedBatch(tss []token.TokenizedString) (token.StringID,
 	if c.closed {
 		return -1, errors.New("corpus: closed")
 	}
+	if c.degraded != nil {
+		return -1, c.degradedErr()
+	}
 	first := token.StringID(len(c.strings))
 	m := c.wal.mark()
 	for _, ts := range tss {
 		c.encBuf = encodeAdd(c.encBuf, ts)
 		if err := c.wal.appendDeferred(c.encBuf); err != nil {
 			c.wal.rollback(m) // none of the batch was applied
-			return -1, err
+			return -1, c.noteWAL(err)
 		}
 	}
 	if err := c.wal.sync(); err != nil {
 		c.wal.rollback(m)
-		return -1, err
+		return -1, c.noteWAL(err)
 	}
 	for _, ts := range tss {
 		c.applyAdd(ts)
@@ -583,6 +639,9 @@ func (c *Corpus) Delete(sid token.StringID) error {
 	if c.closed {
 		return errors.New("corpus: closed")
 	}
+	if c.degraded != nil {
+		return c.degradedErr()
+	}
 	if int(sid) >= len(c.strings) || sid < 0 || !c.alive[sid] {
 		return fmt.Errorf("corpus: delete of id %d: %w", sid, ErrNotFound)
 	}
@@ -590,7 +649,7 @@ func (c *Corpus) Delete(sid token.StringID) error {
 	c.encBuf = encodeDelete(c.encBuf, sid)
 	if err := c.wal.append(c.encBuf); err != nil {
 		c.wal.rollback(m)
-		return err
+		return c.noteWAL(err)
 	}
 	return c.applyDelete(sid)
 }
@@ -602,7 +661,44 @@ func (c *Corpus) Sync() error {
 	if c.closed {
 		return errors.New("corpus: closed")
 	}
-	return c.wal.sync()
+	if c.degraded != nil {
+		return c.degradedErr()
+	}
+	return c.noteWAL(c.wal.sync())
+}
+
+// Degraded reports the degraded state: nil while healthy, otherwise an
+// ErrDegraded-wrapped error naming the storage failure that sealed the
+// write path. Read paths (View, Stats, Len, ...) are unaffected by
+// degradation — they serve from memory.
+func (c *Corpus) Degraded() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.degraded == nil {
+		return nil
+	}
+	return c.degradedErr()
+}
+
+// Recover attempts to heal a degraded corpus by rotating to a fresh
+// generation: the in-memory state — exactly the acknowledged mutations —
+// is written as a new snapshot through new file descriptors, a fresh WAL
+// is started, and only when the whole rotation (including the directory
+// fsync) succeeds is the degraded flag cleared. Retrying the failed
+// fsync on the old descriptors would be unsound (the kernel may have
+// dropped the dirty pages and would report a hollow success), which is
+// why healing always goes through a full rotation. On a healthy corpus
+// Recover is a no-op.
+func (c *Corpus) Recover() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("corpus: closed")
+	}
+	if c.degraded == nil {
+		return nil
+	}
+	return c.snapshotLocked()
 }
 
 // Snapshot persists the current state as a new generation: the snapshot
@@ -619,19 +715,37 @@ func (c *Corpus) snapshotLocked() error {
 	if c.closed {
 		return errors.New("corpus: closed")
 	}
-	if err := c.wal.sync(); err != nil {
-		return err
+	// Flush batched appends so the snapshot captures them — unless the
+	// writer is already sealed: the in-memory state holds exactly the
+	// acknowledged mutations, and the rotation below persists it through
+	// fresh descriptors, which is the only sound way to heal.
+	if c.degraded == nil {
+		if err := c.wal.sync(); err != nil {
+			return c.noteWAL(err)
+		}
 	}
 	gen := c.gen + 1
-	if err := c.writeSnapshot(gen); err != nil {
+	tmp, err := c.writeSnapshotTemp(gen)
+	if err != nil {
 		return err
 	}
-	w, err := newWALWriter(walPath(c.dir, gen), 0, c.opt.SyncEvery, c.opt.DisableSync)
+	// The new generation's WAL is created BEFORE the snapshot is renamed
+	// into place. The reverse order has an unrecoverable interleaving: a
+	// visible snap-g whose wal-g could not be created (and whose removal
+	// also failed) shadows every later append to wal-(g-1) — the next
+	// Open loads snap-g and skips the older log, silently dropping
+	// acknowledged records. With this order the failure artifacts are an
+	// invisible temp file or an empty wal-g, and an orphan empty wal-g
+	// replays as a no-op on top of a clean predecessor chain.
+	w, err := newWALWriter(c.fs, walPath(c.dir, gen), 0, c.opt.SyncEvery, c.opt.DisableSync)
 	if err != nil {
-		// The snapshot exists but its WAL could not be created; stay on
-		// the old generation (Open would do the same after a crash here:
-		// the new snapshot already contains every old-WAL record).
-		os.Remove(snapPath(c.dir, gen))
+		c.fs.Remove(tmp)
+		return err
+	}
+	if err := c.fs.Rename(tmp, snapPath(c.dir, gen)); err != nil {
+		w.close()
+		c.fs.Remove(tmp)
+		c.fs.Remove(walPath(c.dir, gen)) // best-effort; harmless if it stays
 		return err
 	}
 	old := c.wal
@@ -640,7 +754,16 @@ func (c *Corpus) snapshotLocked() error {
 	c.snapshots++
 	c.dirty = false
 	old.close()
-	return c.syncDir()
+	if err := c.syncDir(); err != nil {
+		// The rename may not be durable: a crash now could resurface the
+		// previous generation. The in-memory swap already happened, so
+		// appends target the new WAL — seal the corpus until a later
+		// rotation (Recover) fsyncs the directory successfully.
+		c.degraded = fmt.Errorf("corpus: snapshot dir fsync failed: %w", err)
+		return c.degradedErr()
+	}
+	c.degraded = nil
+	return nil
 }
 
 // Compact snapshots and then removes older generations, retaining the
@@ -661,7 +784,7 @@ func (c *Corpus) Compact() error {
 	// With no valid prior snapshot the fallback is generation 0 — the
 	// WAL-only full chain — so every log is retained until a valid prior
 	// snapshot exists (the next Compact prunes them).
-	snaps, err := listGens(c.dir, snapPrefix, snapSuffix)
+	snaps, err := listGens(c.fs, c.dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return err
 	}
@@ -674,19 +797,19 @@ func (c *Corpus) Compact() error {
 	}
 	for _, g := range snaps {
 		if g < keep || (g < c.gen && c.corruptSnaps[g]) {
-			if err := os.Remove(snapPath(c.dir, g)); err != nil {
+			if err := c.fs.Remove(snapPath(c.dir, g)); err != nil {
 				return err
 			}
 			delete(c.corruptSnaps, g)
 		}
 	}
-	walGens, err := listGens(c.dir, walPrefix, walSuffix)
+	walGens, err := listGens(c.fs, c.dir, walPrefix, walSuffix)
 	if err != nil {
 		return err
 	}
 	for _, g := range walGens {
 		if g < keep {
-			if err := os.Remove(walPath(c.dir, g)); err != nil {
+			if err := c.fs.Remove(walPath(c.dir, g)); err != nil {
 				return err
 			}
 		}
@@ -759,6 +882,7 @@ func (c *Corpus) Stats() Stats {
 		WALReplayed:   c.walReplayed,
 		Snapshots:     c.snapshots,
 		Dirty:         c.dirty,
+		Degraded:      c.degraded != nil,
 		JoinsServed:   c.joinsServed.Load(),
 	}
 	if c.wal != nil {

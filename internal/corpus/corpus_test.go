@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/iofault"
 	"repro/internal/namegen"
 	"repro/internal/token"
 )
@@ -143,16 +144,16 @@ func TestSnapshotAndWALTail(t *testing.T) {
 	}
 	// Compact retains the newest prior generation as a corruption
 	// fallback: two snapshots, two logs, nothing older.
-	snaps, _ := listGens(dir, snapPrefix, snapSuffix)
-	wals, _ := listGens(dir, walPrefix, walSuffix)
+	snaps, _ := listGens(iofault.OS, dir, snapPrefix, snapSuffix)
+	wals, _ := listGens(iofault.OS, dir, walPrefix, walSuffix)
 	if len(snaps) != 2 || len(wals) != 2 {
 		t.Fatalf("after compact: %d snapshots, %d wals (want 2 + 2)", len(snaps), len(wals))
 	}
 	if err := r.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	snaps, _ = listGens(dir, snapPrefix, snapSuffix)
-	wals, _ = listGens(dir, walPrefix, walSuffix)
+	snaps, _ = listGens(iofault.OS, dir, snapPrefix, snapSuffix)
+	wals, _ = listGens(iofault.OS, dir, walPrefix, walSuffix)
 	if len(snaps) != 2 || len(wals) != 2 {
 		t.Fatalf("after second compact: %d snapshots, %d wals (want 2 + 2)", len(snaps), len(wals))
 	}

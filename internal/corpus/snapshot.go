@@ -7,12 +7,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/iofault"
 	"repro/internal/token"
 )
 
@@ -79,8 +79,8 @@ func parseGen(name, prefix, suffix string) (uint64, bool) {
 
 // listGens returns the generations present in dir for the given
 // prefix/suffix, ascending.
-func listGens(dir, prefix, suffix string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listGens(fs iofault.FS, dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -126,76 +126,81 @@ func (cw *crcWriter) u64(v uint64) error {
 	return err
 }
 
-// writeSnapshot serializes the corpus state (caller holds the corpus
-// lock) to snapPath(dir, gen) atomically: temp file, fsync, rename,
-// directory fsync.
-func (c *Corpus) writeSnapshot(gen uint64) (err error) {
-	tmp, err := os.CreateTemp(c.dir, "snap-*.tmp")
+// writeSnapshotTemp serializes the corpus state (caller holds the
+// corpus lock) into a fully fsynced, closed temp file and returns its
+// path. The caller renames it into place: keeping the rename out of
+// this function lets snapshotLocked order it against the new
+// generation's WAL creation so that no failure interleaving can leave
+// an orphan snapshot shadowing later appends to the old generation. On
+// error the temp file is removed (best-effort; an unrenamed temp is
+// invisible to Open and swept by removeStaleTemp at the next start).
+func (c *Corpus) writeSnapshotTemp(gen uint64) (path string, err error) {
+	tmp, err := c.fs.CreateTemp(c.dir, "snap-*.tmp")
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			c.fs.Remove(tmp.Name())
 		}
 	}()
 
 	cw := &crcWriter{w: bufio.NewWriterSize(tmp, 1<<20)}
 	if _, err = io.WriteString(cw, snapMagic); err != nil {
-		return err
+		return "", err
 	}
 	if err = cw.u32(snapVersion); err != nil {
-		return err
+		return "", err
 	}
 	for _, v := range []uint64{gen, c.epoch, uint64(c.reranks)} {
 		if err = cw.u64(v); err != nil {
-			return err
+			return "", err
 		}
 	}
 	if err = cw.uvarint(uint64(len(c.tokens))); err != nil {
-		return err
+		return "", err
 	}
 	for _, t := range c.tokens {
 		if err = cw.uvarint(uint64(len(t))); err != nil {
-			return err
+			return "", err
 		}
 		if _, err = io.WriteString(cw, t); err != nil {
-			return err
+			return "", err
 		}
 	}
 	for _, r := range c.rank {
 		if err = cw.uvarint(uint64(r)); err != nil {
-			return err
+			return "", err
 		}
 	}
 	for _, f := range c.frozenFreq {
 		if err = cw.uvarint(uint64(f)); err != nil {
-			return err
+			return "", err
 		}
 	}
 	if err = cw.uvarint(uint64(len(c.strings))); err != nil {
-		return err
+		return "", err
 	}
 	idBuf := make([]token.TokenID, 0, 16)
 	for sid := range c.strings {
 		if !c.alive[sid] {
 			if _, err = cw.Write([]byte{0}); err != nil {
-				return err
+				return "", err
 			}
 			continue
 		}
 		if _, err = cw.Write([]byte{1}); err != nil {
-			return err
+			return "", err
 		}
 		ts := &c.strings[sid]
 		idBuf = c.multisetIDs(ts, sid, idBuf[:0])
 		if err = cw.uvarint(uint64(len(idBuf))); err != nil {
-			return err
+			return "", err
 		}
 		for _, tid := range idBuf {
 			if err = cw.uvarint(uint64(tid)); err != nil {
-				return err
+				return "", err
 			}
 		}
 	}
@@ -203,23 +208,20 @@ func (c *Corpus) writeSnapshot(gen uint64) (err error) {
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], crc)
 	if _, err = cw.w.Write(tail[:]); err != nil {
-		return err
+		return "", err
 	}
 	if err = cw.w.Flush(); err != nil {
-		return err
+		return "", err
 	}
 	if !c.opt.DisableSync {
 		if err = tmp.Sync(); err != nil {
-			return err
+			return "", err
 		}
 	}
 	if err = tmp.Close(); err != nil {
-		return err
+		return "", err
 	}
-	if err = os.Rename(tmp.Name(), snapPath(c.dir, gen)); err != nil {
-		return err
-	}
-	return c.syncDir()
+	return tmp.Name(), nil
 }
 
 // multisetIDs maps a string's token multiset (sorted, with duplicates)
@@ -243,12 +245,7 @@ func (c *Corpus) syncDir() error {
 	if c.opt.DisableSync {
 		return nil
 	}
-	d, err := os.Open(c.dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return c.fs.SyncDir(c.dir)
 }
 
 // snapState is the decoded logical content of a snapshot file.
@@ -265,8 +262,8 @@ type snapState struct {
 }
 
 // readSnapshot loads and CRC-verifies one snapshot file.
-func readSnapshot(path string) (*snapState, error) {
-	raw, err := os.ReadFile(path)
+func readSnapshot(fs iofault.FS, path string) (*snapState, error) {
+	raw, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

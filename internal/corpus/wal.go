@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/iofault"
 	"repro/internal/token"
 )
 
@@ -52,7 +53,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // fsync: records are durable after every flushEvery appends, on Sync, and
 // on Close. flushEvery = 1 (the default) is write-through.
 type walWriter struct {
-	f   *os.File
+	f   iofault.File
 	buf []byte // frame assembly scratch
 	// offset is the validated length of the log: every byte below it is a
 	// complete frame. Failed appends truncate back to it so the on-disk
@@ -63,8 +64,13 @@ type walWriter struct {
 	noSync     bool
 	records    int64
 	bytes      int64
-	// broken is set when a rollback itself failed: the log may now hold a
-	// frame that was never applied, so further appends must not proceed.
+	// broken seals the writer: no append or sync may touch the fd again.
+	// It is set when a rollback failed (the log may hold a frame that was
+	// never applied) or when an fsync failed (post-fsyncgate, the kernel
+	// may have dropped the dirty pages and cleared the error, so a retry
+	// could report success without durability — the generation must be
+	// abandoned, not retried). The corpus surfaces a sealed writer as
+	// ErrDegraded and heals by rotating to a fresh generation.
 	broken error
 }
 
@@ -72,8 +78,8 @@ type walWriter struct {
 // writing the header on a fresh file. offset is the validated length of
 // the existing log (from replay); the file is truncated there so appends
 // never interleave with a torn tail.
-func newWALWriter(path string, offset int64, flushEvery int, noSync bool) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func newWALWriter(fs iofault.FS, path string, offset int64, flushEvery int, noSync bool) (*walWriter, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -168,15 +174,21 @@ func (w *walWriter) appendDeferred(payload []byte) error {
 	return nil
 }
 
-// sync flushes pending appends to stable storage. On an fsync failure
-// the pending count is preserved, so a later Sync/Snapshot/Close retries
-// instead of wrongly reporting the batch flushed.
+// sync flushes pending appends to stable storage. An fsync failure
+// seals the writer: retrying fsync on the same fd is unsound
+// (post-fsyncgate kernels may drop the dirty pages and report the next
+// fsync clean without having written them), so the generation is
+// abandoned and the corpus must heal by rotating to a fresh one.
 func (w *walWriter) sync() error {
+	if w.broken != nil {
+		return w.broken
+	}
 	if w.pending == 0 {
 		return nil
 	}
 	if !w.noSync {
 		if err := w.f.Sync(); err != nil {
+			w.broken = fmt.Errorf("corpus: wal fsync failed, generation sealed: %w", err)
 			return err
 		}
 	}
@@ -269,8 +281,8 @@ func decodeRecord(payload []byte) (walRecord, error) {
 // recovery contract, not an error — with clean = false so callers can
 // reject damage where it must not occur (a non-final generation, whose
 // successors would otherwise replay onto a shifted id space).
-func replayWAL(path string, apply func(walRecord) error) (offset int64, records int64, clean bool, err error) {
-	f, err := os.Open(path)
+func replayWAL(fs iofault.FS, path string, apply func(walRecord) error) (offset int64, records int64, clean bool, err error) {
+	f, err := fs.Open(path)
 	if os.IsNotExist(err) {
 		return 0, 0, true, nil
 	}

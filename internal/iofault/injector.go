@@ -1,0 +1,327 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Op classifies the faultable operations the durability layer performs.
+// OpAny in Plan.Only means every kind is eligible.
+type Op uint8
+
+const (
+	OpAny Op = iota
+	OpOpen
+	OpWrite
+	OpSync
+	OpRename
+	OpTruncate
+	OpDirSync
+	OpRemove
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAny:
+		return "any"
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	case OpDirSync:
+		return "dirsync"
+	case OpRemove:
+		return "remove"
+	}
+	return "unknown"
+}
+
+// ErrCrashed is the error every operation returns once a Crash plan has
+// fired: the process conceptually stopped at that instant, so nothing
+// after the crash point touches the disk.
+var ErrCrashed = errors.New("iofault: simulated crash")
+
+// Plan selects one operation to fail and how. The zero Plan (FailAt 0,
+// first eligible op faults with EIO) is rarely what a caller wants;
+// Disarmed() or FailAt: -1 makes an Injector a pure op counter.
+type Plan struct {
+	// FailAt is the 0-based index, over eligible operations, of the
+	// operation to fail. Negative disarms injection (the Injector still
+	// counts ops).
+	FailAt int64
+	// Only restricts eligibility to one operation kind; OpAny (the zero
+	// value) makes every counted kind eligible.
+	Only Op
+	// Err is the injected error; nil means syscall.EIO.
+	Err error
+	// ShortWrite, when the failing operation is a write, writes this many
+	// bytes of the buffer through to the underlying file before returning
+	// Err — a torn write, as a crashed or full disk produces. Zero fails
+	// the write without writing anything.
+	ShortWrite int
+	// Crash makes the failing operation — and every operation after it —
+	// return ErrCrashed with no filesystem effect: the moment of a power
+	// cut. Err and ShortWrite are ignored.
+	Crash bool
+}
+
+// Disarmed is a plan that never fires; the Injector becomes a pure
+// operation counter.
+func Disarmed() Plan { return Plan{FailAt: -1} }
+
+// Injector wraps an FS and executes a fault Plan against the stream of
+// operations flowing through it. Safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	plan     Plan
+	ops      int64 // all counted ops, regardless of eligibility
+	eligible int64 // ops matching the plan's Only filter
+	faults   int64
+	crashed  bool
+}
+
+// NewInjector wraps inner with the given plan.
+func NewInjector(inner FS, plan Plan) *Injector {
+	return &Injector{inner: inner, plan: plan}
+}
+
+// SetPlan re-arms the injector: the eligible-op counter restarts at
+// zero, so Plan{Only: OpSync, FailAt: 0} fails the next fsync from now.
+// A crashed injector stays crashed.
+func (in *Injector) SetPlan(plan Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan = plan
+	in.eligible = 0
+}
+
+// Ops returns the number of faultable operations seen so far. A
+// disarmed run over a deterministic workload yields the sweep bound for
+// a torture harness.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Faults returns how many operations were failed by the plan.
+func (in *Injector) Faults() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+// Crashed reports whether a Crash plan has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// step counts one operation and decides its fate: err != nil means the
+// operation must fail with err, after writing short bytes through (only
+// ever non-zero for writes).
+func (in *Injector) step(op Op) (short int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	if in.crashed {
+		return 0, ErrCrashed
+	}
+	if in.plan.FailAt < 0 {
+		return 0, nil
+	}
+	if in.plan.Only != OpAny && op != in.plan.Only {
+		return 0, nil
+	}
+	idx := in.eligible
+	in.eligible++
+	if idx != in.plan.FailAt {
+		return 0, nil
+	}
+	in.faults++
+	if in.plan.Crash {
+		in.crashed = true
+		return 0, ErrCrashed
+	}
+	err = in.plan.Err
+	if err == nil {
+		err = syscall.EIO
+	}
+	if op == OpWrite {
+		return in.plan.ShortWrite, err
+	}
+	return 0, err
+}
+
+// gate fails read-side operations after a crash (a dead process reads
+// nothing) without counting them as faultable ops.
+func (in *Injector) gate() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if _, err := in.step(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, in: in}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if _, err := in.step(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, in: in}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := in.step(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, in: in}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.gate(); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadFile(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := in.gate(); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.gate(); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.step(OpRename); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if _, err := in.step(OpRemove); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if _, err := in.step(OpDirSync); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// faultFile threads per-file operations back through the injector.
+type faultFile struct {
+	f  File
+	in *Injector
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.in.gate(); err != nil {
+		return 0, err
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	short, err := ff.in.step(OpWrite)
+	if err != nil {
+		if short > 0 && short < len(p) {
+			n, werr := ff.f.Write(p[:short])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	short, err := ff.in.step(OpWrite)
+	if err != nil {
+		if short > 0 && short < len(p) {
+			n, werr := ff.f.WriteAt(p[:short], off)
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := ff.in.gate(); err != nil {
+		return 0, err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if _, err := ff.in.step(OpTruncate); err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Sync() error {
+	if _, err := ff.in.step(OpSync); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+// Close always releases the real descriptor — a crashed process's fds
+// are closed by the OS too — but reports the crash to the caller.
+func (ff *faultFile) Close() error {
+	err := ff.in.gate()
+	if cerr := ff.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (ff *faultFile) Name() string { return ff.f.Name() }

@@ -1,0 +1,96 @@
+// Package iofault is the filesystem seam under the durability layer.
+//
+// Everything the persistent corpus does to disk — WAL appends and
+// fsyncs, snapshot temp-write/rename/dir-fsync, generation cleanup —
+// runs through the FS interface instead of the os package directly.
+// The default implementation (OS) is a zero-cost passthrough; the
+// Injector wraps any FS and fails a chosen operation with a chosen
+// error, a short write, or a simulated crash, so recovery code can be
+// exercised against every fault the real filesystem can produce,
+// systematically rather than by hand-crafting corrupt files.
+package iofault
+
+import "os"
+
+// File is the subset of *os.File the durability paths use. Reads and
+// writes are unbuffered; Sync is a real fsync on the OS implementation.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface of the durability layer: file open and
+// creation, the rename that publishes a snapshot, removal of dead
+// generations, and the directory fsync that makes renames and creations
+// durable. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// CreateTemp is os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile is os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+	// Rename is os.Rename (atomic within a directory on POSIX).
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// SyncDir opens dir and fsyncs it, making renames and creations in
+	// it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,208 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSPassthrough: the OS implementation behaves like the os package
+// for the full File/FS surface the corpus uses.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OS.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("J"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "Jello" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := OS.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f2" {
+		t.Fatalf("ReadDir: %v, %v", ents, err)
+	}
+	if err := OS.Remove(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorCountsAndDisarmed: a disarmed injector counts ops without
+// disturbing anything.
+func TestInjectorCountsAndDisarmed(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Disarmed())
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Ops(); got != 5 { // open, write, sync, truncate, dirsync
+		t.Fatalf("Ops = %d, want 5", got)
+	}
+	if in.Faults() != 0 {
+		t.Fatalf("Faults = %d on a disarmed injector", in.Faults())
+	}
+}
+
+// TestInjectorFailAt: the Nth op fails with the chosen errno, earlier
+// and later ops succeed (one-shot).
+func TestInjectorFailAt(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Plan{FailAt: 1, Err: syscall.ENOSPC}) // ops: open(0), write(1), ...
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write at fault index: err = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("write after one-shot fault: %v", err)
+	}
+	if in.Faults() != 1 {
+		t.Fatalf("Faults = %d, want 1", in.Faults())
+	}
+	f.Close()
+}
+
+// TestInjectorShortWrite: the failing write leaves exactly ShortWrite
+// bytes behind — a torn write.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	in := NewInjector(OS, Plan{FailAt: 1, ShortWrite: 2})
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "ab" {
+		t.Fatalf("on-disk after short write = %q, want \"ab\"", got)
+	}
+}
+
+// TestInjectorOnlyFilter: with Only set, non-matching ops pass through
+// uncounted toward FailAt.
+func TestInjectorOnlyFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Plan{FailAt: 0, Only: OpSync})
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err) // open is not eligible
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err) // write is not eligible
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("first sync: err = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync after one-shot: %v", err)
+	}
+	f.Close()
+}
+
+// TestInjectorCrash: from the crash point on, every operation fails with
+// ErrCrashed and nothing reaches the disk.
+func TestInjectorCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	in := NewInjector(OS, Plan{FailAt: 2, Crash: true}) // open(0), write(1), write(2)=crash
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("def")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash op: err = %v", err)
+	}
+	if _, err := f.Write([]byte("ghi")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: err = %v", err)
+	}
+	if err := in.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: err = %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("Crashed() = false after crash fired")
+	}
+	f.Close() // must still release the descriptor
+	got, _ := os.ReadFile(path)
+	if string(got) != "abc" {
+		t.Fatalf("on-disk after crash = %q, want everything before the crash point only", got)
+	}
+	if _, err := os.Stat(path + "2"); err == nil {
+		t.Fatal("post-crash rename reached the disk")
+	}
+}
+
+// TestInjectorSetPlanRearms: SetPlan restarts the eligible counter so a
+// new fault can be aimed at "the next op of kind K from now".
+func TestInjectorSetPlanRearms(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, Disarmed())
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	in.SetPlan(Plan{FailAt: 0, Only: OpSync})
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("re-armed sync: err = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("after one-shot: %v", err)
+	}
+	f.Close()
+}
