@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nosimd test-arm64 race torture bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
+.PHONY: all build test test-nosimd test-arm64 race torture replication-torture bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
 
 all: build
 
@@ -41,7 +41,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzLevenshteinBoundedU16 -fuzztime 30s ./internal/strdist/
 
 race:
-	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/... ./internal/corpus/... ./internal/histo/... ./cmd/tsjserve/...
+	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/... ./internal/corpus/... ./internal/histo/... ./internal/replica/... ./internal/backoff/... ./cmd/tsjserve/...
 
 # Storage fault-injection suite under the race detector: the op-sweep
 # torture test (every WAL/snapshot/compact I/O operation failed in turn,
@@ -51,6 +51,14 @@ race:
 # sweep runs in the plain `test` target.
 torture:
 	$(GO) test -race -short -run 'Torture|Degraded|BitRot' -count=1 ./internal/corpus/ ./cmd/tsjserve/
+
+# Replication torture under the race detector: every shipped WAL frame
+# failed in turn (drop, torn write, delay, standby crash, primary
+# crash), plus promotion and restart equivalence, and the serving
+# layer's failover end-to-end test. -short strides the frame sweep; the
+# full sweep runs in the plain `test` target.
+replication-torture:
+	$(GO) test -race -short -run 'Replication|Promotion|Failover' -count=1 ./internal/replica/ ./cmd/tsjserve/
 
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkShardedAdd -benchtime=1x .
@@ -78,14 +86,14 @@ bench-json:
 	| $(GO) run ./cmd/benchjson -commit "$$sha" -o "BENCH_$$sha.json"
 
 equivalence-guard:
-	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence|TestTortureOpSweep' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
-	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence TestSIMDEquivalence TestTortureOpSweep; do \
+	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence|TestTortureOpSweep|TestReplicationTortureSweep|TestPromotionEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
+	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence TestSIMDEquivalence TestTortureOpSweep TestReplicationTortureSweep TestPromotionEquivalence; do \
 		if ! echo "$$out" | grep -q -- "--- PASS: $$pat"; then \
 			echo "no $$pat tests ran"; exit 1; fi; \
 		if echo "$$out" | grep -q -- "--- SKIP: $$pat"; then \
 			echo "$$pat tests were skipped"; exit 1; fi; \
 	done; \
-	echo "equivalence guard (bounded + prefix + segment-prefix + restart + simd + torture): ok"
+	echo "equivalence guard (bounded + prefix + segment-prefix + restart + simd + torture + replication): ok"
 
 # vet + gofmt always; staticcheck and govulncheck when installed (CI
 # installs both — locally they degrade to a notice, never a failure).
@@ -100,4 +108,4 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-ci: build lint test test-nosimd race torture equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus
+ci: build lint test test-nosimd race torture replication-torture equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus

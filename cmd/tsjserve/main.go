@@ -17,15 +17,33 @@
 //	               -> {"generation": 3, "strings": 1041}
 //	GET  /stats    -> matcher funnel/wall counters, per-endpoint latency
 //	                  quantiles and error/shed/panic counters, and (with
-//	                  -data) corpus/WAL counters
+//	                  -data) corpus/WAL counters and replication state
 //	GET  /healthz  -> ok        pure liveness: 200 while the process serves
 //	GET  /readyz   -> ready     flips to 503 while the corpus is degraded
+//	                  or the node is a standby that is syncing/out of contact
+//	GET  /replication          -> role plus shipper/applier status
+//	POST /replication/register   (replication protocol; standby -> primary)
+//	POST /replication/apply      (replication protocol; primary -> standby)
+//	POST /promote  {}            fail over: seal replication, flip writable
+//	               -> {"role": "primary", "lsn": 1041}
 //
 // With -data DIR the index is durable: every add is appended to a
 // CRC-framed write-ahead log under DIR before it becomes visible, POST
 // /snapshot (or -snapshot-every) checkpoints the corpus, and a restart
 // warm-loads the whole index from snapshot + WAL replay — same ids, same
 // matches — instead of starting empty.
+//
+// Replication: a durable node is always a shipping-capable primary —
+// standbys register via POST /replication/register and committed WAL
+// records stream to them (far-behind followers get a full bootstrap).
+// Started with -replica-of URL (plus -advertise URL and -data DIR), the
+// node is instead a warm standby: it applies the primary's shipped
+// stream through the same replay path a restart uses, serves /query
+// (and all read endpoints) from the warm index, answers 503 on writes,
+// and reports not-ready until it is registered and caught up. POST
+// /promote fails the node over: the applier is sealed, the corpus
+// fsynced, and the node becomes a writable primary that accepts
+// follower registrations of its own.
 //
 // Degraded mode: a storage failure that seals the corpus write path (a
 // failed WAL fsync cannot be retried soundly — the kernel may drop the
@@ -59,7 +77,9 @@ import (
 	"time"
 
 	tsjoin "repro"
+	"repro/internal/backoff"
 	"repro/internal/histo"
+	"repro/internal/replica"
 )
 
 // maxBodyBytes bounds request bodies; a /join batch of ~10k names fits.
@@ -75,10 +95,26 @@ type endpointCounters struct {
 	panics atomic.Int64
 }
 
+// Replication roles a node can be in. A durable node starts as a
+// primary (shipping-capable, writable), a -replica-of node as a standby
+// (read-only applier) until promoted; an in-memory node is "none".
+const (
+	roleNone    = "none"
+	rolePrimary = "primary"
+	roleStandby = "standby"
+)
+
 // server wires a ConcurrentMatcher (and optionally its backing corpus)
 // to the HTTP API.
 type server struct {
-	m *tsjoin.ConcurrentMatcher
+	// engMu guards the engine handles below. A standby's bootstrap
+	// re-seed closes and replaces m and c mid-flight (resetEngine), so
+	// every request that touches them runs under the read lock for its
+	// whole duration (readLocked) and the swap takes the write lock —
+	// the swap drains in-flight requests instead of closing the matcher
+	// under them.
+	engMu sync.RWMutex
+	m     *tsjoin.ConcurrentMatcher
 	// c is the persistent corpus backing m, nil when running in-memory.
 	c *tsjoin.Corpus
 	// lat holds one latency histogram per endpoint, keyed by the
@@ -90,6 +126,21 @@ type server struct {
 	// queued — queueing under overload only converts overload into
 	// latency and memory growth.
 	inflight chan struct{}
+
+	// role is the replication role (roleNone/rolePrimary/roleStandby);
+	// promotion flips it standby -> primary while serving.
+	role atomic.Value
+	// primMu guards prim, which a promotion creates while serving.
+	primMu sync.Mutex
+	prim   *replica.Primary
+	// stby is non-nil for the life of a node started with -replica-of
+	// (it stays, sealed, after promotion — its counters remain visible).
+	stby *replica.Standby
+	// dataDir plus the open options let resetEngine rebuild the engine
+	// from a wiped directory when the primary orders a bootstrap.
+	dataDir string
+	mopts   tsjoin.ConcurrentMatcherOptions
+	copts   tsjoin.CorpusOptions
 }
 
 func newServer(m *tsjoin.ConcurrentMatcher, c *tsjoin.Corpus, maxInflight int) *server {
@@ -102,12 +153,124 @@ func newServer(m *tsjoin.ConcurrentMatcher, c *tsjoin.Corpus, maxInflight int) *
 		lat[name] = &histo.Histogram{}
 		ctr[name] = &endpointCounters{}
 	}
-	return &server{m: m, c: c, lat: lat, ctr: ctr, inflight: make(chan struct{}, maxInflight)}
+	s := &server{m: m, c: c, lat: lat, ctr: ctr, inflight: make(chan struct{}, maxInflight)}
+	if c != nil {
+		s.role.Store(rolePrimary)
+	} else {
+		s.role.Store(roleNone)
+	}
+	return s
 }
 
 // degraded reports the backing corpus's degraded state (nil when
-// in-memory or healthy).
+// in-memory or healthy). Callers hold the engine read lock (readLocked).
 func (s *server) degraded() error { return s.m.Degraded() }
+
+func (s *server) roleName() string {
+	r, _ := s.role.Load().(string)
+	return r
+}
+
+// shipper returns the primary-side replication shipper, nil on a
+// standby (until promoted) or an in-memory node.
+func (s *server) shipper() *replica.Primary {
+	s.primMu.Lock()
+	defer s.primMu.Unlock()
+	return s.prim
+}
+
+// corpusHandle reads the current corpus under the engine lock; the
+// background loops re-read it every tick because a standby bootstrap
+// swaps it.
+func (s *server) corpusHandle() *tsjoin.Corpus {
+	s.engMu.RLock()
+	defer s.engMu.RUnlock()
+	return s.c
+}
+
+// serverEngine adapts the serving matcher+corpus to the replication
+// Applier: replicated records install through the same mutation path a
+// WAL replay uses, so the standby's matcher answers queries over
+// exactly the primary's acknowledged history. Its methods are called
+// only under the Standby's own lock, which also serializes them with
+// resetEngine's handle swap.
+type serverEngine struct{ s *server }
+
+func (e serverEngine) LSN() uint64 {
+	if e.s.m == nil {
+		return 0
+	}
+	return e.s.m.LSN()
+}
+
+func (e serverEngine) Apply(payload []byte) error {
+	if e.s.m == nil {
+		return errors.New("engine is resetting")
+	}
+	return e.s.m.ApplyShipped(payload)
+}
+
+func (e serverEngine) Seal() error {
+	if e.s.c == nil {
+		return errors.New("engine is resetting")
+	}
+	return e.s.c.Sync()
+}
+
+// resetEngine is the standby's bootstrap wipe: close the serving
+// handles, clear the data directory, and reopen an empty engine for the
+// primary to stream the full state into. Taking the engine write lock
+// drains every in-flight read first; while the swap is in progress (or
+// after a failed one) the handles are nil and readLocked answers 503.
+func (s *server) resetEngine() (replica.Applier, error) {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if s.m != nil {
+		s.m.Close()
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil {
+			log.Printf("replica reset: closing old corpus: %v", err)
+		}
+	}
+	s.m, s.c = nil, nil
+	if err := os.RemoveAll(s.dataDir); err != nil {
+		return nil, fmt.Errorf("replica reset: wiping %s: %w", s.dataDir, err)
+	}
+	if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+		return nil, err
+	}
+	c, err := tsjoin.OpenCorpus(s.dataDir, s.copts)
+	if err != nil {
+		return nil, fmt.Errorf("replica reset: reopening corpus: %w", err)
+	}
+	m, err := tsjoin.NewConcurrentMatcherFromCorpus(c, s.mopts)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("replica reset: rebuilding matcher: %w", err)
+	}
+	s.m, s.c = m, c
+	return serverEngine{s}, nil
+}
+
+// closeEngine shuts the current handles down at process exit; it reads
+// them under the write lock because a standby may have swapped them
+// since startup.
+func (s *server) closeEngine() {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if s.m != nil {
+		s.m.Close()
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil {
+			log.Printf("corpus close: %v", err)
+		} else {
+			log.Print("corpus WAL flushed and closed")
+		}
+	}
+	s.m, s.c = nil, nil
+}
 
 // endpointNames are the instrumented endpoints, in /stats display order.
 var endpointNames = []string{"add", "query", "join", "delete", "snapshot"}
@@ -134,12 +297,16 @@ func toWire(ms []tsjoin.Match) []wireMatch {
 // (a successful rotation clears the degraded state).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/add", s.instrument("add", s.writeGate(s.handleAdd)))
-	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
-	mux.HandleFunc("/join", s.instrument("join", s.writeGate(s.handleJoin)))
-	mux.HandleFunc("/delete", s.instrument("delete", s.writeGate(s.handleDelete)))
-	mux.HandleFunc("/snapshot", s.instrument("snapshot", s.handleSnapshot))
-	mux.HandleFunc("/stats", requireGet(s.handleStats))
+	mux.HandleFunc("/add", s.instrument("add", s.readLocked(s.writeGate(s.handleAdd))))
+	mux.HandleFunc("/query", s.instrument("query", s.readLocked(s.handleQuery)))
+	mux.HandleFunc("/join", s.instrument("join", s.readLocked(s.writeGate(s.handleJoin))))
+	mux.HandleFunc("/delete", s.instrument("delete", s.readLocked(s.writeGate(s.handleDelete))))
+	mux.HandleFunc("/snapshot", s.instrument("snapshot", s.readLocked(s.handleSnapshot)))
+	mux.HandleFunc("/stats", requireGet(s.readLocked(s.handleStats)))
+	mux.HandleFunc("/replication", requireGet(s.handleReplication))
+	mux.HandleFunc("/replication/register", s.handleRegister)
+	mux.HandleFunc("/replication/apply", s.handleApply)
+	mux.HandleFunc("/promote", s.handlePromote)
 	mux.HandleFunc("/healthz", requireGet(func(w http.ResponseWriter, r *http.Request) {
 		// Pure liveness: answers while the process can serve at all, even
 		// degraded — orchestrators must not restart a replica that is
@@ -147,8 +314,29 @@ func (s *server) handler() http.Handler {
 		// is /readyz.
 		fmt.Fprintln(w, "ok")
 	}))
-	mux.HandleFunc("/readyz", requireGet(s.handleReady))
+	mux.HandleFunc("/readyz", requireGet(s.readLocked(s.handleReady)))
 	return mux
+}
+
+// readLocked pins the engine handles for the request's duration: a
+// standby bootstrap swaps them under the write lock, so a handler that
+// grabbed s.m without this could race the swap's Close. While a swap is
+// in progress (or left the handles nil after failing) the request is
+// answered 503 — the primary's retry re-orders the reset.
+//
+// The replication endpoints themselves must NOT run under this lock:
+// /replication/apply is the path that takes the write lock.
+func (s *server) readLocked(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.engMu.RLock()
+		defer s.engMu.RUnlock()
+		if s.m == nil {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "engine resetting: replica re-seed in progress", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // statusWriter captures the response status so the middleware can count
@@ -208,10 +396,17 @@ func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// writeGate fails mutating requests fast while the corpus is degraded,
-// before they touch the sealed write path.
+// writeGate fails mutating requests fast: a standby is read-only by
+// role (writes go to the primary; promotion lifts this), and a degraded
+// corpus is read-only by circumstance — either way before the request
+// touches the write path.
 func (s *server) writeGate(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.roleName() == roleStandby {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "read-only standby: writes go to the primary (POST /promote to fail over)", http.StatusServiceUnavailable)
+			return
+		}
 		if err := s.degraded(); err != nil {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "degraded, serving read-only: "+err.Error(), http.StatusServiceUnavailable)
@@ -233,12 +428,123 @@ func requireGet(h http.HandlerFunc) http.HandlerFunc {
 }
 
 func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.roleName() == roleStandby && s.stby != nil && !s.stby.Ready() {
+		// A standby is routable only as a warm, caught-up replica:
+		// registered with the primary, not mid-bootstrap, in recent
+		// contact. Anything else and its answers may be arbitrarily stale.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "standby not ready: syncing or out of contact with the primary", http.StatusServiceUnavailable)
+		return
+	}
 	if err := s.degraded(); err != nil {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "degraded: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ready")
+}
+
+// replStatus is the JSON shape of GET /replication and the replication
+// section of /stats: the node's role plus whichever sides it runs.
+type replStatus struct {
+	Role string `json:"role"`
+	// Primary is the shipper's view (followers, lag) on a shipping-
+	// capable node; Standby the applier's view on a -replica-of node
+	// (it remains, sealed, after promotion so its counters stay
+	// visible).
+	Primary *replica.PrimaryStatus `json:"primary,omitempty"`
+	Standby *replica.StandbyStatus `json:"standby,omitempty"`
+}
+
+func (s *server) replicationStatus() replStatus {
+	st := replStatus{Role: s.roleName()}
+	if p := s.shipper(); p != nil {
+		ps := p.Status()
+		st.Primary = &ps
+	}
+	if s.stby != nil {
+		ss := s.stby.Status()
+		st.Standby = &ss
+	}
+	return st
+}
+
+func (s *server) handleReplication(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.replicationStatus())
+}
+
+// handleRegister accepts a standby's "ship to me" handshake; only a
+// node currently acting as a primary has a shipper to hand it to.
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	p := s.shipper()
+	if p == nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "not accepting followers: node is a standby or in-memory", http.StatusServiceUnavailable)
+		return
+	}
+	p.ServeRegister(w, r)
+}
+
+// handleApply ingests one shipped batch on a standby. It runs outside
+// readLocked on purpose: a bootstrap chunk's reset takes the engine
+// write lock, which drains the readLocked endpoints first.
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if s.stby == nil {
+		http.Error(w, "not a standby: this node does not accept replication traffic", http.StatusConflict)
+		return
+	}
+	s.stby.ServeApply(w, r)
+}
+
+// handlePromote fails the node over: seal the applier (rejecting
+// further replication traffic, including from a still-live old
+// primary), fsync the corpus, and flip the role to writable primary —
+// from here the node accepts follower registrations of its own.
+// Promotion of a syncing standby is refused: its state is a partial
+// bootstrap, not a prefix of the primary's history.
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.stby == nil {
+		http.Error(w, "not a standby: nothing to promote", http.StatusConflict)
+		return
+	}
+	already := s.roleName() == rolePrimary
+	if err := s.stby.Promote(); err != nil {
+		if errors.Is(err, replica.ErrSyncing) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "promote: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		// A seal failure (e.g. degraded corpus: the final fsync cannot be
+		// trusted) leaves the standby unsealed and promotion retryable.
+		persistError(w, "promote", err)
+		return
+	}
+	s.role.Store(rolePrimary)
+	s.engMu.RLock()
+	c := s.c
+	s.engMu.RUnlock()
+	s.primMu.Lock()
+	if s.prim == nil && c != nil {
+		s.prim = replica.NewPrimary(c, replica.PrimaryOptions{Logf: log.Printf})
+	}
+	s.primMu.Unlock()
+	lsn := uint64(0)
+	if c != nil {
+		lsn = c.LSN()
+	}
+	if !already {
+		log.Printf("promoted: standby sealed at lsn %d, now serving as writable primary", lsn)
+	}
+	writeJSON(w, struct {
+		Role    string `json:"role"`
+		LSN     uint64 `json:"lsn"`
+		Already bool   `json:"already,omitempty"`
+	}{rolePrimary, lsn, already})
 }
 
 // decode parses a JSON body into v, enforcing method and size limits.
@@ -440,6 +746,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs := s.c.Stats()
 		corpusStats = &cs
 	}
+	var repl *replStatus
+	if rs := s.replicationStatus(); rs.Primary != nil || rs.Standby != nil {
+		repl = &rs
+	}
 	writeJSON(w, struct {
 		Strings      int   `json:"strings"`
 		Shards       int   `json:"shards"`
@@ -471,11 +781,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Degraded       bool                    `json:"degraded"`
 		DegradedCause  string                  `json:"degraded_cause,omitempty"`
 		Corpus         *tsjoin.CorpusStats     `json:"corpus,omitempty"`
+		Replication    *replStatus             `json:"replication,omitempty"`
 	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.PrefixPruned,
 		st.SegPrefixPruned, st.SegKeysProbed, st.SegTokensChecked, st.SegTokensSimilar,
 		st.BatchedPairs, st.SIMDKernels, st.SIMDLanes, st.BatchScalarCells,
 		ms(st.CandGenWall), ms(st.VerifyWall),
-		st.TokensPerShard, lat, endpoints, degradedCause != "", degradedCause, corpusStats})
+		st.TokensPerShard, lat, endpoints, degradedCause != "", degradedCause, corpusStats, repl})
 }
 
 func main() {
@@ -503,7 +814,18 @@ func run() error {
 	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before load shedding with 503")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP response write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
+	replicaOf := flag.String("replica-of", "", "run as a warm standby replicating from this primary base URL (requires -data and -advertise; read-only until promoted)")
+	advertise := flag.String("advertise", "", "base URL the primary should ship to this node at, e.g. http://10.0.0.2:8080 (required with -replica-of)")
 	flag.Parse()
+
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			return errors.New("-replica-of requires -data: a standby replicates into a durable corpus")
+		}
+		if *advertise == "" {
+			return errors.New("-replica-of requires -advertise: the primary ships to that URL")
+		}
+	}
 
 	mopts := tsjoin.ConcurrentMatcherOptions{
 		MatcherOptions: tsjoin.MatcherOptions{
@@ -516,13 +838,15 @@ func run() error {
 		Shards: *shards,
 	}
 
+	copts := tsjoin.CorpusOptions{SyncEvery: *syncEvery}
+
 	var (
 		m   *tsjoin.ConcurrentMatcher
 		c   *tsjoin.Corpus
 		err error
 	)
 	if *dataDir != "" {
-		c, err = tsjoin.OpenCorpus(*dataDir, tsjoin.CorpusOptions{SyncEvery: *syncEvery})
+		c, err = tsjoin.OpenCorpus(*dataDir, copts)
 		if err != nil {
 			return err
 		}
@@ -542,9 +866,26 @@ func run() error {
 		}
 	}
 
+	s := newServer(m, c, *maxInflight)
+	s.dataDir = *dataDir
+	s.mopts = mopts
+	s.copts = copts
+	if *replicaOf != "" {
+		s.role.Store(roleStandby)
+		s.stby = replica.NewStandby(serverEngine{s}, s.resetEngine, replica.StandbyOptions{
+			Primary:   *replicaOf,
+			Advertise: *advertise,
+			StateDir:  *dataDir,
+			Logf:      log.Printf,
+		})
+		log.Printf("standby: replicating from %s, advertising %s (read-only until POST /promote)", *replicaOf, *advertise)
+	} else if c != nil {
+		s.prim = replica.NewPrimary(c, replica.PrimaryOptions{Logf: log.Printf})
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(m, c, *maxInflight).handler(),
+		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
@@ -556,20 +897,31 @@ func run() error {
 	// Background maintenance loops. They touch the corpus, so shutdown
 	// must join them (bg.Wait below) before the corpus closes — the old
 	// detached-goroutine version could race a periodic Compact against
-	// Close.
+	// Close. They re-read the corpus handle every tick because a standby
+	// bootstrap swaps it.
 	var bg sync.WaitGroup
 	if c != nil && *snapshotEvery > 0 {
 		bg.Add(1)
 		go func() {
 			defer bg.Done()
-			runPeriodicSnapshots(ctx, c, *snapshotEvery)
+			runPeriodicSnapshots(ctx, s, *snapshotEvery)
 		}()
 	}
 	if c != nil {
 		bg.Add(1)
 		go func() {
 			defer bg.Done()
-			runRecovery(ctx, c, time.Second)
+			runRecovery(ctx, s, time.Second)
+		}()
+	}
+	if s.stby != nil {
+		// The standby registration watchdog: registers with the primary
+		// and re-registers whenever heartbeats stop. Exits on its own
+		// once the standby is sealed by promotion.
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			s.stby.Run(ctx)
 		}()
 	}
 
@@ -597,14 +949,11 @@ func run() error {
 	}
 	stop()
 	bg.Wait()
-	m.Close()
-	if c != nil {
-		if err := c.Close(); err != nil {
-			log.Printf("corpus close: %v", err)
-		} else {
-			log.Print("corpus WAL flushed and closed")
-		}
+	if p := s.shipper(); p != nil {
+		// Stop the ship loops before the corpus closes under them.
+		p.Close()
 	}
+	s.closeEngine()
 	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
 	}
@@ -615,22 +964,29 @@ func run() error {
 // when nothing mutated since the last checkpoint and while the corpus
 // is degraded (the recovery loop owns the heal — checkpointing against
 // a failing disk would just spin it). Consecutive failures back the
-// interval off exponentially (capped at 64x) so a persistently sick
-// filesystem isn't hammered; one success resets the cadence.
-func runPeriodicSnapshots(ctx context.Context, c *tsjoin.Corpus, every time.Duration) {
+// interval off exponentially (backoff.Policy capped at 64x) so a
+// persistently sick filesystem isn't hammered; one success resets the
+// cadence. A standby skips checkpointing until promoted: its corpus is
+// wiped and re-seeded at the primary's discretion.
+func runPeriodicSnapshots(ctx context.Context, s *server, every time.Duration) {
+	pol := backoff.Policy{Base: every, Cap: every << 6}
 	fails := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(every << min(fails, 6)):
+		case <-time.After(pol.Delay(fails)):
+		}
+		c := s.corpusHandle()
+		if c == nil || s.roleName() == roleStandby {
+			continue
 		}
 		if c.Degraded() != nil || !c.Stats().Dirty {
 			continue
 		}
 		if err := c.Compact(); err != nil {
 			fails++
-			log.Printf("periodic snapshot: %v (next attempt in %v)", err, every<<min(fails, 6))
+			log.Printf("periodic snapshot: %v (next attempt in %v)", err, pol.Delay(fails))
 		} else {
 			fails = 0
 			log.Printf("periodic snapshot: generation %d", c.Stats().Generation)
@@ -640,28 +996,30 @@ func runPeriodicSnapshots(ctx context.Context, c *tsjoin.Corpus, every time.Dura
 
 // runRecovery heals a degraded corpus: while the write path is sealed
 // it periodically attempts a full generation rotation through fresh
-// descriptors (Corpus.Recover), backing off exponentially up to 16x
-// while the filesystem keeps failing. While healthy it idles at the
-// base interval, which costs one read-locked nil check.
-func runRecovery(ctx context.Context, c *tsjoin.Corpus, base time.Duration) {
-	delay := base
+// descriptors (Corpus.Recover), backing off exponentially (backoff.
+// Policy capped at 16x base) while the filesystem keeps failing. While
+// healthy it idles at the base interval, which costs one read-locked
+// nil check. It runs on standbys too — a degraded standby corpus heals
+// the same way, and must be healthy before promotion can seal it.
+func runRecovery(ctx context.Context, s *server, base time.Duration) {
+	pol := backoff.Policy{Base: base, Cap: 16 * base}
+	fails := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(delay):
+		case <-time.After(pol.Delay(fails)):
 		}
-		if c.Degraded() == nil {
-			delay = base
+		c := s.corpusHandle()
+		if c == nil || c.Degraded() == nil {
+			fails = 0
 			continue
 		}
 		if err := c.Recover(); err != nil {
-			if delay < 16*base {
-				delay *= 2
-			}
-			log.Printf("degraded: recovery failed: %v (next attempt in %v)", err, delay)
+			fails++
+			log.Printf("degraded: recovery failed: %v (next attempt in %v)", err, pol.Delay(fails))
 		} else {
-			delay = base
+			fails = 0
 			log.Printf("recovered: write path restored at generation %d", c.Stats().Generation)
 		}
 	}

@@ -612,7 +612,7 @@ func TestServeDegradedEndToEnd(t *testing.T) {
 	recoveryDone = make(chan struct{})
 	go func() {
 		defer close(recoveryDone)
-		runRecovery(ctx, c, 2*time.Millisecond)
+		runRecovery(ctx, s, 2*time.Millisecond)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for s.degraded() != nil {

@@ -109,6 +109,23 @@ func (m *ConcurrentMatcher) Delete(id int) error { return m.m.Delete(id) }
 // Safe for concurrent use with Adds and other Queries.
 func (m *ConcurrentMatcher) Query(s string) []Match { return m.m.Query(s) }
 
+// ApplyShipped applies one replicated record — a payload shipped from a
+// primary corpus's WAL — to a corpus-backed matcher: the record is
+// persisted locally first, then indexed without matching (a standby
+// serves queries; it does not generate match results for replicated
+// arrivals). Applying the primary's committed stream in order
+// reproduces its id space, alive mask and LSN exactly.
+func (m *ConcurrentMatcher) ApplyShipped(payload []byte) error { return m.m.ApplyShipped(payload) }
+
+// LSN returns the backing corpus's logical sequence number (0 for an
+// in-memory matcher) — the replication offset space.
+func (m *ConcurrentMatcher) LSN() uint64 {
+	if c := m.m.Corpus(); c != nil {
+		return c.LSN()
+	}
+	return 0
+}
+
 // Degraded reports the backing corpus's degraded state (see
 // Corpus.Degraded): nil while healthy or for an in-memory matcher,
 // otherwise an ErrDegraded-wrapped error. Queries keep serving from

@@ -19,6 +19,15 @@ var ErrNotFound = corpus.ErrNotFound
 // Snapshot), which rotates to a fresh on-disk generation.
 var ErrDegraded = corpus.ErrDegraded
 
+// ErrShipBehind and ErrShipAhead report a ShipFrom offset the corpus
+// cannot serve incrementally — older than the retained ship log, or
+// beyond the committed LSN (a diverged follower). Either way the
+// follower must be re-seeded from BootstrapPayloads.
+var (
+	ErrShipBehind = corpus.ErrShipBehind
+	ErrShipAhead  = corpus.ErrShipAhead
+)
+
 // Corpus is a durable, mutable corpus of tokenized strings: adds and
 // deletes are persisted through a CRC-framed write-ahead log, state is
 // checkpointed into versioned binary snapshots, and the corpus-global
@@ -60,6 +69,12 @@ type CorpusOptions struct {
 	// injector exercises every WAL/snapshot recovery path by failing a
 	// chosen write, fsync, or rename.
 	FS iofault.FS
+	// ShipBufferRecords bounds the in-memory replication ship log: the
+	// corpus retains up to this many recent committed records for
+	// streaming to followers (see ShipFrom); a follower that falls off
+	// the ring is re-seeded via BootstrapPayloads. 0 means the default
+	// (1024).
+	ShipBufferRecords int
 }
 
 // CorpusStats snapshots a corpus's state and persistence counters.
@@ -70,11 +85,12 @@ type CorpusStats = corpus.Stats
 // torn or corrupt WAL tail is detected via CRC and cleanly ignored.
 func OpenCorpus(dir string, opts CorpusOptions) (*Corpus, error) {
 	c, err := corpus.Open(dir, corpus.Options{
-		Tokenizer:   opts.Tokenizer,
-		SyncEvery:   opts.SyncEvery,
-		DisableSync: opts.DisableSync,
-		RerankSlack: opts.RerankSlack,
-		FS:          opts.FS,
+		Tokenizer:         opts.Tokenizer,
+		SyncEvery:         opts.SyncEvery,
+		DisableSync:       opts.DisableSync,
+		RerankSlack:       opts.RerankSlack,
+		FS:                opts.FS,
+		ShipBufferRecords: opts.ShipBufferRecords,
 	})
 	if err != nil {
 		return nil, err
@@ -172,6 +188,30 @@ func (c *Corpus) Degraded() error { return c.c.Degraded() }
 // Retrying the failed fsync itself would be unsound: the kernel may
 // have dropped the dirty pages and would report a hollow success.
 func (c *Corpus) Recover() error { return c.c.Recover() }
+
+// LSN returns the corpus's logical sequence number: the total count of
+// committed mutations (adds plus deletes) over its whole history. Two
+// corpora with equal logical state have equal LSNs — the offset space
+// WAL-shipping replication runs on (see internal/replica).
+func (c *Corpus) LSN() uint64 { return c.c.LSN() }
+
+// ShipFrom reads committed replication payloads starting at LSN from
+// (up to maxRecords records / maxBytes payload bytes; empty means
+// caught up). ErrShipBehind / ErrShipAhead mean the offset cannot be
+// served incrementally and the follower needs BootstrapPayloads.
+func (c *Corpus) ShipFrom(from uint64, maxRecords, maxBytes int) ([][]byte, error) {
+	return c.c.ShipFrom(from, maxRecords, maxBytes)
+}
+
+// ShipNotify returns a channel closed when the next mutation commits,
+// so a shipper that drained ShipFrom can block instead of polling.
+func (c *Corpus) ShipNotify() <-chan struct{} { return c.c.ShipNotify() }
+
+// BootstrapPayloads synthesizes a full-state replication stream:
+// applied in order to an empty corpus it reproduces this corpus's
+// logical state and exact LSN (returned), after which the follower can
+// tail incrementally with ShipFrom.
+func (c *Corpus) BootstrapPayloads() ([][]byte, uint64) { return c.c.BootstrapPayloads() }
 
 // Stats snapshots the corpus counters.
 func (c *Corpus) Stats() CorpusStats { return c.c.Stats() }

@@ -1,0 +1,85 @@
+// Package backoff is the one exponential-backoff implementation shared
+// by every retry loop in the tree: tsjserve's degraded-mode recovery
+// loop, its periodic-snapshot loop, and the replication layer's
+// per-follower reconnect/resend loops. Each had grown its own ad-hoc
+// doubling before; centralizing it makes the cap, reset and jitter
+// behavior uniform and testable in one place.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy describes an exponential backoff: delays start at Base and
+// double per attempt up to Cap, with optional multiplicative jitter.
+// The zero value is unusable; callers always set Base (and normally
+// Cap). Policies are value types and safe to copy.
+type Policy struct {
+	// Base is the first delay. Required.
+	Base time.Duration
+	// Cap bounds the delay; 0 means 32×Base.
+	Cap time.Duration
+	// Jitter is the fraction of the delay randomized away, in [0, 1):
+	// a computed delay d becomes uniform in [d·(1−Jitter), d]. Shaving
+	// downward (rather than spreading around d) keeps Cap a hard upper
+	// bound. 0 disables jitter (deterministic, used by tests and by the
+	// loops whose period is user-visible).
+	Jitter float64
+}
+
+// cap resolves the effective cap.
+func (p Policy) capped() time.Duration {
+	if p.Cap > 0 {
+		return p.Cap
+	}
+	return 32 * p.Base
+}
+
+// Delay returns the backoff for the given zero-based attempt number:
+// Base<<attempt, capped, jittered. Negative attempts count as 0.
+func (p Policy) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := p.Base
+	max := p.capped()
+	// Shift in steps so a large attempt number cannot overflow the
+	// duration before the cap applies.
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 {
+		d -= time.Duration(p.Jitter * rand.Float64() * float64(d))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// State is a stateful retry counter over a Policy: Next returns the
+// delay for the current attempt and advances; Reset rewinds to Base
+// after a success. Not safe for concurrent use — each retry loop owns
+// its State.
+type State struct {
+	P       Policy
+	attempt int
+}
+
+// Next returns the current attempt's delay and advances the counter.
+func (s *State) Next() time.Duration {
+	d := s.P.Delay(s.attempt)
+	s.attempt++
+	return d
+}
+
+// Reset rewinds to the first attempt; the caller's operation succeeded.
+func (s *State) Reset() { s.attempt = 0 }
+
+// Attempt returns how many delays have been handed out since the last
+// Reset (useful for logging "retry #n").
+func (s *State) Attempt() int { return s.attempt }

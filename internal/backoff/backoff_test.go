@@ -1,0 +1,97 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayDoublingAndCap: delays double from Base and clamp at Cap,
+// deterministically with Jitter = 0.
+func TestDelayDoublingAndCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Delay(-3); got != p.Base {
+		t.Fatalf("Delay(negative) = %v, want Base", got)
+	}
+}
+
+// TestDefaultCap: Cap = 0 means 32×Base.
+func TestDefaultCap(t *testing.T) {
+	p := Policy{Base: time.Second}
+	if got := p.Delay(100); got != 32*time.Second {
+		t.Fatalf("Delay(100) with default cap = %v, want 32s", got)
+	}
+}
+
+// TestDelayOverflowSafety: absurd attempt numbers must not overflow
+// past the cap into a negative or tiny duration.
+func TestDelayOverflowSafety(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: 24 * time.Hour}
+	for _, attempt := range []int{62, 63, 64, 1 << 20} {
+		if got := p.Delay(attempt); got != 24*time.Hour {
+			t.Fatalf("Delay(%d) = %v, want cap", attempt, got)
+		}
+	}
+}
+
+// TestJitterBounds: jittered delays stay within [d·(1−Jitter), d] — the
+// cap remains a hard upper bound, and jitter never goes negative.
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.5}
+	for attempt := 0; attempt < 8; attempt++ {
+		exact := Policy{Base: p.Base, Cap: p.Cap}.Delay(attempt)
+		lo := exact - time.Duration(p.Jitter*float64(exact))
+		for trial := 0; trial < 200; trial++ {
+			got := p.Delay(attempt)
+			if got < lo || got > exact {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, got, lo, exact)
+			}
+		}
+	}
+}
+
+// TestJitterVaries: with jitter on, delays are not all identical (the
+// randomness is actually applied).
+func TestJitterVaries(t *testing.T) {
+	p := Policy{Base: time.Second, Cap: time.Minute, Jitter: 0.9}
+	first := p.Delay(3)
+	for trial := 0; trial < 100; trial++ {
+		if p.Delay(3) != first {
+			return
+		}
+	}
+	t.Fatal("200 jittered delays were all identical")
+}
+
+// TestStateAdvanceAndReset: Next walks the schedule, Reset rewinds it.
+func TestStateAdvanceAndReset(t *testing.T) {
+	s := State{P: Policy{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond}}
+	got := []time.Duration{s.Next(), s.Next(), s.Next(), s.Next()}
+	want := []time.Duration{10, 20, 40, 40}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("Next #%d = %v, want %v", i, got[i], want[i]*time.Millisecond)
+		}
+	}
+	if s.Attempt() != 4 {
+		t.Fatalf("Attempt() = %d, want 4", s.Attempt())
+	}
+	s.Reset()
+	if s.Attempt() != 0 {
+		t.Fatalf("Attempt() after Reset = %d, want 0", s.Attempt())
+	}
+	if d := s.Next(); d != 10*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want Base", d)
+	}
+}

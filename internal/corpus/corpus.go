@@ -90,6 +90,11 @@ type Options struct {
 	// iofault.Injector here to fail a chosen write, fsync, rename or
 	// dir-fsync and exercise the recovery paths.
 	FS iofault.FS
+	// ShipBufferRecords bounds the in-memory replication ship log (see
+	// LSN, ShipFrom): the ring retains up to this many recent committed
+	// records for streaming to followers; a follower that falls off the
+	// ring is bootstrapped instead. 0 means the default (1024).
+	ShipBufferRecords int
 }
 
 // Corpus is the durable corpus. All methods are safe for concurrent use;
@@ -160,6 +165,9 @@ type Corpus struct {
 	// Close so a second process fails loudly instead of corrupting the
 	// WAL (nil on platforms without flock).
 	lock *os.File
+	// ship is the replication ship log (see ship.go); nil only while Open
+	// replays the WAL, so recovered records are never re-buffered.
+	ship *shipLog
 
 	joinsServed atomic.Int64
 }
@@ -318,6 +326,10 @@ func Open(dir string, opt Options) (*Corpus, error) {
 		c.wal.close()
 		return nil, err
 	}
+	// The ship log starts at the post-recovery LSN: replayed records are
+	// not buffered (a follower behind a restarted primary bootstraps).
+	c.ship = newShipLog(opt.ShipBufferRecords)
+	c.ship.head = c.lsnLocked()
 	opened = true
 	return c, nil
 }
@@ -596,7 +608,9 @@ func (c *Corpus) AddTokenized(ts token.TokenizedString) (token.StringID, error) 
 		c.wal.rollback(m)
 		return -1, c.noteWAL(err)
 	}
-	return c.applyAdd(ts), nil
+	sid := c.applyAdd(ts)
+	c.shipAppend(c.encBuf)
+	return sid, nil
 }
 
 // AddTokenizedBatch appends a batch with one group-commit fsync and
@@ -626,6 +640,8 @@ func (c *Corpus) AddTokenizedBatch(tss []token.TokenizedString) (token.StringID,
 	}
 	for _, ts := range tss {
 		c.applyAdd(ts)
+		c.encBuf = encodeAdd(c.encBuf, ts)
+		c.shipAppend(c.encBuf)
 	}
 	return first, nil
 }
@@ -651,7 +667,11 @@ func (c *Corpus) Delete(sid token.StringID) error {
 		c.wal.rollback(m)
 		return c.noteWAL(err)
 	}
-	return c.applyDelete(sid)
+	if err := c.applyDelete(sid); err != nil {
+		return err
+	}
+	c.shipAppend(c.encBuf)
+	return nil
 }
 
 // Sync forces any batched WAL appends to stable storage.

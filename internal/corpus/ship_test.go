@@ -1,0 +1,239 @@
+package corpus
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/namegen"
+	"repro/internal/token"
+)
+
+// applyPayloads routes shipped payloads through the public mutation
+// surface, exactly as a standby applier does.
+func applyPayloads(t *testing.T, c *Corpus, payloads [][]byte) {
+	t.Helper()
+	for _, p := range payloads {
+		rec, err := DecodeRecord(p)
+		if err != nil {
+			t.Fatalf("decode shipped payload: %v", err)
+		}
+		if rec.Delete {
+			if err := c.Delete(rec.SID); err != nil {
+				t.Fatalf("apply shipped delete %d: %v", rec.SID, err)
+			}
+		} else {
+			if _, err := c.AddTokenized(token.New(rec.Tokens)); err != nil {
+				t.Fatalf("apply shipped add: %v", err)
+			}
+		}
+	}
+}
+
+// TestLSNDerivation: the LSN counts every committed mutation, and —
+// being derived from logical state — survives restart, snapshot and
+// compaction unchanged.
+func TestLSNDerivation(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, Options{DisableSync: true})
+	names := namegen.Generate(namegen.Config{Seed: 11, NumNames: 20})
+	var want uint64
+	for _, n := range names {
+		if _, err := c.Add(n); err != nil {
+			t.Fatal(err)
+		}
+		want++
+		if got := c.LSN(); got != want {
+			t.Fatalf("LSN after add = %d, want %d", got, want)
+		}
+	}
+	for sid := 0; sid < 5; sid++ {
+		if err := c.Delete(token.StringID(sid)); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	if got := c.LSN(); got != want {
+		t.Fatalf("LSN after deletes = %d, want %d", got, want)
+	}
+	if err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LSN(); got != want {
+		t.Fatalf("LSN after snapshot = %d, want %d", got, want)
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LSN(); got != want {
+		t.Fatalf("LSN after compact = %d, want %d", got, want)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := mustOpen(t, dir, Options{DisableSync: true})
+	defer c2.Close()
+	if got := c2.LSN(); got != want {
+		t.Fatalf("LSN after reopen = %d, want %d", got, want)
+	}
+}
+
+// TestShipFromWindow: the ring serves exactly the retained tail,
+// reports older offsets as ErrShipBehind and future ones as
+// ErrShipAhead, and a follower applying from a served offset converges
+// to the identical logical state.
+func TestShipFromWindow(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{DisableSync: true, ShipBufferRecords: 4})
+	defer c.Close()
+	names := namegen.Generate(namegen.Config{Seed: 3, NumNames: 10})
+	for _, n := range names {
+		if _, err := c.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsn := c.LSN()
+	if _, err := c.ShipFrom(0, 100, 0); !errors.Is(err, ErrShipBehind) {
+		t.Fatalf("ShipFrom(0) with evicted head: err = %v, want ErrShipBehind", err)
+	}
+	if _, err := c.ShipFrom(lsn+1, 100, 0); !errors.Is(err, ErrShipAhead) {
+		t.Fatalf("ShipFrom(lsn+1): err = %v, want ErrShipAhead", err)
+	}
+	got, err := c.ShipFrom(lsn, 100, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ShipFrom(lsn) = %d records, %v; want caught-up", len(got), err)
+	}
+	got, err = c.ShipFrom(lsn-4, 100, 0)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("ShipFrom(lsn-4) = %d records, %v; want the 4 retained", len(got), err)
+	}
+	// maxRecords pagination: two pages cover the window.
+	page, err := c.ShipFrom(lsn-4, 3, 0)
+	if err != nil || len(page) != 3 {
+		t.Fatalf("paged ShipFrom = %d records, %v; want 3", len(page), err)
+	}
+
+	// A follower synced up to lsn-4 (seeded via bootstrap from a corpus
+	// at that point would be equivalent; here replay the first 6 adds)
+	// converges by applying the window.
+	f := mustOpen(t, t.TempDir(), Options{DisableSync: true})
+	defer f.Close()
+	for _, n := range names[:6] {
+		if _, err := f.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.LSN() != lsn-4 {
+		t.Fatalf("follower seed LSN = %d, want %d", f.LSN(), lsn-4)
+	}
+	applyPayloads(t, f, got)
+	if f.LSN() != c.LSN() {
+		t.Fatalf("follower LSN = %d, want %d", f.LSN(), c.LSN())
+	}
+	if !statesEqual(logicalState(f), logicalState(c)) {
+		t.Fatal("follower state diverged after applying shipped window")
+	}
+}
+
+// TestShipBatchAndDeleteRecords: group-committed batch adds and deletes
+// each land in the ring as individual records, in apply order.
+func TestShipBatchAndDeleteRecords(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{DisableSync: true})
+	defer c.Close()
+	tss := []token.TokenizedString{
+		token.New([]string{"a", "b"}),
+		token.New([]string{"b", "c"}),
+		token.New([]string{"c", "d"}),
+	}
+	if _, err := c.AddTokenizedBatch(tss); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ShipFrom(0, 100, 0)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("ShipFrom(0) = %d records, %v; want 4", len(got), err)
+	}
+	f := mustOpen(t, t.TempDir(), Options{DisableSync: true})
+	defer f.Close()
+	applyPayloads(t, f, got)
+	if !statesEqual(logicalState(f), logicalState(c)) {
+		t.Fatal("batch+delete replication diverged")
+	}
+}
+
+// TestShipNotify: the notify channel is closed by the next commit.
+func TestShipNotify(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{DisableSync: true})
+	defer c.Close()
+	ch := c.ShipNotify()
+	select {
+	case <-ch:
+		t.Fatal("notify fired before any commit")
+	default:
+	}
+	if _, err := c.Add("hello world"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("notify did not fire on commit")
+	}
+}
+
+// TestBootstrapEquivalence: the synthesized bootstrap stream, applied to
+// an empty corpus, reproduces the logical state AND the LSN — including
+// tombstones, whose content snapshots do not retain — and the follower
+// can then tail incrementally from that LSN.
+func TestBootstrapEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, Options{DisableSync: true})
+	defer c.Close()
+	names := namegen.Generate(namegen.Config{Seed: 5, NumNames: 30})
+	for _, n := range names {
+		if _, err := c.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sid := range []int{2, 7, 29, 11} {
+		if err := c.Delete(token.StringID(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot + reopen first, so the bootstrap is synthesized from a
+	// state whose tombstone content is genuinely gone.
+	if err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	boot, lsn := c.BootstrapPayloads()
+	if lsn != c.LSN() {
+		t.Fatalf("bootstrap LSN = %d, corpus LSN = %d", lsn, c.LSN())
+	}
+	f := mustOpen(t, t.TempDir(), Options{DisableSync: true})
+	defer f.Close()
+	applyPayloads(t, f, boot)
+	if f.LSN() != lsn {
+		t.Fatalf("follower LSN after bootstrap = %d, want %d", f.LSN(), lsn)
+	}
+	if !statesEqual(logicalState(f), logicalState(c)) {
+		t.Fatal("bootstrap did not reproduce logical state")
+	}
+
+	// Incremental tail from the bootstrap point.
+	if _, err := c.Add("fresh arrival after bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := c.ShipFrom(lsn, 100, 0)
+	if err != nil || len(tail) != 2 {
+		t.Fatalf("tail ShipFrom = %d records, %v; want 2", len(tail), err)
+	}
+	applyPayloads(t, f, tail)
+	if !statesEqual(logicalState(f), logicalState(c)) {
+		t.Fatal("incremental tail after bootstrap diverged")
+	}
+}

@@ -1,0 +1,201 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The network flavor of the injector: where Injector sits under the
+// durability layer's filesystem calls, NetInjector sits under the
+// replication layer's HTTP round trips (it is an http.RoundTripper
+// wrapping any other). The unit of fault injection is the round trip —
+// one shipped frame batch, registration, or heartbeat — counted in
+// order, so a torture sweep can fail every round trip of a reference
+// run in turn, exactly like the storage sweep fails every file op.
+//
+// The fault flavors model the distinct failure points of one request:
+//
+//   - NetDrop: the connection dies before the request reaches the peer.
+//     No side effect happened; a retry is trivially safe.
+//   - NetTorn: the peer processed the request but the response is cut
+//     mid-body. The side effect HAPPENED and the ack was lost — the
+//     retry-duplicate case gap detection must absorb.
+//   - NetDelay: the peer processed the request but the response stalls
+//     past the client's deadline. Same lost-ack semantics as NetTorn,
+//     reached through the timeout path instead of a read error.
+//   - NetCrash: the peer is gone — this and every later round trip
+//     fails until SetPlan re-arms (the "restart"). OnFault lets the
+//     harness couple the crash to the peer's state (e.g. arm a disk
+//     crash in the peer's Injector so it dies mid-apply).
+
+// NetFaultKind selects the network fault flavor.
+type NetFaultKind int
+
+const (
+	NetNone NetFaultKind = iota
+	NetDrop
+	NetTorn
+	NetDelay
+	NetCrash
+)
+
+func (k NetFaultKind) String() string {
+	switch k {
+	case NetDrop:
+		return "drop"
+	case NetTorn:
+		return "torn"
+	case NetDelay:
+		return "delay"
+	case NetCrash:
+		return "crash"
+	default:
+		return "none"
+	}
+}
+
+// ErrNetFault is the root of every injected network failure;
+// errors.Is(err, ErrNetFault) distinguishes injected faults from real
+// transport errors in assertions.
+var ErrNetFault = errors.New("iofault: injected network fault")
+
+// NetPlan arms one fault: the round trip with zero-based index FailAt
+// fails with Kind. FailAt < 0 (see NetDisarmed) counts trips without
+// injecting.
+type NetPlan struct {
+	FailAt int64
+	Kind   NetFaultKind
+	// Stall is how long a NetDelay response hangs; the client's
+	// deadline is expected to expire first.
+	Stall time.Duration
+	// OnFault runs once, just before the armed fault takes effect —
+	// the hook a harness uses to make the fault mean something in the
+	// peer (arm its disk injector, swap its handler to "dead").
+	OnFault func()
+}
+
+// NetDisarmed is the counting-only plan reference runs use.
+func NetDisarmed() NetPlan { return NetPlan{FailAt: -1} }
+
+// NetInjector is the fault-injecting RoundTripper. Safe for concurrent
+// use; trips are indexed in lock order.
+type NetInjector struct {
+	rt http.RoundTripper
+
+	mu      sync.Mutex
+	plan    NetPlan
+	trips   int64
+	faults  int64
+	crashed bool
+}
+
+// NewNetInjector wraps rt (nil means http.DefaultTransport).
+func NewNetInjector(rt http.RoundTripper, plan NetPlan) *NetInjector {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &NetInjector{rt: rt, plan: plan}
+}
+
+// Trips returns how many round trips were attempted (including faulted
+// ones) — the sweep bound of a reference run.
+func (n *NetInjector) Trips() int64 { n.mu.Lock(); defer n.mu.Unlock(); return n.trips }
+
+// Faults returns how many faults fired.
+func (n *NetInjector) Faults() int64 { n.mu.Lock(); defer n.mu.Unlock(); return n.faults }
+
+// Crashed reports whether a NetCrash fired and the peer has not been
+// "restarted" by SetPlan.
+func (n *NetInjector) Crashed() bool { n.mu.Lock(); defer n.mu.Unlock(); return n.crashed }
+
+// SetPlan installs a new plan and clears the crashed state (the peer
+// restarted). The trip counter keeps running.
+func (n *NetInjector) SetPlan(p NetPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.plan = p
+	n.crashed = false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (n *NetInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	n.mu.Lock()
+	idx := n.trips
+	n.trips++
+	if n.crashed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: peer crashed (trip %d)", ErrNetFault, idx)
+	}
+	plan := n.plan
+	fire := plan.FailAt >= 0 && idx == plan.FailAt && plan.Kind != NetNone
+	if fire {
+		n.faults++
+		if plan.Kind == NetCrash {
+			n.crashed = true
+		}
+	}
+	n.mu.Unlock()
+
+	if !fire {
+		return n.rt.RoundTrip(req)
+	}
+	if plan.OnFault != nil {
+		plan.OnFault()
+	}
+	switch plan.Kind {
+	case NetDrop, NetCrash:
+		// The request never reaches the peer.
+		return nil, fmt.Errorf("%w: %s (trip %d)", ErrNetFault, plan.Kind, idx)
+	case NetTorn:
+		resp, err := n.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The peer processed the request; cut its response mid-body so
+		// the caller loses the ack.
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resp.Body = &tornBody{data: data[:len(data)/2]}
+		return resp, nil
+	case NetDelay:
+		resp, err := n.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		stall := plan.Stall
+		if stall <= 0 {
+			stall = time.Second
+		}
+		select {
+		case <-req.Context().Done():
+			resp.Body.Close()
+			return nil, fmt.Errorf("%w: delayed past deadline (trip %d): %v", ErrNetFault, idx, req.Context().Err())
+		case <-time.After(stall):
+			// No deadline beat the stall; deliver late.
+			return resp, nil
+		}
+	default:
+		return n.rt.RoundTrip(req)
+	}
+}
+
+// tornBody yields a truncated prefix, then an abrupt connection error.
+type tornBody struct {
+	data []byte
+	off  int
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, fmt.Errorf("%w: response torn mid-body: %v", ErrNetFault, io.ErrUnexpectedEOF)
+	}
+	k := copy(p, b.data[b.off:])
+	b.off += k
+	return k, nil
+}
+
+func (b *tornBody) Close() error { return nil }

@@ -1,0 +1,126 @@
+package iofault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// netHarness is an httptest server that counts requests it actually
+// received, so tests can tell "fault before delivery" from "fault
+// after the side effect".
+func netHarness(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte(`{"ok":true,"padding":"0123456789abcdef"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &served
+}
+
+func get(t *testing.T, client *http.Client, url string) ([]byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// TestNetDropSkipsDelivery: the dropped trip never reaches the server;
+// trips before and after pass.
+func TestNetDropSkipsDelivery(t *testing.T) {
+	srv, served := netHarness(t)
+	inj := NewNetInjector(nil, NetPlan{FailAt: 1, Kind: NetDrop})
+	client := &http.Client{Transport: inj}
+	if _, err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("trip 0: %v", err)
+	}
+	if _, err := get(t, client, srv.URL); err == nil || !errors.Is(errors.Unwrap(err), ErrNetFault) && !errors.Is(err, ErrNetFault) {
+		t.Fatalf("trip 1: err = %v, want ErrNetFault", err)
+	}
+	if _, err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("trip 2: %v", err)
+	}
+	if got := served.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (drop must not deliver)", got)
+	}
+	if inj.Trips() != 3 || inj.Faults() != 1 {
+		t.Fatalf("trips=%d faults=%d, want 3/1", inj.Trips(), inj.Faults())
+	}
+}
+
+// TestNetTornDeliversThenCutsAck: the request reaches the server (side
+// effect happens) but the response body is cut short.
+func TestNetTornDeliversThenCutsAck(t *testing.T) {
+	srv, served := netHarness(t)
+	inj := NewNetInjector(nil, NetPlan{FailAt: 0, Kind: NetTorn})
+	client := &http.Client{Transport: inj}
+	_, err := get(t, client, srv.URL)
+	if err == nil {
+		t.Fatal("torn response read succeeded")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (torn delivers first)", served.Load())
+	}
+}
+
+// TestNetDelayLosesAckPastDeadline: the server processes the request
+// but the client's deadline expires during the injected stall.
+func TestNetDelayLosesAckPastDeadline(t *testing.T) {
+	srv, served := netHarness(t)
+	inj := NewNetInjector(nil, NetPlan{FailAt: 0, Kind: NetDelay, Stall: 2 * time.Second})
+	client := &http.Client{Transport: inj}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("delayed request succeeded before deadline")
+	}
+	if e := time.Since(start); e >= 2*time.Second {
+		t.Fatalf("deadline did not cut the stall short (%v)", e)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", served.Load())
+	}
+}
+
+// TestNetCrashStickyUntilSetPlan: after NetCrash every trip fails; a
+// SetPlan "restart" heals, and OnFault fired exactly once.
+func TestNetCrashStickyUntilSetPlan(t *testing.T) {
+	srv, _ := netHarness(t)
+	var hooks atomic.Int64
+	inj := NewNetInjector(nil, NetPlan{FailAt: 1, Kind: NetCrash, OnFault: func() { hooks.Add(1) }})
+	client := &http.Client{Transport: inj}
+	if _, err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("trip 0: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, client, srv.URL); err == nil {
+			t.Fatalf("trip %d after crash succeeded", i+1)
+		}
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() = false after NetCrash")
+	}
+	if hooks.Load() != 1 {
+		t.Fatalf("OnFault ran %d times, want 1", hooks.Load())
+	}
+	inj.SetPlan(NetDisarmed())
+	if inj.Crashed() {
+		t.Fatal("Crashed() sticky after SetPlan")
+	}
+	if _, err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("post-restart trip: %v", err)
+	}
+}

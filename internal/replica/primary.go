@@ -1,0 +1,460 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// PrimaryOptions configures the shipper side.
+type PrimaryOptions struct {
+	// BatchRecords / BatchBytes bound one apply request (defaults 256 /
+	// 1 MiB). Bootstrap streams chunk at BatchRecords too.
+	BatchRecords int
+	BatchBytes   int
+	// Heartbeat is how often a caught-up follower is pinged so it can
+	// tell "primary idle" from "primary dead" (default 2s).
+	Heartbeat time.Duration
+	// RequestTimeout bounds one apply/heartbeat round trip — the stream
+	// timeout (default 10s). ConnectTimeout bounds dialing (default 5s;
+	// only used when Client is nil).
+	RequestTimeout time.Duration
+	ConnectTimeout time.Duration
+	// Backoff paces per-follower retries after a failed round trip.
+	// Zero Base means the default {250ms base, 15s cap, 0.25 jitter}.
+	Backoff backoff.Policy
+	// Client overrides the HTTP client (tests inject a fault-injecting
+	// transport); RequestTimeout still applies per request.
+	Client *http.Client
+	// Logf receives replication events; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (o *PrimaryOptions) fill() {
+	if o.BatchRecords <= 0 {
+		o.BatchRecords = defaultBatchRecords
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = defaultBatchBytes
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = defaultHeartbeat
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = defaultRequestTimeout
+	}
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = defaultConnectTimeout
+	}
+	if o.Backoff.Base <= 0 {
+		o.Backoff = backoff.Policy{Base: 250 * time.Millisecond, Cap: 15 * time.Second, Jitter: 0.25}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Primary ships the committed record stream of a Source to every
+// registered follower, each on its own goroutine with its own cursor,
+// retry state and lag accounting. Safe for concurrent use.
+type Primary struct {
+	src    Source
+	opt    PrimaryOptions
+	client *http.Client
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	followers map[string]*follower
+	closed    bool
+}
+
+// follower is one registered standby's shipping state.
+type follower struct {
+	url    string
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      string // streaming | resync | retrying | sealed
+	acked      uint64
+	lastAck    time.Time
+	retries    int64
+	resyncs    int64
+	shipped    int64
+	heartbeats int64
+	lastErr    string
+}
+
+func (f *follower) set(fn func(*follower)) {
+	f.mu.Lock()
+	fn(f)
+	f.mu.Unlock()
+}
+
+// FollowerStatus is one follower's externally visible state.
+type FollowerStatus struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// AckedLSN is the follower's last acknowledged offset; LagRecords
+	// is the primary's LSN minus it — the records the follower would
+	// lose if promoted this instant.
+	AckedLSN   uint64 `json:"acked_lsn"`
+	LagRecords uint64 `json:"lag_records"`
+	// LastAckAgoMs is milliseconds since the last acknowledged round
+	// trip (-1 before the first).
+	LastAckAgoMs int64 `json:"last_ack_ago_ms"`
+	// Retries counts failed round trips; Resyncs counts bootstrap
+	// re-seeds; ShippedRecords counts records acknowledged; Heartbeats
+	// counts idle pings.
+	Retries        int64  `json:"retries"`
+	Resyncs        int64  `json:"resyncs"`
+	ShippedRecords int64  `json:"shipped_records"`
+	Heartbeats     int64  `json:"heartbeats"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// PrimaryStatus is the shipper's externally visible state.
+type PrimaryStatus struct {
+	LSN       uint64           `json:"lsn"`
+	Followers []FollowerStatus `json:"followers"`
+}
+
+// NewPrimary creates a shipper over src. Followers attach via Register
+// (normally through ServeRegister); Close stops every ship loop.
+func NewPrimary(src Source, opt PrimaryOptions) *Primary {
+	opt.fill()
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: opt.ConnectTimeout}).DialContext,
+			MaxIdleConnsPerHost: 4,
+		}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Primary{
+		src:       src,
+		opt:       opt,
+		client:    client,
+		ctx:       ctx,
+		cancel:    cancel,
+		followers: make(map[string]*follower),
+	}
+}
+
+// Register attaches (or re-attaches) the follower advertising the given
+// base URL, shipping from its reported LSN. A re-registration replaces
+// the previous ship loop — the standby watchdog re-registers whenever
+// heartbeats stop, so this is the reconnect path too.
+func (p *Primary) Register(advertise string, lsn uint64) error {
+	return p.register(advertise, lsn, false)
+}
+
+// register is Register plus the syncing flag: a follower that restarted
+// mid-bootstrap reports an LSN in bootstrap space, which must never be
+// used against the real-history ring — it is re-seeded from scratch.
+func (p *Primary) register(advertise string, lsn uint64, syncing bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("replica: primary closed")
+	}
+	if old := p.followers[advertise]; old != nil {
+		old.cancel()
+	}
+	ctx, cancel := context.WithCancel(p.ctx)
+	f := &follower{url: advertise, cancel: cancel, state: "streaming", acked: lsn}
+	p.followers[advertise] = f
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.shipLoop(ctx, f, lsn, syncing)
+	}()
+	p.opt.Logf("replica: follower %s registered at lsn %d (syncing=%v)", advertise, lsn, syncing)
+	return nil
+}
+
+// ServeRegister is the HTTP handler for POST /replication/register.
+func (p *Primary) ServeRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Advertise == "" {
+		http.Error(w, "bad register request", http.StatusBadRequest)
+		return
+	}
+	if err := p.register(req.Advertise, req.LSN, req.Syncing); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(registerResponse{OK: true, LSN: p.src.LSN()})
+}
+
+// Status snapshots the shipper and every follower, sorted by URL.
+func (p *Primary) Status() PrimaryStatus {
+	lsn := p.src.LSN()
+	p.mu.Lock()
+	fs := make([]*follower, 0, len(p.followers))
+	for _, f := range p.followers {
+		fs = append(fs, f)
+	}
+	p.mu.Unlock()
+	st := PrimaryStatus{LSN: lsn, Followers: make([]FollowerStatus, 0, len(fs))}
+	for _, f := range fs {
+		f.mu.Lock()
+		lag := uint64(0)
+		if lsn > f.acked {
+			lag = lsn - f.acked
+		}
+		ago := int64(-1)
+		if !f.lastAck.IsZero() {
+			ago = time.Since(f.lastAck).Milliseconds()
+		}
+		st.Followers = append(st.Followers, FollowerStatus{
+			URL:            f.url,
+			State:          f.state,
+			AckedLSN:       f.acked,
+			LagRecords:     lag,
+			LastAckAgoMs:   ago,
+			Retries:        f.retries,
+			Resyncs:        f.resyncs,
+			ShippedRecords: f.shipped,
+			Heartbeats:     f.heartbeats,
+			LastError:      f.lastErr,
+		})
+		f.mu.Unlock()
+	}
+	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].URL < st.Followers[j].URL })
+	return st
+}
+
+// Close stops every ship loop and waits for them.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cancel()
+	p.wg.Wait()
+}
+
+// shipLoop drives one follower: stream from the ring, bootstrap when
+// the ring cannot serve the cursor, heartbeat when caught up. The
+// follower's authoritative LSN (from every response) is the only cursor
+// — the loop never assumes a send "worked" beyond what was acked — and
+// any ack flagged Syncing sends the loop back to bootstrap: a syncing
+// standby's LSN is a bootstrap-space offset the ring must not serve.
+func (p *Primary) shipLoop(ctx context.Context, f *follower, next uint64, syncing bool) {
+	if syncing {
+		n, ok := p.bootstrap(ctx, f)
+		if !ok {
+			return
+		}
+		next = n
+	}
+	for ctx.Err() == nil {
+		payloads, err := p.src.ShipFrom(next, p.opt.BatchRecords, p.opt.BatchBytes)
+		if err != nil {
+			// Behind the ring or diverged: re-seed via bootstrap.
+			n, ok := p.bootstrap(ctx, f)
+			if !ok {
+				return
+			}
+			next = n
+			continue
+		}
+		if len(payloads) == 0 {
+			// Caught up. Grab the notify channel, then re-check — a commit
+			// between ShipFrom and ShipNotify would otherwise be slept on.
+			ch := p.src.ShipNotify()
+			if p.src.LSN() != next {
+				continue
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+				continue
+			case <-time.After(p.opt.Heartbeat):
+			}
+			resp, ok := p.send(ctx, f, applyRequest{From: next})
+			if !ok {
+				return
+			}
+			if resp.Sealed {
+				p.sealFollower(f)
+				return
+			}
+			if resp.Syncing {
+				n, ok := p.bootstrap(ctx, f)
+				if !ok {
+					return
+				}
+				next = n
+				continue
+			}
+			f.set(func(f *follower) { f.heartbeats++; f.acked = resp.LSN; f.lastAck = time.Now() })
+			next = resp.LSN
+			continue
+		}
+		resp, ok := p.send(ctx, f, applyRequest{From: next, Frames: makeFrames(payloads)})
+		if !ok {
+			return
+		}
+		if resp.Sealed {
+			p.sealFollower(f)
+			return
+		}
+		if resp.Syncing {
+			n, ok := p.bootstrap(ctx, f)
+			if !ok {
+				return
+			}
+			next = n
+			continue
+		}
+		// resp.LSN is authoritative: a clean apply lands at
+		// next+len(payloads); a duplicate-suppressed retry or a standby
+		// restart lands elsewhere and the loop resumes from there (the
+		// ring — or a bootstrap — serves whatever gap remains).
+		if resp.LSN > next {
+			f.set(func(f *follower) { f.shipped += int64(len(payloads)); f.state = "streaming" })
+		}
+		f.set(func(f *follower) { f.acked = resp.LSN; f.lastAck = time.Now() })
+		next = resp.LSN
+	}
+}
+
+// bootstrap re-seeds a follower: wipe, then stream the synthesized
+// full-state payloads in chunks. The chunk cursor lives entirely in
+// bootstrap space — the offset into the synthesized stream — and is
+// never handed to the outer (real-history) loop except as the full
+// target LSN of a COMPLETED bootstrap, where the two spaces coincide.
+// Any ack that is not a coherent bootstrap continuation (the standby
+// was wiped, restarted, or reset by another shipper underneath us)
+// restarts the re-seed from scratch, which is always sound: the first
+// chunk's Resync order wipes whatever state the standby holds. Returns
+// the LSN to resume tailing at, or ok=false when the loop should exit
+// (cancelled or follower sealed).
+func (p *Primary) bootstrap(ctx context.Context, f *follower) (uint64, bool) {
+	for ctx.Err() == nil {
+		f.set(func(f *follower) { f.state = "resync"; f.resyncs++ })
+		boot, lsn := p.src.BootstrapPayloads()
+		p.opt.Logf("replica: bootstrapping follower %s (%d records to lsn %d)", f.url, len(boot), lsn)
+		off := 0
+		restart := false
+		for !restart {
+			end := off + p.opt.BatchRecords
+			if end > len(boot) {
+				end = len(boot)
+			}
+			req := applyRequest{From: uint64(off), SyncTo: lsn, Frames: makeFrames(boot[off:end])}
+			if off == 0 {
+				req.Resync = true
+			}
+			resp, ok := p.send(ctx, f, req)
+			if !ok {
+				return 0, false
+			}
+			if resp.Sealed {
+				p.sealFollower(f)
+				return 0, false
+			}
+			f.set(func(f *follower) { f.acked = resp.LSN; f.lastAck = time.Now(); f.shipped += int64(end - off) })
+			switch {
+			case resp.LSN == uint64(end):
+				off = end
+				if off >= len(boot) {
+					f.set(func(f *follower) { f.state = "streaming" })
+					return lsn, true
+				}
+			case resp.LSN > uint64(off) && resp.LSN < uint64(end):
+				// The duplicate-suppressed part of a retried chunk: the
+				// standby already held a prefix. Continue from its offset.
+				off = int(resp.LSN)
+			default:
+				restart = true
+			}
+		}
+		p.opt.Logf("replica: bootstrap of %s incoherent at chunk %d; re-seeding from scratch", f.url, off)
+	}
+	return 0, false
+}
+
+// sealFollower records that the standby was promoted and stops shipping
+// to it.
+func (p *Primary) sealFollower(f *follower) {
+	f.set(func(f *follower) { f.state = "sealed" })
+	p.opt.Logf("replica: follower %s sealed (promoted); stopping shipment", f.url)
+}
+
+// send posts one apply request, retrying transport errors and non-200
+// responses with exponential backoff until it succeeds or ctx ends.
+// ok=false only on cancellation.
+func (p *Primary) send(ctx context.Context, f *follower, req applyRequest) (applyResponse, bool) {
+	bo := backoff.State{P: p.opt.Backoff}
+	for {
+		resp, err := p.post(ctx, f.url, req)
+		if err == nil {
+			return resp, true
+		}
+		if ctx.Err() != nil {
+			return applyResponse{}, false
+		}
+		f.set(func(f *follower) { f.retries++; f.state = "retrying"; f.lastErr = err.Error() })
+		d := bo.Next()
+		p.opt.Logf("replica: ship to %s failed (retry %d in %v): %v", f.url, bo.Attempt(), d, err)
+		select {
+		case <-ctx.Done():
+			return applyResponse{}, false
+		case <-time.After(d):
+		}
+	}
+}
+
+// post performs one apply round trip under the request timeout.
+func (p *Primary) post(ctx context.Context, base string, req applyRequest) (applyResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return applyResponse{}, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, p.opt.RequestTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, base+"/replication/apply", bytes.NewReader(body))
+	if err != nil {
+		return applyResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(hreq)
+	if err != nil {
+		return applyResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		// A torn response: the standby may have applied the batch but
+		// the ack was lost. The retry is safe — its overlap is skipped.
+		return applyResponse{}, fmt.Errorf("replica: reading ack from %s: %w", base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return applyResponse{}, fmt.Errorf("replica: %s answered %d: %s", base, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var ar applyResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		return applyResponse{}, fmt.Errorf("replica: bad ack from %s: %w", base, err)
+	}
+	return ar, nil
+}

@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/prefilter"
@@ -27,16 +29,48 @@ func NewShardedFromCorpus(opt Options, shards int, pc *corpus.Corpus) (*ShardedM
 		return nil, err
 	}
 	v := pc.View()
-	per := make([][]probeToken, len(m.shards))
-	// Storage-side segment pruning on the warm path reuses the corpus's
-	// epoch-stamped frequency order instead of live probe-time
-	// frequencies: each string's prefix is the head of its stored
-	// rank-sorted member list, exactly as the persistent batch join
-	// slices it. Any fixed order is lossless here (the argument in
-	// tokenIndex.insert never consults the order), so staleness against
-	// the live-ingest order costs nothing but pruning power.
-	var prefixSet map[string]struct{}
 	markStorage := !opt.DisableSegmentPrefixFilter && opt.MaxTokenFreq <= 0 && !opt.ExactTokensOnly
+	if len(v.TC.Strings) >= parallelWarmLoadMin && len(m.shards) > 1 {
+		m.warmLoadParallel(v, markStorage)
+	} else {
+		m.warmLoadSerial(v, markStorage)
+	}
+	m.corpus = pc
+	return m, nil
+}
+
+// parallelWarmLoadMin is the corpus size at which the warm load switches
+// from the serial single-pass to the parallel pipeline; below it the
+// goroutine fan-out costs more than it saves. A variable so the
+// equivalence test can force the parallel path on a small corpus.
+var parallelWarmLoadMin = 2048
+
+// markStorageProbe applies the storage-side segment-prefix marks to one
+// string's probe. The warm path reuses the corpus's epoch-stamped
+// frequency order instead of live probe-time frequencies: each string's
+// prefix is the head of its stored rank-sorted member list, exactly as
+// the persistent batch join slices it. Any fixed order is lossless here
+// (the argument in tokenIndex.insert never consults the order), so
+// staleness against the live-ingest order costs nothing but pruning
+// power. prefixSet is caller-owned scratch.
+func markStorageProbe(opt Options, v *corpus.View, sid int, probe []probeToken, prefixSet map[string]struct{}) {
+	ranked := v.Ranked[sid]
+	p := prefilter.SegmentPrefixLen(opt.Threshold, v.TC.Strings[sid].AggregateLen(), len(ranked))
+	clear(prefixSet)
+	for _, tid := range ranked[:p] {
+		prefixSet[v.TC.Tokens[tid]] = struct{}{}
+	}
+	for i := range probe {
+		_, in := prefixSet[probe[i].s]
+		probe[i].nonPrefix = !in
+	}
+}
+
+// warmLoadSerial is the single-pass warm load: headers, probe and
+// insertion per string, in sid order.
+func (m *ShardedMatcher) warmLoadSerial(v *corpus.View, markStorage bool) {
+	per := make([][]probeToken, len(m.shards))
+	var prefixSet map[string]struct{}
 	if markStorage {
 		prefixSet = make(map[string]struct{})
 	}
@@ -48,21 +82,111 @@ func NewShardedFromCorpus(opt Options, shards int, pc *corpus.Corpus) (*ShardedM
 		}
 		probe := distinctProbe(ts)
 		if markStorage {
-			ranked := v.Ranked[sid]
-			p := prefilter.SegmentPrefixLen(opt.Threshold, ts.AggregateLen(), len(ranked))
-			clear(prefixSet)
-			for _, tid := range ranked[:p] {
-				prefixSet[v.TC.Tokens[tid]] = struct{}{}
-			}
-			for i := range probe {
-				_, in := prefixSet[probe[i].s]
-				probe[i].nonPrefix = !in
-			}
+			markStorageProbe(m.opt, v, sid, probe, prefixSet)
 		}
 		m.loadTokenized(ts, probe, per)
 	}
-	m.corpus = pc
-	return m, nil
+}
+
+// warmLoadParallel is the restart fast path for large corpora: the
+// per-string work (rune decoding, probe extraction, prefix marking)
+// runs chunked across GOMAXPROCS workers, and the index insertion runs
+// one goroutine per shard — each walks every probe in ascending sid
+// order and takes only the tokens hashing to its shard, so every
+// posting list comes out in exactly the order the serial load would
+// have produced and the resulting index is byte-identical. No locks:
+// the matcher is still private to its constructor, each slice header is
+// written before the fan-out, and each shard is touched by exactly one
+// goroutine.
+func (m *ShardedMatcher) warmLoadParallel(v *corpus.View, markStorage bool) {
+	n := len(v.TC.Strings)
+	// Phase 1 (serial, cheap): id-space headers. Appending one slot per
+	// sid — tombstone or live — keeps matcher ids equal to corpus
+	// StringIDs, so below id == sid.
+	for sid := range v.TC.Strings {
+		if !v.Alive[sid] {
+			m.loadTombstone()
+			continue
+		}
+		ts := v.TC.Strings[sid]
+		id := int32(len(m.strings))
+		m.strings = append(m.strings, ts)
+		m.dead = append(m.dead, false)
+		if ts.Count() == 0 {
+			m.emptyIDs = append(m.emptyIDs, id)
+		}
+	}
+	// Phase 2 (parallel over sid chunks): probes and prefix marks.
+	// shardIDs caches shardOf per probe token so phase 3's per-shard
+	// scans do not re-hash every token once per shard.
+	probes := make([][]probeToken, n)
+	shardIDs := make([][]int32, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var prefixSet map[string]struct{}
+			if markStorage {
+				prefixSet = make(map[string]struct{})
+			}
+			for sid := lo; sid < hi; sid++ {
+				if !v.Alive[sid] || v.TC.Strings[sid].Count() == 0 {
+					continue
+				}
+				probe := distinctProbe(v.TC.Strings[sid])
+				if markStorage {
+					markStorageProbe(m.opt, v, sid, probe, prefixSet)
+				}
+				sids := make([]int32, len(probe))
+				for i := range probe {
+					sids[i] = int32(shardOf(probe[i].s, len(m.shards)))
+				}
+				probes[sid] = probe
+				shardIDs[sid] = sids
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	// Phase 3 (parallel over shards): insertion, ascending sid within
+	// each shard.
+	for si := range m.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := m.shards[si]
+			var buf []probeToken
+			for sid := 0; sid < n; sid++ {
+				probe := probes[sid]
+				if len(probe) == 0 {
+					continue
+				}
+				buf = buf[:0]
+				for i := range probe {
+					if shardIDs[sid][i] == int32(si) {
+						buf = append(buf, probe[i])
+					}
+				}
+				if len(buf) > 0 {
+					sh.ix.insert(buf, int32(sid))
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
 }
 
 // loadTokenized appends one string to the index without matching it
@@ -128,7 +252,99 @@ func (m *ShardedMatcher) Delete(id int) error {
 		m.emptyIDs = empties
 	}
 	m.mu.Unlock()
+	m.deletesSinceSweep++
+	m.maybeSweepTombstones()
 	return nil
+}
+
+// sweepMinDeletes floors the amortized tombstone-sweep threshold: a
+// sweep runs once max(sweepMinDeletes, Len/8) deletes have accumulated
+// since the last one, so the per-delete amortized cost stays O(index/8)
+// while short delete bursts never trigger full-index passes. A variable
+// so tests can force sweeps on small corpora.
+var sweepMinDeletes = 256
+
+// maybeSweepTombstones compacts tombstoned ids out of the posting lists
+// (and their orphaned tokens out of the segment index) once enough
+// deletes have accumulated. Tombstoned entries are invisible to results
+// either way — verification filters them against the dead mask — so the
+// sweep is purely an occupancy reclaim: without it a churn-heavy corpus
+// (delete-dominated workloads, a standby replaying years of churn)
+// degrades every probe with postings full of ids that can never match.
+// The caller holds addMu; shards are compacted one write-lock at a
+// time, so queries interleave between shards but each shard flips
+// atomically.
+func (m *ShardedMatcher) maybeSweepTombstones() {
+	m.mu.RLock()
+	n := len(m.strings)
+	dead := m.dead
+	m.mu.RUnlock()
+	threshold := n / 8
+	if threshold < sweepMinDeletes {
+		threshold = sweepMinDeletes
+	}
+	if m.deletesSinceSweep < threshold {
+		return
+	}
+	m.deletesSinceSweep = 0
+	m.sweeps.Add(1)
+	// dead is a copy-on-write snapshot: Delete replaces the slice
+	// wholesale (and no other Delete can run — the caller holds addMu),
+	// so the reference stays frozen while shards compact against it.
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		m.sweptEntries.Add(int64(sh.ix.sweepTombstones(dead)))
+		sh.mu.Unlock()
+	}
+}
+
+// ApplyShipped applies one replicated record — a payload shipped from a
+// primary's corpus (see corpus.ShipFrom / corpus.BootstrapPayloads) —
+// to this matcher: adds are persisted to the attached corpus first
+// (durability precedes visibility, exactly like AddDurable) and then
+// indexed WITHOUT matching — a standby serves queries, it does not
+// generate match results for replicated arrivals — and deletes
+// tombstone both layers. Applying the primary's committed record
+// stream in order reproduces its id space, alive mask and LSN exactly.
+func (m *ShardedMatcher) ApplyShipped(payload []byte) error {
+	rec, err := corpus.DecodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	if rec.Delete {
+		return m.Delete(int(rec.SID))
+	}
+	ts := token.New(rec.Tokens)
+	m.addMu.Lock()
+	defer m.addMu.Unlock()
+	if err := m.persist(ts); err != nil {
+		return err
+	}
+	m.indexTokenized(ts)
+	return nil
+}
+
+// indexTokenized appends one string to the live index without matching
+// it — warm-load's loadTokenized, but with shard locking, for a matcher
+// already serving queries. The probe is priced and prefix-marked like a
+// live Add's so the standby's index keeps the same lazy segment-storage
+// shape as the primary's. Caller holds addMu.
+func (m *ShardedMatcher) indexTokenized(ts token.TokenizedString) {
+	m.applied.Add(1)
+	probe := distinctProbe(ts)
+	m.markProbe(ts, probe)
+	m.mu.Lock()
+	id := int32(len(m.strings))
+	m.strings = append(m.strings, ts)
+	m.dead = append(m.dead, false)
+	if ts.Count() == 0 {
+		m.emptyIDs = append(m.emptyIDs, id)
+	}
+	m.mu.Unlock()
+	if ts.Count() == 0 {
+		return
+	}
+	m.insertProbe(probe, id, nil, true)
 }
 
 // isDead reports whether id is tombstoned.

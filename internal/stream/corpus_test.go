@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/namegen"
+	"repro/internal/token"
 )
 
 // TestRestartEquivalence is the warm-restart property test of the
@@ -313,5 +314,91 @@ func TestCorpusAlignmentGuard(t *testing.T) {
 	}
 	if _, _, err := m.AddDurable("another name"); err == nil {
 		t.Fatal("desynchronized corpus must fail the durable add")
+	}
+}
+
+// TestParallelWarmLoadEquivalence: the parallel restart load (probe
+// computation chunked across workers, insertion one goroutine per
+// shard) must build an index indistinguishable from the serial
+// single-pass load — same query answers, same per-shard token balance —
+// including with tombstones and empty strings in the corpus, at any
+// shard count.
+func TestParallelWarmLoadEquivalence(t *testing.T) {
+	names := namegen.Generate(namegen.Config{Seed: 81, NumNames: 240})
+	probes := append(namegen.Generate(namegen.Config{Seed: 82, NumNames: 40}), names[:20]...)
+	const threshold = 0.2
+
+	dir := t.TempDir()
+	pc, err := corpus.Open(dir, corpus.Options{DisableSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := pc.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pc.Add(""); err != nil { // empty string occupies a slot
+		t.Fatal(err)
+	}
+	for _, id := range []int{3, 57, 120, 239} {
+		if err := pc.Delete(token.StringID(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	defer func(old int) { parallelWarmLoadMin = old }(parallelWarmLoadMin)
+	for _, shards := range []int{2, 4, 7} {
+		// Serial reference load of the same corpus.
+		parallelWarmLoadMin = 1 << 30
+		pcSerial, err := corpus.Open(dir, corpus.Options{DisableSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := NewShardedFromCorpus(Options{Threshold: threshold}, shards, pcSerial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcSerial.Close()
+		pcSerial.ReleaseLockForTest()
+
+		// Parallel load, forced on despite the small corpus.
+		parallelWarmLoadMin = 1
+		pcPar, err := corpus.Open(dir, corpus.Options{DisableSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewShardedFromCorpus(Options{Threshold: threshold}, shards, pcPar)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if par.Len() != serial.Len() {
+			t.Fatalf("shards=%d: parallel Len %d != serial %d", shards, par.Len(), serial.Len())
+		}
+		ss, ps := serial.Stats(), par.Stats()
+		for i := range ss.TokensPerShard {
+			if ss.TokensPerShard[i] != ps.TokensPerShard[i] {
+				t.Fatalf("shards=%d: shard %d token count %d != serial %d",
+					shards, i, ps.TokensPerShard[i], ss.TokensPerShard[i])
+			}
+		}
+		for _, p := range probes {
+			want := serial.Query(p)
+			got := par.Query(p)
+			if !matchesEqual(want, got) {
+				t.Fatalf("shards=%d: query %q: parallel %v != serial %v", shards, p, got, want)
+			}
+		}
+		// The parallel-loaded matcher keeps serving durable writes.
+		if _, _, err := par.AddDurable("fresh after warm load"); err != nil {
+			t.Fatal(err)
+		}
+		serial.Close()
+		par.Close()
+		pcPar.Close()
 	}
 }

@@ -164,6 +164,74 @@ func (ix *tokenIndex) insert(probe []probeToken, id int32) {
 	}
 }
 
+// sweepTombstones compacts dead string ids out of every posting list,
+// in place and order-preserving, and returns how many entries it
+// removed. A token left with no postings is de-listed from the segment
+// index (its fingerprints are dropped and segIndexed cleared, so a
+// later re-appearance re-indexes it lazily); the token itself stays
+// interned — ids are positional. Frequencies are deliberately NOT
+// decremented: the max-frequency gate and the prefix orders judge
+// insert-time observations, and rewriting history here would change
+// match results under a finite MaxTokenFreq rather than just reclaim
+// memory. The caller holds the shard write lock.
+func (ix *tokenIndex) sweepTombstones(dead []bool) int {
+	removed := 0
+	emptied := false
+	for tid := range ix.postings {
+		ps := ix.postings[tid]
+		if len(ps) == 0 {
+			continue
+		}
+		kept := ps[:0]
+		for _, id := range ps {
+			if int(id) < len(dead) && dead[id] {
+				removed++
+				continue
+			}
+			kept = append(kept, id)
+		}
+		if len(kept) == 0 {
+			ix.postings[tid] = nil
+			if ix.segIndexed[tid] {
+				ix.segIndexed[tid] = false
+				emptied = true
+			}
+			continue
+		}
+		ix.postings[tid] = kept
+	}
+	if emptied {
+		ix.dropEmptySegTokens()
+	}
+	return removed
+}
+
+// dropEmptySegTokens rewrites the segment index keeping only tokens
+// that still have postings; called after a sweep emptied at least one
+// segment-indexed token. Fingerprint lists are compacted in place and
+// empty lists and bucket maps are deleted so churned token shapes do
+// not accrete empty map entries.
+func (ix *tokenIndex) dropEmptySegTokens() {
+	for bkey, bk := range ix.segBuckets {
+		for k, tids := range bk {
+			kept := tids[:0]
+			for _, tid := range tids {
+				if len(ix.postings[tid]) > 0 {
+					kept = append(kept, tid)
+				}
+			}
+			if len(kept) == 0 {
+				delete(bk, k)
+				continue
+			}
+			bk[k] = kept
+		}
+		if len(bk) == 0 {
+			delete(ix.segBuckets, bkey)
+		}
+	}
+}
+
 // indexTokenSegments registers a distinct token's segment fingerprints
 // for every compatible probe length (the MassJoin index side).
 func (ix *tokenIndex) indexTokenSegments(tid int32, r []rune) {

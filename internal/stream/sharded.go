@@ -38,6 +38,10 @@ type ShardedMatcher struct {
 	// addMu serializes writers so ids are dense and match results are
 	// deterministic; it is never held by pool workers.
 	addMu sync.Mutex
+	// deletesSinceSweep counts tombstones since the last posting sweep
+	// (guarded by addMu); once it crosses the amortization threshold the
+	// next delete pays for compacting dead ids out of every shard.
+	deletesSinceSweep int
 	// mu guards the strings, dead and emptyIDs slice headers. strings
 	// elements are immutable once appended and dead/emptyIDs are replaced
 	// copy-on-write by Delete, so readers may retain snapshots.
@@ -55,6 +59,7 @@ type ShardedMatcher struct {
 	scratchPool sync.Pool
 
 	adds             atomic.Int64
+	applied          atomic.Int64
 	queries          atomic.Int64
 	verified         atomic.Int64
 	budgetPruned     atomic.Int64
@@ -69,6 +74,8 @@ type ShardedMatcher struct {
 	segTokensSimilar atomic.Int64
 	candGenWall      atomic.Int64 // nanoseconds
 	verifyWall       atomic.Int64 // nanoseconds
+	sweeps           atomic.Int64
+	sweptEntries     atomic.Int64
 	closed           sync.Once
 }
 
@@ -84,8 +91,10 @@ type ShardedStats struct {
 	Strings int
 	// Shards is the partition count.
 	Shards int
-	// Adds and Queries count the operations served so far.
-	Adds, Queries int64
+	// Adds and Queries count the operations served so far. Applied
+	// counts replicated records installed through ApplyShipped (a
+	// standby's ingest traffic, which never generates matches).
+	Adds, Applied, Queries int64
 	// Verified counts candidate pairs that reached verification.
 	Verified int64
 	// BudgetPruned counts verifications rejected early by the
@@ -125,6 +134,10 @@ type ShardedStats struct {
 	// TokensPerShard is the distinct-token count of each partition — a
 	// direct view of the hash partitioning's balance.
 	TokensPerShard []int
+	// Sweeps counts amortized tombstone sweeps; SweptEntries the dead
+	// posting entries they compacted away.
+	Sweeps       int64
+	SweptEntries int64
 }
 
 // NewShardedMatcher creates an empty concurrent matcher with the given
@@ -169,6 +182,7 @@ func (m *ShardedMatcher) Stats() ShardedStats {
 	st := ShardedStats{
 		Shards:           len(m.shards),
 		Adds:             m.adds.Load(),
+		Applied:          m.applied.Load(),
 		Queries:          m.queries.Load(),
 		Verified:         m.verified.Load(),
 		BudgetPruned:     m.budgetPruned.Load(),
@@ -184,6 +198,8 @@ func (m *ShardedMatcher) Stats() ShardedStats {
 		CandGenWall:      time.Duration(m.candGenWall.Load()),
 		VerifyWall:       time.Duration(m.verifyWall.Load()),
 		TokensPerShard:   make([]int, len(m.shards)),
+		Sweeps:           m.sweeps.Load(),
+		SweptEntries:     m.sweptEntries.Load(),
 	}
 	m.mu.RLock()
 	st.Strings = len(m.strings)
@@ -318,44 +334,8 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 	}
 
 	// ---- Generate: fan out to the shards --------------------------------
-	// The prefix filter first folds the per-shard frequency stripes into
-	// the one global rarest-first order: each probe token's true document
-	// frequency lives on its owning shard (tokens intern only where they
-	// hash), so one read-locked visit per owning shard prices the whole
-	// probe, and markPrefix flags the tokens the exact lookup may skip.
 	genStart := time.Now()
-	if !m.opt.DisablePrefixFilter || !m.opt.DisableSegmentPrefixFilter {
-		freqs := make([]int32, len(probe))
-		if len(m.shards) == 1 {
-			sh := m.shards[0]
-			sh.mu.RLock()
-			for i, p := range probe {
-				freqs[i] = sh.ix.freqOf(p.s)
-			}
-			sh.mu.RUnlock()
-		} else {
-			byShard := make([][]int, len(m.shards))
-			for i, p := range probe {
-				si := shardOf(p.s, len(m.shards))
-				byShard[si] = append(byShard[si], i)
-			}
-			for si, idxs := range byShard {
-				if len(idxs) == 0 {
-					continue
-				}
-				sh := m.shards[si]
-				sh.mu.RLock()
-				for _, i := range idxs {
-					freqs[i] = sh.ix.freqOf(probe[i].s)
-				}
-				sh.mu.RUnlock()
-			}
-		}
-		// keys is per-call: Query runs concurrently, so the scratch
-		// cannot live on the matcher without defeating its lock-freedom.
-		var keys []int64
-		markPrefix(probe, freqs, m.opt.Threshold, ts, &keys)
-	}
+	m.markProbe(ts, probe)
 
 	// Every shard then resolves the (prefix-marked) probe: exact-token
 	// lookups miss on non-owner shards, and the segment index must be
@@ -467,6 +447,50 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		out = append(out, p...)
 	}
 	return out
+}
+
+// markProbe prices the probe against the live per-shard frequencies and
+// flags the tokens the prefix filters may skip at lookup and storage
+// time. The prefix filter folds the per-shard frequency stripes into
+// the one global rarest-first order: each probe token's true document
+// frequency lives on its owning shard (tokens intern only where they
+// hash), so one read-locked visit per owning shard prices the whole
+// probe, and markPrefix flags the tokens the exact lookup may skip.
+// No-op when both filters are disabled.
+func (m *ShardedMatcher) markProbe(ts token.TokenizedString, probe []probeToken) {
+	if m.opt.DisablePrefixFilter && m.opt.DisableSegmentPrefixFilter {
+		return
+	}
+	freqs := make([]int32, len(probe))
+	if len(m.shards) == 1 {
+		sh := m.shards[0]
+		sh.mu.RLock()
+		for i, p := range probe {
+			freqs[i] = sh.ix.freqOf(p.s)
+		}
+		sh.mu.RUnlock()
+	} else {
+		byShard := make([][]int, len(m.shards))
+		for i, p := range probe {
+			si := shardOf(p.s, len(m.shards))
+			byShard[si] = append(byShard[si], i)
+		}
+		for si, idxs := range byShard {
+			if len(idxs) == 0 {
+				continue
+			}
+			sh := m.shards[si]
+			sh.mu.RLock()
+			for _, i := range idxs {
+				freqs[i] = sh.ix.freqOf(probe[i].s)
+			}
+			sh.mu.RUnlock()
+		}
+	}
+	// keys is per-call: Query runs concurrently, so the scratch
+	// cannot live on the matcher without defeating its lock-freedom.
+	var keys []int64
+	markPrefix(probe, freqs, m.opt.Threshold, ts, &keys)
 }
 
 // verifyChunk filters and verifies one ascending run of candidate ids

@@ -225,3 +225,71 @@ func TestShardedStressRace(t *testing.T) {
 		t.Fatalf("post-stress query: %d matches, sequential %d", len(got), len(want))
 	}
 }
+
+// TestTombstoneSweepEquivalence: the amortized tombstone sweep is a
+// pure occupancy reclaim — a matcher that sweeps aggressively must
+// return byte-identical Add and Query results to one that never sweeps,
+// through interleaved delete/re-add churn, while actually compacting
+// dead posting entries.
+func TestTombstoneSweepEquivalence(t *testing.T) {
+	defer func(old int) { sweepMinDeletes = old }(sweepMinDeletes)
+	names := namegen.Generate(namegen.Config{Seed: 91, NumNames: 160})
+	probes := append(namegen.Generate(namegen.Config{Seed: 92, NumNames: 40}), names[:30]...)
+
+	newMatcher := func(shards int) *ShardedMatcher {
+		m, err := NewShardedMatcher(Options{Threshold: 0.2}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(m.Close)
+		return m
+	}
+	control := newMatcher(3)
+	swept := newMatcher(3)
+
+	// sweepMinDeletes is consulted at Delete time, so route every
+	// operation through helpers that pin the control to never-sweep and
+	// the subject to max(1, n/8)-delete sweeps.
+	asControl := func(f func() error) error { sweepMinDeletes = 1 << 30; return f() }
+	asSwept := func(f func() error) error { sweepMinDeletes = 1; return f() }
+
+	step := func(op string, f func(m *ShardedMatcher) (int, []Match)) {
+		wantID, want := f(control)
+		gotID, got := f(swept)
+		if gotID != wantID || !matchesEqual(want, got) {
+			t.Fatalf("%s: swept (%d, %v) != control (%d, %v)", op, gotID, got, wantID, want)
+		}
+	}
+	for _, n := range names {
+		n := n
+		step("add "+n, func(m *ShardedMatcher) (int, []Match) { return m.Add(n) })
+	}
+	// Delete-heavy churn: half the corpus dies, then part of it returns
+	// under new ids (exercising lazy segment re-indexing of tokens the
+	// sweep de-listed).
+	for id := 0; id < len(names); id += 2 {
+		if err := asControl(func() error { return control.Delete(id) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := asSwept(func() error { return swept.Delete(id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range names[:30] {
+		n := n
+		step("re-add "+n, func(m *ShardedMatcher) (int, []Match) { return m.Add(n) })
+	}
+	for _, p := range probes {
+		if want, got := control.Query(p), swept.Query(p); !matchesEqual(want, got) {
+			t.Fatalf("query %q: swept %v != control %v", p, got, want)
+		}
+	}
+
+	cs, ss := control.Stats(), swept.Stats()
+	if cs.Sweeps != 0 {
+		t.Fatalf("control swept %d times, want 0", cs.Sweeps)
+	}
+	if ss.Sweeps == 0 || ss.SweptEntries == 0 {
+		t.Fatalf("subject never swept: %d sweeps, %d entries", ss.Sweeps, ss.SweptEntries)
+	}
+}
