@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nosimd test-arm64 race torture replication-torture bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
+.PHONY: all build test test-nosimd test-arm64 race torture replication-torture cluster-e2e bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
 
 all: build
 
@@ -41,7 +41,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzLevenshteinBoundedU16 -fuzztime 30s ./internal/strdist/
 
 race:
-	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/... ./internal/corpus/... ./internal/histo/... ./internal/replica/... ./internal/backoff/... ./cmd/tsjserve/...
+	$(GO) test -race ./internal/stream/... ./internal/tsj/... ./internal/core/... ./internal/assignment/... ./internal/corpus/... ./internal/histo/... ./internal/replica/... ./internal/backoff/... ./internal/httpx/... ./internal/distrib/... ./cmd/tsjserve/...
 
 # Storage fault-injection suite under the race detector: the op-sweep
 # torture test (every WAL/snapshot/compact I/O operation failed in turn,
@@ -59,6 +59,18 @@ torture:
 # full sweep runs in the plain `test` target.
 replication-torture:
 	$(GO) test -race -short -run 'Replication|Promotion|Failover' -count=1 ./internal/replica/ ./cmd/tsjserve/
+
+# Cluster end-to-end under the race detector: one coordinator over two
+# real tsjserve workers (worker 0 with a warm replication standby) —
+# add/join/query/distributed-selfjoin traffic byte-compared against a
+# single node, then kill worker 0 and require hedged reads, heartbeat
+# detection, real standby promotion, and a repointed partition map. The
+# guard fails if the test is skipped or has gone missing.
+cluster-e2e:
+	@out=$$($(GO) test -race -v -run TestClusterE2E -count=1 ./cmd/tsjserve/ 2>&1) || { echo "$$out"; exit 1; }; \
+	if ! echo "$$out" | grep -q -- "--- PASS: TestClusterE2E"; then \
+		echo "$$out"; echo "TestClusterE2E did not run (missing or skipped)"; exit 1; fi; \
+	echo "cluster e2e (kill-worker failover + single-node equivalence): ok"
 
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkShardedAdd -benchtime=1x .
@@ -86,14 +98,14 @@ bench-json:
 	| $(GO) run ./cmd/benchjson -commit "$$sha" -o "BENCH_$$sha.json"
 
 equivalence-guard:
-	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence|TestTortureOpSweep|TestReplicationTortureSweep|TestPromotionEquivalence' ./internal/... 2>&1) || { echo "$$out"; exit 1; }; \
-	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence TestSIMDEquivalence TestTortureOpSweep TestReplicationTortureSweep TestPromotionEquivalence; do \
+	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence|TestTortureOpSweep|TestReplicationTortureSweep|TestPromotionEquivalence|TestJoinCorpusEquivalence|TestClusterEquivalence|TestClusterE2E' ./internal/... ./cmd/tsjserve/ 2>&1) || { echo "$$out"; exit 1; }; \
+	for pat in TestBoundedEquivalence TestPrefixEquivalence TestSegmentPrefixEquivalence TestRestartEquivalence TestSIMDEquivalence TestTortureOpSweep TestReplicationTortureSweep TestPromotionEquivalence TestJoinCorpusEquivalence TestClusterEquivalence TestClusterE2E; do \
 		if ! echo "$$out" | grep -q -- "--- PASS: $$pat"; then \
 			echo "no $$pat tests ran"; exit 1; fi; \
 		if echo "$$out" | grep -q -- "--- SKIP: $$pat"; then \
 			echo "$$pat tests were skipped"; exit 1; fi; \
 	done; \
-	echo "equivalence guard (bounded + prefix + segment-prefix + restart + simd + torture + replication): ok"
+	echo "equivalence guard (bounded + prefix + segment-prefix + restart + simd + torture + replication + corpus-join + cluster): ok"
 
 # vet + gofmt always; staticcheck and govulncheck when installed (CI
 # installs both — locally they degrade to a notice, never a failure).
@@ -108,4 +120,4 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-ci: build lint test test-nosimd race torture replication-torture equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus
+ci: build lint test test-nosimd race torture replication-torture cluster-e2e equivalence-guard bench bench-verify bench-candidates bench-segment bench-corpus

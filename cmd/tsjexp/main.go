@@ -14,6 +14,13 @@
 //	tsjexp -load                          # sweep 1,2,4,GOMAXPROCS shards
 //	tsjexp -load -n 50000 -clients 16 -shards 1,4,8,16
 //
+// With -cluster the same stream is driven over HTTP at a running
+// tsjserve coordinator instead, and the report splits client-observed
+// end-to-end latency from the worker-side engine wall time (the rest is
+// routing, scatter/merge, and the network):
+//
+//	tsjexp -load -cluster http://localhost:8080 -n 2000 -qpa 2
+//
 // Verify-bench mode times the verify stage (threshold-aware bounded
 // verifier vs the exact unbounded one) so BENCH trajectories can track
 // the hottest path directly:
@@ -47,6 +54,7 @@ func main() {
 	clients := flag.Int("clients", 0, "load mode: concurrent clients (default 2*GOMAXPROCS)")
 	shardList := flag.String("shards", "", "load mode: comma-separated shard counts (default 1,2,4,GOMAXPROCS)")
 	queriesPerAdd := flag.Int("qpa", 1, "load mode: queries issued per add (0 for a write-only stream)")
+	cluster := flag.String("cluster", "", "load mode: drive a tsjserve coordinator at this URL instead of the in-process matcher")
 	flag.Parse()
 
 	if *verify {
@@ -57,6 +65,24 @@ func main() {
 		}
 		experiments.VerifyBench(cfg).Render(os.Stdout)
 		return
+	}
+
+	if *load && *cluster != "" {
+		t, err := experiments.ClusterLoad(experiments.ClusterLoadConfig{
+			Coordinator:   strings.TrimRight(*cluster, "/"),
+			Seed:          *seed,
+			NumNames:      *n,
+			Clients:       *clients,
+			QueriesPerAdd: *queriesPerAdd,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+	if *cluster != "" {
+		log.Fatal("-cluster requires -load")
 	}
 
 	if *load {

@@ -1,0 +1,91 @@
+// Coordinator mode: tsjserve -coordinator -workers=... serves the
+// single-node wire contract over a fleet of worker tsjserves (see
+// internal/distrib). The coordinator owns no corpus — it owns the
+// epoch-stamped partition map, the global id table, the membership
+// heartbeats that promote worker standbys, and the scatter/merge logic.
+
+package main
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/distrib"
+)
+
+// coordinatorConfig carries the flag subset coordinator mode uses.
+type coordinatorConfig struct {
+	addr         string
+	workers      string
+	heartbeat    time.Duration
+	failAfter    int
+	queryTimeout time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+}
+
+// runCoordinator owns the coordinator lifecycle: parse the worker map,
+// start the membership loop, serve until SIGINT/SIGTERM, then drain.
+func runCoordinator(cfg coordinatorConfig) error {
+	pm, err := distrib.ParseWorkers(cfg.workers)
+	if err != nil {
+		return errors.New("coordinator: " + err.Error() + " (use -workers=primary|standby,primary,...)")
+	}
+	co := distrib.New(pm, distrib.Options{
+		QueryTimeout: cfg.queryTimeout,
+		WriteTimeout: cfg.writeTimeout,
+		Heartbeat:    cfg.heartbeat,
+		FailAfter:    cfg.failAfter,
+		Logf:         log.Printf,
+	})
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           co.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		co.Run(ctx)
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("coordinator listening on %s (%d shards, heartbeat=%v, fail-after=%d)",
+			cfg.addr, len(pm.Shards), cfg.heartbeat, cfg.failAfter)
+		errc <- srv.ListenAndServe()
+	}()
+
+	var serveErr error
+	select {
+	case serveErr = <-errc:
+	case <-ctx.Done():
+		log.Print("coordinator shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+		cancel()
+	}
+	stop()
+	bg.Wait()
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return nil
+}

@@ -78,6 +78,7 @@ import (
 
 	tsjoin "repro"
 	"repro/internal/backoff"
+	"repro/internal/distrib"
 	"repro/internal/histo"
 	"repro/internal/replica"
 )
@@ -315,7 +316,27 @@ func (s *server) handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	}))
 	mux.HandleFunc("/readyz", requireGet(s.readLocked(s.handleReady)))
+	// Worker-side cluster endpoints: the executor surface a coordinator
+	// (tsjserve -coordinator) drives for the distributed join. They are
+	// corpus-backed, so an in-memory node answers 409.
+	mux.HandleFunc("/cluster/strings", s.readLocked(s.workerExt(distrib.WorkerExt.ServeStrings)))
+	mux.HandleFunc("/cluster/probe", s.readLocked(s.workerExt(distrib.WorkerExt.ServeProbe)))
+	mux.HandleFunc("/cluster/selfjoin", s.readLocked(s.workerExt(distrib.WorkerExt.ServeSelfJoin)))
 	return mux
+}
+
+// workerExt adapts a distrib.WorkerExt method to this server: the
+// corpus handle is re-read per request (a standby bootstrap swaps it;
+// callers hold the engine read lock via readLocked), and nodes without
+// a corpus reject the endpoint.
+func (s *server) workerExt(h func(distrib.WorkerExt, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.c == nil {
+			http.Error(w, "no -data directory: cluster join endpoints require a corpus", http.StatusConflict)
+			return
+		}
+		h(distrib.WorkerExt{C: s.c}, w, r)
+	}
 }
 
 // readLocked pins the engine handles for the request's duration: a
@@ -717,7 +738,6 @@ type wireEndpoint struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.m.Stats()
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	lat := make(map[string]wireLatency, len(s.lat))
 	for name, h := range s.lat {
@@ -750,43 +770,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if rs := s.replicationStatus(); rs.Primary != nil || rs.Standby != nil {
 		repl = &rs
 	}
+	// The funnel counters are the embedded distrib.WorkerStats — its json
+	// tags are the single source of truth for the field names, so a
+	// coordinator aggregating this node's /stats cannot drift from what
+	// the node publishes.
 	writeJSON(w, struct {
-		Strings      int   `json:"strings"`
-		Shards       int   `json:"shards"`
-		Adds         int64 `json:"adds"`
-		Queries      int64 `json:"queries"`
-		Verified     int64 `json:"verified"`
-		BudgetPruned int64 `json:"budget_pruned"`
-		PrefixPruned int64 `json:"prefix_pruned"`
-		// Segment-probe funnel: probe tokens skipped by the segment
-		// prefix filter, window fingerprint lookups, tokens reaching the
-		// token-NLD check, and tokens within the token threshold.
-		SegPrefixPruned  int64 `json:"seg_prefix_pruned"`
-		SegKeysProbed    int64 `json:"seg_keys_probed"`
-		SegTokensChecked int64 `json:"seg_tokens_checked"`
-		SegTokensSimilar int64 `json:"seg_tokens_similar"`
-		// Batched-verification funnel: pairs through the vector path,
-		// kernel invocations, occupied lanes, scalar-fallback cells.
-		BatchedPairs     int64 `json:"batched_pairs"`
-		SIMDKernels      int64 `json:"simd_kernels"`
-		SIMDLanes        int64 `json:"simd_lanes"`
-		BatchScalarCells int64 `json:"batch_scalar_cells"`
-		// Wall times are reported in milliseconds so dashboards need no
-		// duration parsing.
-		CandGenWallMs  float64                 `json:"cand_gen_wall_ms"`
-		VerifyWallMs   float64                 `json:"verify_wall_ms"`
-		TokensPerShard []int                   `json:"tokens_per_shard"`
-		Latency        map[string]wireLatency  `json:"latency"`
-		Endpoints      map[string]wireEndpoint `json:"endpoints"`
-		Degraded       bool                    `json:"degraded"`
-		DegradedCause  string                  `json:"degraded_cause,omitempty"`
-		Corpus         *tsjoin.CorpusStats     `json:"corpus,omitempty"`
-		Replication    *replStatus             `json:"replication,omitempty"`
-	}{st.Strings, st.Shards, st.Adds, st.Queries, st.Verified, st.BudgetPruned, st.PrefixPruned,
-		st.SegPrefixPruned, st.SegKeysProbed, st.SegTokensChecked, st.SegTokensSimilar,
-		st.BatchedPairs, st.SIMDKernels, st.SIMDLanes, st.BatchScalarCells,
-		ms(st.CandGenWall), ms(st.VerifyWall),
-		st.TokensPerShard, lat, endpoints, degradedCause != "", degradedCause, corpusStats, repl})
+		distrib.WorkerStats
+		Latency       map[string]wireLatency  `json:"latency"`
+		Endpoints     map[string]wireEndpoint `json:"endpoints"`
+		Degraded      bool                    `json:"degraded"`
+		DegradedCause string                  `json:"degraded_cause,omitempty"`
+		Corpus        *tsjoin.CorpusStats     `json:"corpus,omitempty"`
+		Replication   *replStatus             `json:"replication,omitempty"`
+	}{distrib.FromShardedStats(s.m.Stats()), lat, endpoints, degradedCause != "", degradedCause, corpusStats, repl})
 }
 
 func main() {
@@ -816,7 +812,30 @@ func run() error {
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	replicaOf := flag.String("replica-of", "", "run as a warm standby replicating from this primary base URL (requires -data and -advertise; read-only until promoted)")
 	advertise := flag.String("advertise", "", "base URL the primary should ship to this node at, e.g. http://10.0.0.2:8080 (required with -replica-of)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator over -workers instead of serving an index")
+	workersSpec := flag.String("workers", "", "coordinator: comma-separated worker shards, each primary|standby1|standby2...")
+	heartbeat := flag.Duration("heartbeat", time.Second, "coordinator: membership probe interval")
+	failAfter := flag.Int("fail-after", 3, "coordinator: consecutive missed heartbeats before a standby is promoted")
+	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "coordinator: per-shard scatter deadline")
 	flag.Parse()
+
+	if *coordinator {
+		if *dataDir != "" || *replicaOf != "" {
+			return errors.New("-coordinator does not serve an index: drop -data/-replica-of (workers own the corpora)")
+		}
+		return runCoordinator(coordinatorConfig{
+			addr:         *addr,
+			workers:      *workersSpec,
+			heartbeat:    *heartbeat,
+			failAfter:    *failAfter,
+			queryTimeout: *queryTimeout,
+			writeTimeout: *writeTimeout,
+			idleTimeout:  *idleTimeout,
+		})
+	}
+	if *workersSpec != "" {
+		return errors.New("-workers requires -coordinator")
+	}
 
 	if *replicaOf != "" {
 		if *dataDir == "" {

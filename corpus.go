@@ -167,6 +167,75 @@ func (c *Corpus) SelfJoinStats(opts Options) ([]Pair, *Stats, error) {
 	return pairs, st, nil
 }
 
+// Join performs a bipartite join of names against the corpus's live
+// strings: every returned Pair has A = a corpus id and B = an index
+// into names with NSLD(corpus[A], names[B]) <= opts.Threshold. The
+// corpus side reuses the stored frequency order, prefixes and postings
+// (no per-call rebuild of corpus filter state); results are exactly
+// what the package-level Join on (live corpus strings, names) returns.
+func (c *Corpus) Join(names []string, opts Options) ([]Pair, error) {
+	pairs, _, err := c.JoinStats(names, opts)
+	return pairs, err
+}
+
+// JoinStats is Join plus the pipeline statistics.
+func (c *Corpus) JoinStats(names []string, opts Options) ([]Pair, *Stats, error) {
+	tok := opts.Tokenizer
+	if tok == nil {
+		tok = token.WhitespaceAndPunct
+	}
+	probes := make([]TokenizedString, len(names))
+	for i, s := range names {
+		probes[i] = tok(s)
+	}
+	return c.JoinTokenized(probes, opts)
+}
+
+// JoinTokenized is JoinStats over already-tokenized probes (the form
+// cluster workers receive probe sets in — token multisets travel the
+// wire, so no tokenizer round trip can disagree with the corpus's).
+func (c *Corpus) JoinTokenized(probes []TokenizedString, opts Options) ([]Pair, *Stats, error) {
+	jopts := tsj.Options{
+		Threshold:                  opts.Threshold,
+		MaxTokenFreq:               opts.MaxTokenFreq,
+		Matching:                   opts.Matching,
+		Aligning:                   opts.Aligning,
+		Dedup:                      opts.Dedup,
+		MultiMatchAware:            true,
+		Parallelism:                opts.Parallelism,
+		DisableBoundedVerify:       opts.DisableBoundedVerification,
+		DisableTokenLDCache:        opts.DisableTokenLDCache,
+		DisableSIMD:                opts.DisableSIMD,
+		DisablePrefixFilter:        opts.DisablePrefixFilter,
+		DisableSegmentPrefixFilter: opts.DisableSegmentPrefixFilter,
+	}
+	results, st, err := tsj.JoinCorpus(c.c, probes, jopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs := make([]Pair, len(results))
+	for i, r := range results {
+		pairs[i] = Pair{A: int(r.A), B: int(r.B), SLD: r.SLD, NSLD: r.NSLD}
+	}
+	return pairs, st, nil
+}
+
+// LiveTokens dumps the live corpus as (id, sorted token multiset) rows
+// — the probe-side feed of a distributed join, where token multisets
+// (not raw strings) travel the wire so no per-node tokenizer drift can
+// split the cluster's notion of a string.
+func (c *Corpus) LiveTokens() (ids []int, tokens [][]string) {
+	v := c.c.View()
+	for sid, ok := range v.Alive {
+		if !ok {
+			continue
+		}
+		ids = append(ids, sid)
+		tokens = append(tokens, v.TC.Strings[sid].Tokens)
+	}
+	return ids, tokens
+}
+
 // Snapshot checkpoints the corpus into a new snapshot generation and
 // starts a fresh WAL; Compact additionally removes older generations,
 // retaining the newest prior one as a corruption fallback, so disk

@@ -1,0 +1,117 @@
+package distrib
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/httpx"
+)
+
+// scatterQuery fans one /query out to every shard (except exclude, or
+// -1 for all) under the per-shard deadline, with a hedged retry chain
+// per shard: each attempt re-reads the partition map and walks the
+// shard's current chain — active worker first, then its warm standbys —
+// so a mid-query failover (or a promoted standby) answers later
+// attempts, and a merely slow primary is hedged by a replica that holds
+// the same acknowledged history. Shards that never answer are returned
+// in missing (ascending); the caller decides the partial-result policy.
+//
+// Results are local-id match lists indexed by shard; translation to
+// global ids is the caller's (toGlobal), because only the coordinator
+// tables can do it consistently.
+func (co *Coordinator) scatterQuery(ctx context.Context, name string, exclude int) ([][]Match, []int) {
+	co.mu.RLock()
+	n := len(co.pm.Shards)
+	co.mu.RUnlock()
+	results := make([][]Match, n)
+	var (
+		missMu  sync.Mutex
+		missing []int
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		if i == exclude {
+			continue
+		}
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			ms, err := co.queryShard(ctx, shard, name)
+			if err != nil {
+				co.opt.Logf("distrib: query on shard %d failed: %v", shard, err)
+				missMu.Lock()
+				missing = append(missing, shard)
+				missMu.Unlock()
+				return
+			}
+			results[shard] = ms
+		}(i)
+	}
+	wg.Wait()
+	sort.Ints(missing)
+	return results, missing
+}
+
+// queryShard runs one shard's leg of the scatter: deadline-bounded,
+// retry-with-backoff, hedging across the shard's chain.
+func (co *Coordinator) queryShard(ctx context.Context, shard int, name string) ([]Match, error) {
+	ctx, cancel := context.WithTimeout(ctx, co.opt.QueryTimeout)
+	defer cancel()
+	var resp QueryResponse
+	var last error
+	err := httpx.Retry(ctx, co.opt.Retry, func() error {
+		co.mu.RLock()
+		sh := co.pm.Shards[shard]
+		chain := append([]string{sh.Worker}, sh.Standbys...)
+		co.mu.RUnlock()
+		for _, base := range chain {
+			last = httpx.PostJSON(ctx, co.client, base+"/query", QueryRequest{Name: name}, &resp,
+				perAttemptTimeout(ctx, co.opt.Retry), maxBodyBytes)
+			if last == nil {
+				return nil
+			}
+			if httpx.IsStatus(last, http.StatusServiceUnavailable) {
+				// A syncing standby (or resetting engine) said "not me,
+				// yet" — fall through to the next chain member.
+				continue
+			}
+			if _, definitive := httpx.Status(last); definitive {
+				// A non-503 worker answer (e.g. 400) will not improve with
+				// retries.
+				return nil
+			}
+		}
+		return last
+	}, func(attempt int, d time.Duration, err error) {
+		co.opt.Logf("distrib: query on shard %d failed (retry %d in %v): %v", shard, attempt, d, err)
+	})
+	if err != nil {
+		if last != nil {
+			return nil, last
+		}
+		return nil, err
+	}
+	if last != nil {
+		return nil, last
+	}
+	return resp.Matches, nil
+}
+
+// perAttemptTimeout slices the remaining deadline so at least a couple
+// of hedged attempts fit inside the shard deadline: one attempt may use
+// at most half of what is left (and never less than the retry base).
+func perAttemptTimeout(ctx context.Context, pol backoff.Policy) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0 // ctx only
+	}
+	slice := time.Until(dl) / 2
+	if slice < pol.Base {
+		slice = pol.Base
+	}
+	return slice
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/namegen"
+)
+
+// Client-side views of the coordinator wire contract (internal/distrib
+// defines the canonical types; experiments cannot import it without a
+// test-binary import cycle through the root package's bench harness).
+// Only the fields the report needs are decoded; the clusterload test
+// drives a real coordinator, which keeps these tags honest.
+type clusterNameRequest struct {
+	Name string `json:"name"`
+}
+
+type clusterStatsView struct {
+	Epoch   uint64 `json:"epoch"`
+	Strings int    `json:"strings"`
+	Cluster struct {
+		CandGenWallMs float64 `json:"cand_gen_wall_ms"`
+		VerifyWallMs  float64 `json:"verify_wall_ms"`
+	} `json:"cluster"`
+	Workers []struct {
+		Worker string `json:"worker"`
+	} `json:"workers"`
+}
+
+// ClusterLoadConfig parameterizes `tsjexp -load -cluster=URL`: the same
+// synthetic sign-up stream as the in-process load generator, but driven
+// over HTTP at a tsjserve coordinator, so the routing/scatter overhead
+// of the cluster layer can be split out from the worker-side engine
+// time.
+type ClusterLoadConfig struct {
+	// Coordinator is the base URL of a running tsjserve -coordinator.
+	Coordinator string
+	// Seed/NumNames generate the workload (defaults 42 / 2000 — an
+	// over-the-wire run is orders slower than the in-process sweep).
+	Seed     int64
+	NumNames int
+	// Clients is the number of concurrent client goroutines (default
+	// 2*GOMAXPROCS via the shared load defaults; capped at NumNames).
+	Clients int
+	// QueriesPerAdd interleaves reads with the write stream.
+	QueriesPerAdd int
+	// Timeout bounds each request (default 10s).
+	Timeout time.Duration
+}
+
+func (c ClusterLoadConfig) withDefaults() ClusterLoadConfig {
+	base := StreamLoadConfig{
+		Seed:          c.Seed,
+		NumNames:      c.NumNames,
+		Clients:       c.Clients,
+		QueriesPerAdd: c.QueriesPerAdd,
+	}
+	if base.NumNames <= 0 {
+		base.NumNames = 2000
+	}
+	base = base.withDefaults()
+	c.Seed, c.NumNames, c.Clients, c.QueriesPerAdd =
+		base.Seed, base.NumNames, base.Clients, base.QueriesPerAdd
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	return c
+}
+
+// ClusterLoad drives the coordinator with a concurrent add/query stream
+// and reports, per operation, the client-observed end-to-end latency
+// distribution next to the worker-side engine wall time sampled from
+// the aggregated /stats before and after the run. The gap between the
+// two is what the cluster layer costs: routing, scatter/merge, and the
+// network.
+func ClusterLoad(cfg ClusterLoadConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	names := namegen.Generate(namegen.Config{Seed: cfg.Seed, NumNames: cfg.NumNames})
+	client := httpx.NewClient(cfg.Timeout)
+	ctx := context.Background()
+
+	var before clusterStatsView
+	if err := httpx.GetJSON(ctx, client, cfg.Coordinator+"/stats", &before, cfg.Timeout, 4<<20); err != nil {
+		return nil, fmt.Errorf("coordinator /stats: %w (is %s a tsjserve -coordinator?)", err, cfg.Coordinator)
+	}
+
+	// Balanced split covering every name, exactly like the in-process
+	// generator: client c works on names[c*N/C : (c+1)*N/C].
+	type sample struct{ add, query []time.Duration }
+	samples := make([]sample, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slice := names[c*len(names)/cfg.Clients : (c+1)*len(names)/cfg.Clients]
+			for i, n := range slice {
+				t0 := time.Now()
+				var add json.RawMessage
+				if err := httpx.PostJSON(ctx, client, cfg.Coordinator+"/add",
+					clusterNameRequest{Name: n}, &add, cfg.Timeout, 4<<20); err != nil {
+					errs[c] = fmt.Errorf("add %q: %w", n, err)
+					return
+				}
+				samples[c].add = append(samples[c].add, time.Since(t0))
+				for q := 0; q < cfg.QueriesPerAdd; q++ {
+					probe := slice[(i*7+q)%(i+1)]
+					t0 = time.Now()
+					var qr json.RawMessage
+					if err := httpx.PostJSON(ctx, client, cfg.Coordinator+"/query",
+						clusterNameRequest{Name: probe}, &qr, cfg.Timeout, 4<<20); err != nil {
+						errs[c] = fmt.Errorf("query %q: %w", probe, err)
+						return
+					}
+					samples[c].query = append(samples[c].query, time.Since(t0))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var after clusterStatsView
+	if err := httpx.GetJSON(ctx, client, cfg.Coordinator+"/stats", &after, cfg.Timeout, 4<<20); err != nil {
+		return nil, fmt.Errorf("coordinator /stats after run: %w", err)
+	}
+
+	var adds, queries []time.Duration
+	for _, s := range samples {
+		adds = append(adds, s.add...)
+		queries = append(queries, s.query...)
+	}
+
+	t := &Table{
+		ID: "cluster-load",
+		Title: fmt.Sprintf(
+			"Cluster end-to-end vs worker engine latency (%s, %d shards, %d names, %d clients, %d queries/add)",
+			cfg.Coordinator, len(after.Workers), cfg.NumNames, cfg.Clients, cfg.QueriesPerAdd),
+		Header: []string{"op", "count", "ops/s", "p50", "p95", "max"},
+	}
+	secs := elapsed.Seconds()
+	for _, row := range []struct {
+		op string
+		ds []time.Duration
+	}{{"add", adds}, {"query", queries}} {
+		if len(row.ds) == 0 {
+			continue
+		}
+		sort.Slice(row.ds, func(i, j int) bool { return row.ds[i] < row.ds[j] })
+		t.AddRow(row.op, len(row.ds),
+			fmt.Sprintf("%.0f", float64(len(row.ds))/secs),
+			fmtMs(percentile(row.ds, 0.50)),
+			fmtMs(percentile(row.ds, 0.95)),
+			fmtMs(row.ds[len(row.ds)-1]))
+	}
+
+	// The split: worker-side engine wall (candidate generation + verify
+	// across every worker, deltas over the run) against the total
+	// client-observed time. Client time sums across concurrent clients,
+	// so compare against clients x wall.
+	engineMs := (after.Cluster.CandGenWallMs - before.Cluster.CandGenWallMs) +
+		(after.Cluster.VerifyWallMs - before.Cluster.VerifyWallMs)
+	var clientMs float64
+	for _, ds := range [][]time.Duration{adds, queries} {
+		for _, d := range ds {
+			clientMs += float64(d.Microseconds()) / 1000
+		}
+	}
+	overheadMs := clientMs - engineMs
+	if overheadMs < 0 {
+		overheadMs = 0
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("worker engine wall %.0fms of %.0fms total client time (%.0f%%); the other %.0fms is coordinator routing, scatter/merge, and the network",
+			engineMs, clientMs, 100*engineMs/max(clientMs, 1), overheadMs),
+		fmt.Sprintf("wall %.3fs; cluster grew %d -> %d strings across %d workers (epoch %d)",
+			secs, before.Strings, after.Strings, len(after.Workers), after.Epoch))
+	return t, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fmtMs(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}

@@ -1,18 +1,17 @@
 package replica
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/httpx"
 )
 
 // PrimaryOptions configures the shipper side.
@@ -136,10 +135,7 @@ func NewPrimary(src Source, opt PrimaryOptions) *Primary {
 	opt.fill()
 	client := opt.Client
 	if client == nil {
-		client = &http.Client{Transport: &http.Transport{
-			DialContext:         (&net.Dialer{Timeout: opt.ConnectTimeout}).DialContext,
-			MaxIdleConnsPerHost: 4,
-		}}
+		client = httpx.NewClient(opt.ConnectTimeout)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Primary{
@@ -402,59 +398,35 @@ func (p *Primary) sealFollower(f *follower) {
 }
 
 // send posts one apply request, retrying transport errors and non-200
-// responses with exponential backoff until it succeeds or ctx ends.
-// ok=false only on cancellation.
+// responses with exponential backoff until it succeeds or ctx ends
+// (httpx.Retry drives the loop; the per-attempt hook keeps the
+// follower's retry accounting). ok=false only on cancellation.
 func (p *Primary) send(ctx context.Context, f *follower, req applyRequest) (applyResponse, bool) {
-	bo := backoff.State{P: p.opt.Backoff}
-	for {
-		resp, err := p.post(ctx, f.url, req)
-		if err == nil {
-			return resp, true
-		}
-		if ctx.Err() != nil {
-			return applyResponse{}, false
-		}
-		f.set(func(f *follower) { f.retries++; f.state = "retrying"; f.lastErr = err.Error() })
-		d := bo.Next()
-		p.opt.Logf("replica: ship to %s failed (retry %d in %v): %v", f.url, bo.Attempt(), d, err)
-		select {
-		case <-ctx.Done():
-			return applyResponse{}, false
-		case <-time.After(d):
-		}
+	var resp applyResponse
+	err := httpx.Retry(ctx, p.opt.Backoff,
+		func() error {
+			var err error
+			resp, err = p.post(ctx, f.url, req)
+			return err
+		},
+		func(attempt int, d time.Duration, err error) {
+			f.set(func(f *follower) { f.retries++; f.state = "retrying"; f.lastErr = err.Error() })
+			p.opt.Logf("replica: ship to %s failed (retry %d in %v): %v", f.url, attempt, d, err)
+		})
+	if err != nil {
+		return applyResponse{}, false
 	}
+	return resp, true
 }
 
-// post performs one apply round trip under the request timeout.
+// post performs one apply round trip under the request timeout. A torn
+// response read is an error like any other: the standby may have
+// applied the batch but the ack was lost — the retry is safe because
+// its overlap is duplicate-suppressed on the standby.
 func (p *Primary) post(ctx context.Context, base string, req applyRequest) (applyResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return applyResponse{}, err
-	}
-	rctx, cancel := context.WithTimeout(ctx, p.opt.RequestTimeout)
-	defer cancel()
-	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, base+"/replication/apply", bytes.NewReader(body))
-	if err != nil {
-		return applyResponse{}, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := p.client.Do(hreq)
-	if err != nil {
-		return applyResponse{}, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		// A torn response: the standby may have applied the batch but
-		// the ack was lost. The retry is safe — its overlap is skipped.
-		return applyResponse{}, fmt.Errorf("replica: reading ack from %s: %w", base, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return applyResponse{}, fmt.Errorf("replica: %s answered %d: %s", base, resp.StatusCode, bytes.TrimSpace(data))
-	}
 	var ar applyResponse
-	if err := json.Unmarshal(data, &ar); err != nil {
-		return applyResponse{}, fmt.Errorf("replica: bad ack from %s: %w", base, err)
+	if err := httpx.PostJSON(ctx, p.client, base+"/replication/apply", req, &ar, p.opt.RequestTimeout, 1<<20); err != nil {
+		return applyResponse{}, fmt.Errorf("replica: apply to %s: %w", base, err)
 	}
 	return ar, nil
 }

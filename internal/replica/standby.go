@@ -1,14 +1,12 @@
 package replica
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -16,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/httpx"
 )
 
 // ErrSyncing rejects promotion of a standby mid-bootstrap: its state is
@@ -136,10 +135,7 @@ func NewStandby(eng Applier, reset func() (Applier, error), opt StandbyOptions) 
 	opt.fill()
 	client := opt.Client
 	if client == nil {
-		client = &http.Client{Transport: &http.Transport{
-			DialContext:         (&net.Dialer{Timeout: opt.ConnectTimeout}).DialContext,
-			MaxIdleConnsPerHost: 2,
-		}}
+		client = httpx.NewClient(opt.ConnectTimeout)
 	}
 	s := &Standby{opt: opt, client: client, reset: reset, eng: eng}
 	if opt.StateDir != "" {
@@ -222,29 +218,12 @@ func (s *Standby) register(ctx context.Context) error {
 	s.mu.Lock()
 	hello := registerRequest{Advertise: s.opt.Advertise, LSN: s.eng.LSN(), Syncing: s.syncing}
 	s.mu.Unlock()
-	body, err := json.Marshal(hello)
-	if err != nil {
-		return err
-	}
-	rctx, cancel := context.WithTimeout(ctx, s.opt.RequestTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, s.opt.Primary+"/replication/register", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := s.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("replica: register answered %d: %s", resp.StatusCode, bytes.TrimSpace(data))
-	}
 	var rr registerResponse
-	if err := json.Unmarshal(data, &rr); err != nil || !rr.OK {
-		return fmt.Errorf("replica: bad register response: %s", bytes.TrimSpace(data))
+	if err := httpx.PostJSON(ctx, s.client, s.opt.Primary+"/replication/register", hello, &rr, s.opt.RequestTimeout, 1<<16); err != nil {
+		return fmt.Errorf("replica: register with %s: %w", s.opt.Primary, err)
+	}
+	if !rr.OK {
+		return fmt.Errorf("replica: register with %s: primary answered ok=false", s.opt.Primary)
 	}
 	s.mu.Lock()
 	s.registered = true

@@ -140,6 +140,35 @@ type ShardedStats struct {
 	SweptEntries int64
 }
 
+// Merge folds another snapshot into this one — the aggregation a
+// cluster coordinator performs over its workers' stats. Counters and
+// wall times sum; Shards sums too (the cluster's total partition
+// count); TokensPerShard concatenates in argument order so per-shard
+// balance stays inspectable across workers.
+func (s *ShardedStats) Merge(o ShardedStats) {
+	s.Strings += o.Strings
+	s.Shards += o.Shards
+	s.Adds += o.Adds
+	s.Applied += o.Applied
+	s.Queries += o.Queries
+	s.Verified += o.Verified
+	s.BudgetPruned += o.BudgetPruned
+	s.PrefixPruned += o.PrefixPruned
+	s.SegPrefixPruned += o.SegPrefixPruned
+	s.SegKeysProbed += o.SegKeysProbed
+	s.SegTokensChecked += o.SegTokensChecked
+	s.SegTokensSimilar += o.SegTokensSimilar
+	s.BatchedPairs += o.BatchedPairs
+	s.SIMDKernels += o.SIMDKernels
+	s.SIMDLanes += o.SIMDLanes
+	s.BatchScalarCells += o.BatchScalarCells
+	s.CandGenWall += o.CandGenWall
+	s.VerifyWall += o.VerifyWall
+	s.TokensPerShard = append(s.TokensPerShard, o.TokensPerShard...)
+	s.Sweeps += o.Sweeps
+	s.SweptEntries += o.SweptEntries
+}
+
 // NewShardedMatcher creates an empty concurrent matcher with the given
 // shard count (<= 0 means GOMAXPROCS). The worker pool holds one
 // goroutine per shard, so the shard count is also the parallelism knob.

@@ -1,0 +1,234 @@
+package tsj
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/namegen"
+	"repro/internal/token"
+)
+
+// joinCorpusReference computes the expected JoinCorpus result the slow
+// way: a from-scratch combined corpus of (live corpus strings, probes)
+// run through the per-call bipartite Join, with reference ids mapped
+// back into corpus StringIDs / probe indices.
+func joinCorpusReference(t *testing.T, pc *corpus.Corpus, probes []token.TokenizedString, opts Options) []Result {
+	t.Helper()
+	v := pc.View()
+	var live []token.TokenizedString
+	var liveIDs []token.StringID
+	for sid, ok := range v.Alive {
+		if ok {
+			live = append(live, v.TC.Strings[sid])
+			liveIDs = append(liveIDs, token.StringID(sid))
+		}
+	}
+	combined := token.BuildCorpusFromTokenized(append(append([]token.TokenizedString(nil), live...), probes...))
+	want, _, err := Join(combined, len(live), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	mapped := make([]Result, len(want))
+	for i, r := range want {
+		mapped[i] = Result{
+			A:    liveIDs[r.A],
+			B:    r.B - token.StringID(len(live)),
+			SLD:  r.SLD,
+			NSLD: r.NSLD,
+		}
+	}
+	sort.Slice(mapped, func(i, j int) bool {
+		if mapped[i].A != mapped[j].A {
+			return mapped[i].A < mapped[j].A
+		}
+		return mapped[i].B < mapped[j].B
+	})
+	return mapped
+}
+
+// TestJoinCorpusEquivalence is the acceptance property of the
+// corpus-backed bipartite join: probing an opened corpus — including one
+// with tombstones — returns byte-identical results to the per-call Join
+// over (live corpus strings, probes), across thresholds, matching modes
+// and the frequency cutoff, while reusing the stored order (zero
+// rebuilds) and postings.
+func TestJoinCorpusEquivalence(t *testing.T) {
+	all := namegen.Generate(namegen.Config{Seed: 71, NumNames: 380})
+	names, probeNames := all[:260], all[260:] // one pool, so cross-set similarity exists
+	probes := make([]token.TokenizedString, len(probeNames))
+	for i, s := range probeNames {
+		probes[i] = token.WhitespaceAndPunct(s)
+	}
+	pc := openSeeded(t, names, corpus.Options{})
+	for _, sid := range []int{0, 3, 99, 200, 259} {
+		if err := pc.Delete(token.StringID(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := pc.Stats()
+
+	nonEmpty := false
+	for _, th := range []float64{0.1, 0.3} {
+		for _, mt := range []Matching{FuzzyTokenMatching, ExactTokenMatching} {
+			for _, maxFreq := range []int{0, 8} {
+				opts := DefaultOptions()
+				opts.Threshold = th
+				opts.Matching = mt
+				opts.MaxTokenFreq = maxFreq
+				want := joinCorpusReference(t, pc, probes, opts)
+				got, gst, err := JoinCorpus(pc, probes, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("t=%.2f %v M=%d: corpus-backed join differs (%d vs %d pairs)",
+						th, mt, maxFreq, len(got), len(want))
+				}
+				if len(got) > 0 {
+					nonEmpty = true
+					if gst.SharedTokenCandidates == 0 {
+						t.Fatalf("t=%.2f %v: no shared-token candidates generated", th, mt)
+					}
+				}
+			}
+		}
+	}
+	if !nonEmpty {
+		t.Fatal("every configuration joined to zero pairs; pick better seeds")
+	}
+	after := pc.Stats()
+	if after.OrderRebuilds != before.OrderRebuilds {
+		t.Fatalf("probing rebuilt the frequency order: %d -> %d",
+			before.OrderRebuilds, after.OrderRebuilds)
+	}
+	if after.Epoch != before.Epoch {
+		t.Fatalf("probing advanced the epoch: %d -> %d", before.Epoch, after.Epoch)
+	}
+}
+
+// TestJoinCorpusEquivalenceAblations: the filter ablation grid (prefix
+// off, segment prefix off, both off) and both de-duplication strategies
+// all reproduce the reference result — the stored-state reuse composes
+// with every pipeline configuration, not just the default.
+func TestJoinCorpusEquivalenceAblations(t *testing.T) {
+	all := namegen.Generate(namegen.Config{Seed: 73, NumNames: 310})
+	names, probeNames := all[:220], all[220:] // one pool, so cross-set similarity exists
+	probes := make([]token.TokenizedString, len(probeNames))
+	for i, s := range probeNames {
+		probes[i] = token.WhitespaceAndPunct(s)
+	}
+	pc := openSeeded(t, names, corpus.Options{})
+	for _, sid := range []int{5, 50, 219} {
+		if err := pc.Delete(token.StringID(sid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base := DefaultOptions()
+	base.Threshold = 0.25
+	want := joinCorpusReference(t, pc, probes, base)
+	if len(want) == 0 {
+		t.Fatal("reference join produced no pairs; pick better seeds")
+	}
+	for _, cfg := range []struct {
+		name            string
+		noPrefix, noSeg bool
+		dedup           Dedup
+	}{
+		{"default", false, false, GroupOnOneString},
+		{"group-both", false, false, GroupOnBothStrings},
+		{"no-prefix", true, false, GroupOnOneString},
+		{"no-segment", false, true, GroupOnOneString},
+		{"no-filters", true, true, GroupOnBothStrings},
+	} {
+		opts := base
+		opts.DisablePrefixFilter = cfg.noPrefix
+		opts.DisableSegmentPrefixFilter = cfg.noSeg
+		opts.Dedup = cfg.dedup
+		got, _, err := JoinCorpus(pc, probes, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: corpus-backed join differs (%d vs %d pairs)", cfg.name, len(got), len(want))
+		}
+	}
+}
+
+// TestJoinCorpusStaleOrder: a corpus whose stored rarest-first order is
+// maximally stale (re-ranking disabled) still probes exactly — the
+// extended order (stale corpus order + probe-only tokens at the tail) is
+// a fixed total order, which is all prefix losslessness needs.
+func TestJoinCorpusStaleOrder(t *testing.T) {
+	all := namegen.Generate(namegen.Config{Seed: 75, NumNames: 340})
+	names, probeNames := all[:240], all[240:] // one pool, so cross-set similarity exists
+	probes := make([]token.TokenizedString, len(probeNames))
+	for i, s := range probeNames {
+		probes[i] = token.WhitespaceAndPunct(s)
+	}
+	pc := openSeeded(t, names, corpus.Options{RerankSlack: -1})
+	if got := pc.Stats().OrderRebuilds; got != 0 {
+		t.Fatalf("slack<0: %d re-ranks", got)
+	}
+	nonEmpty := false
+	for _, th := range []float64{0.15, 0.35} {
+		opts := DefaultOptions()
+		opts.Threshold = th
+		want := joinCorpusReference(t, pc, probes, opts)
+		got, _, err := JoinCorpus(pc, probes, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("t=%.2f: stale-order probe join differs (%d vs %d pairs)", th, len(got), len(want))
+		}
+		nonEmpty = nonEmpty || len(got) > 0
+	}
+	if !nonEmpty {
+		t.Fatal("stale-order probes joined to zero pairs at every threshold; pick better seeds")
+	}
+}
+
+// TestJoinCorpusEmptySides: empty probe sets, empty corpora, and
+// token-less strings on either side behave exactly like Join's empty
+// preamble.
+func TestJoinCorpusEmptySides(t *testing.T) {
+	opts := DefaultOptions()
+
+	pc := openSeeded(t, []string{"alpha beta", "..."}, corpus.Options{})
+	res, _, err := JoinCorpus(pc, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty probe set joined to %d pairs", len(res))
+	}
+
+	empty := openSeeded(t, nil, corpus.Options{})
+	res, _, err = JoinCorpus(empty, []token.TokenizedString{token.WhitespaceAndPunct("alpha")}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty corpus joined to %d pairs", len(res))
+	}
+
+	// Token-less on both sides pair at NSLD 0; the tombstoned token-less
+	// corpus string must not.
+	pc2 := openSeeded(t, []string{"---", "..."}, corpus.Options{})
+	if err := pc2.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = JoinCorpus(pc2, []token.TokenizedString{token.WhitespaceAndPunct("!!!")}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].A != 0 || res[0].B != 0 || res[0].NSLD != 0 {
+		t.Fatalf("token-less pairing: %v", res)
+	}
+}
