@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nosimd test-arm64 race torture replication-torture cluster-e2e bench bench-verify bench-candidates bench-segment bench-corpus bench-json fuzz-smoke equivalence-guard lint ci
+.PHONY: all build test test-nosimd test-arm64 race torture replication-torture cluster-e2e bench bench-verify bench-candidates bench-segment bench-corpus bench-json bench-compare fuzz-smoke equivalence-guard lint ci
 
 all: build
 
@@ -28,9 +28,13 @@ test-arm64:
 	@qemu=$$(command -v qemu-aarch64-static || command -v qemu-aarch64); \
 	if [ -n "$$qemu" ]; then \
 		echo "arm64 tests under $$qemu"; \
-		CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) test -exec "$$qemu" -count=1 ./...; \
+		CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) test -exec "$$qemu" -count=1 ./... && \
+		out=$$(CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) test -exec "$$qemu" -v -run TestNEONKernelLive -count=1 ./internal/strdist/simd/ 2>&1) || { echo "$$out"; exit 1; }; \
+		if ! echo "$$out" | grep -q -- "--- PASS: TestNEONKernelLive"; then \
+			echo "$$out"; echo "TestNEONKernelLive did not pass — NEON kernel never executed"; exit 1; fi; \
+		echo "NEON kernel liveness: ok"; \
 	else \
-		echo "qemu-aarch64 absent: arm64 compile-only (tests built, not run)"; \
+		echo "qemu-aarch64 absent: arm64 compile-only (tests built, not run; CI's arm64 leg executes them)"; \
 		CGO_ENABLED=0 GOOS=linux GOARCH=arm64 $(GO) test -exec /bin/true -count=1 ./... >/dev/null; \
 	fi
 
@@ -96,6 +100,14 @@ bench-json:
 	  $(GO) test -run='^$$' -bench=SegmentProbe -benchtime=1x -benchmem ./internal/stream/ && \
 	  $(GO) test -run='^$$' -bench='CorpusAdd|SnapshotLoad|WALReplay' -benchtime=1x -benchmem ./internal/corpus/; } \
 	| $(GO) run ./cmd/benchjson -commit "$$sha" -o "BENCH_$$sha.json"
+
+# Warn-only diff of two bench-json artifacts: flags every time metric
+# (ns/op, ns/pair) that moved beyond THRESHOLD percent. Usage:
+#   make bench-compare OLD=BENCH_old.json NEW=BENCH_new.json [THRESHOLD=10]
+THRESHOLD ?= 10
+bench-compare:
+	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make bench-compare OLD=old.json NEW=new.json [THRESHOLD=10]"; exit 2; }
+	$(GO) run ./cmd/benchjson -compare -warn-only -threshold $(THRESHOLD) $(OLD) $(NEW)
 
 equivalence-guard:
 	@out=$$($(GO) test -v -run 'TestBoundedEquivalence|TestPrefixEquivalence|TestSegmentPrefixEquivalence|TestRestartEquivalence|TestSIMDEquivalence|TestTortureOpSweep|TestReplicationTortureSweep|TestPromotionEquivalence|TestJoinCorpusEquivalence|TestClusterEquivalence|TestClusterE2E' ./internal/... ./cmd/tsjserve/ 2>&1) || { echo "$$out"; exit 1; }; \

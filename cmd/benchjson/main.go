@@ -13,6 +13,17 @@
 // verify engine's ns/pair) keyed by unit. The goos/goarch/pkg/cpu
 // header lines are attached to each record so artifacts from different
 // CI matrix legs stay self-describing.
+//
+// Compare mode diffs two artifacts:
+//
+//	benchjson -compare -threshold 10 BENCH_old.json BENCH_new.json
+//
+// Each benchmark present in both artifacts (keyed by pkg, name and
+// goarch) has its time metrics (ns/op and ns/pair) compared; a metric
+// that grew by more than the threshold percentage is a regression and
+// the exit status is 1 unless -warn-only is set. Single-run benchmark
+// numbers are noisy, so CI runs this warn-only: the report is a tripwire
+// for humans, not a merge gate.
 package main
 
 import (
@@ -109,12 +120,128 @@ func parseBench(r io.Reader) ([]Record, error) {
 	return recs, sc.Err()
 }
 
+// timeUnits are the metrics compare mode diffs. Memory metrics (B/op,
+// allocs/op) are deliberately excluded: the hot paths assert zero
+// allocations in tests already, and a 0 -> 0 ratio is meaningless.
+var timeUnits = []string{"ns/op", "ns/pair"}
+
+// compareKey identifies the same benchmark across two artifacts. Goarch
+// is part of the key so amd64 and arm64 matrix legs never cross-diff.
+func compareKey(r Record) string {
+	return r.Pkg + "\x00" + r.Name + "\x00" + r.Goarch
+}
+
+// delta is one metric's movement between two artifacts.
+type delta struct {
+	name, unit string
+	oldV, newV float64
+	pct        float64 // signed percent change; positive = slower
+}
+
+// compareDocs diffs the time metrics of every benchmark present in both
+// artifacts and splits the movements at the threshold: |pct| above it is
+// a regression (slower) or an improvement (faster); the rest is noise.
+// Benchmarks present on only one side are returned by name so a renamed
+// or dropped benchmark cannot silently vanish from the comparison.
+func compareDocs(oldDoc, newDoc Doc, thresholdPct float64) (regs, imps []delta, missing []string) {
+	olds := make(map[string]Record, len(oldDoc.Records))
+	for _, r := range oldDoc.Records {
+		olds[compareKey(r)] = r
+	}
+	matched := make(map[string]bool, len(newDoc.Records))
+	for _, nr := range newDoc.Records {
+		k := compareKey(nr)
+		or, ok := olds[k]
+		if !ok {
+			missing = append(missing, "only in new: "+nr.Pkg+" "+nr.Name)
+			continue
+		}
+		matched[k] = true
+		for _, unit := range timeUnits {
+			ov, okOld := or.Metrics[unit]
+			nv, okNew := nr.Metrics[unit]
+			if !okOld || !okNew || ov <= 0 {
+				continue
+			}
+			pct := 100 * (nv - ov) / ov
+			d := delta{name: nr.Pkg + " " + nr.Name, unit: unit, oldV: ov, newV: nv, pct: pct}
+			switch {
+			case pct > thresholdPct:
+				regs = append(regs, d)
+			case pct < -thresholdPct:
+				imps = append(imps, d)
+			}
+		}
+	}
+	for _, or := range oldDoc.Records {
+		if k := compareKey(or); !matched[k] {
+			missing = append(missing, "only in old: "+or.Pkg+" "+or.Name)
+		}
+	}
+	return regs, imps, missing
+}
+
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runCompare prints the comparison report to w and reports whether any
+// regression crossed the threshold.
+func runCompare(oldDoc, newDoc Doc, thresholdPct float64, w io.Writer) bool {
+	regs, imps, missing := compareDocs(oldDoc, newDoc, thresholdPct)
+	line := func(tag string, d delta) {
+		fmt.Fprintf(w, "%s %-60s %10.1f -> %10.1f %-8s %+6.1f%%\n",
+			tag, d.name, d.oldV, d.newV, d.unit, d.pct)
+	}
+	for _, d := range regs {
+		line("REGRESSION ", d)
+	}
+	for _, d := range imps {
+		line("improvement", d)
+	}
+	for _, m := range missing {
+		fmt.Fprintf(w, "unmatched   %s\n", m)
+	}
+	fmt.Fprintf(w, "benchjson: %d regression(s), %d improvement(s) beyond ±%.0f%% (old %s, new %s)\n",
+		len(regs), len(imps), thresholdPct, oldDoc.Commit, newDoc.Commit)
+	return len(regs) > 0
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	commit := flag.String("commit", "", "commit hash to stamp into the artifact")
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two artifacts: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 10, "compare mode: percent slowdown that counts as a regression")
+	warnOnly := flag.Bool("warn-only", false, "compare mode: report regressions but exit 0")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("compare mode wants exactly two artifacts: benchjson -compare old.json new.json")
+		}
+		oldDoc, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("loading old artifact: %v", err)
+		}
+		newDoc, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			log.Fatalf("loading new artifact: %v", err)
+		}
+		if runCompare(oldDoc, newDoc, *threshold, os.Stdout) && !*warnOnly {
+			os.Exit(1)
+		}
+		return
+	}
 
 	recs, err := parseBench(os.Stdin)
 	if err != nil {

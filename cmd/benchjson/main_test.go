@@ -50,6 +50,100 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func mkDoc(commit string, recs ...Record) Doc {
+	return Doc{Commit: commit, Records: recs}
+}
+
+func rec(pkg, name, goarch string, metrics map[string]float64) Record {
+	return Record{Name: name, Pkg: pkg, Goarch: goarch, Iterations: 1000, Metrics: metrics}
+}
+
+func TestCompareDocs(t *testing.T) {
+	oldDoc := mkDoc("aaa",
+		rec("repro", "BenchmarkVerifyBatch/t=0.3/simd", "amd64", map[string]float64{"ns/op": 20000, "ns/pair": 228.6}),
+		rec("repro", "BenchmarkVerifyBatch/t=0.1/simd", "amd64", map[string]float64{"ns/op": 16000, "ns/pair": 185.0}),
+		rec("repro", "BenchmarkVerifyBounded/t=0.1", "amd64", map[string]float64{"ns/op": 173.1, "allocs/op": 0}),
+		rec("repro", "BenchmarkDropped", "amd64", map[string]float64{"ns/op": 50}),
+	)
+	newDoc := mkDoc("bbb",
+		// 25% slower on ns/pair: regression.
+		rec("repro", "BenchmarkVerifyBatch/t=0.3/simd", "amd64", map[string]float64{"ns/op": 25000, "ns/pair": 285.8}),
+		// 30% faster: improvement.
+		rec("repro", "BenchmarkVerifyBatch/t=0.1/simd", "amd64", map[string]float64{"ns/op": 11200, "ns/pair": 129.5}),
+		// Within the threshold: noise, reported as neither.
+		rec("repro", "BenchmarkVerifyBounded/t=0.1", "amd64", map[string]float64{"ns/op": 180.0, "allocs/op": 3}),
+		rec("repro", "BenchmarkAdded", "amd64", map[string]float64{"ns/op": 60}),
+	)
+	regs, imps, missing := compareDocs(oldDoc, newDoc, 10)
+	if len(regs) != 2 { // ns/op and ns/pair both regressed on the t=0.3 row
+		t.Fatalf("regressions: got %+v, want 2", regs)
+	}
+	for _, d := range regs {
+		if !strings.Contains(d.name, "t=0.3") || d.pct < 20 {
+			t.Fatalf("unexpected regression row: %+v", d)
+		}
+	}
+	if len(imps) != 2 {
+		t.Fatalf("improvements: got %+v, want 2", imps)
+	}
+	for _, d := range imps {
+		if !strings.Contains(d.name, "t=0.1/simd") || d.pct > -25 {
+			t.Fatalf("unexpected improvement row: %+v", d)
+		}
+	}
+	if len(missing) != 2 {
+		t.Fatalf("missing: got %+v, want dropped+added rows", missing)
+	}
+}
+
+func TestCompareDocsThresholdBoundary(t *testing.T) {
+	oldDoc := mkDoc("a", rec("repro", "BenchmarkX", "amd64", map[string]float64{"ns/op": 100}))
+	// Exactly +10% is not beyond a 10% threshold.
+	newDoc := mkDoc("b", rec("repro", "BenchmarkX", "amd64", map[string]float64{"ns/op": 110}))
+	if regs, imps, _ := compareDocs(oldDoc, newDoc, 10); len(regs) != 0 || len(imps) != 0 {
+		t.Fatalf("exact-threshold delta flagged: regs=%+v imps=%+v", regs, imps)
+	}
+	newDoc.Records[0].Metrics["ns/op"] = 110.2
+	if regs, _, _ := compareDocs(oldDoc, newDoc, 10); len(regs) != 1 {
+		t.Fatalf("past-threshold delta not flagged: %+v", regs)
+	}
+}
+
+func TestCompareDocsArchKeying(t *testing.T) {
+	// Same benchmark name on different goarch legs must not cross-diff:
+	// the arm64 qemu leg is legitimately slower than native amd64.
+	oldDoc := mkDoc("a", rec("repro", "BenchmarkX", "amd64", map[string]float64{"ns/op": 100}))
+	newDoc := mkDoc("b", rec("repro", "BenchmarkX", "arm64", map[string]float64{"ns/op": 900}))
+	regs, imps, missing := compareDocs(oldDoc, newDoc, 10)
+	if len(regs) != 0 || len(imps) != 0 {
+		t.Fatalf("cross-arch diff happened: regs=%+v imps=%+v", regs, imps)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("cross-arch rows should be unmatched: %+v", missing)
+	}
+}
+
+func TestRunCompareReport(t *testing.T) {
+	oldDoc := mkDoc("aaa", rec("repro", "BenchmarkX", "amd64", map[string]float64{"ns/op": 100}))
+	newDoc := mkDoc("bbb", rec("repro", "BenchmarkX", "amd64", map[string]float64{"ns/op": 150}))
+	var buf strings.Builder
+	if !runCompare(oldDoc, newDoc, 10, &buf) {
+		t.Fatal("50% slowdown not reported as regression")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "+50.0%") {
+		t.Fatalf("report missing regression line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s)") {
+		t.Fatalf("report missing summary:\n%s", out)
+	}
+
+	buf.Reset()
+	if runCompare(oldDoc, oldDoc, 10, &buf) {
+		t.Fatal("self-compare reported a regression")
+	}
+}
+
 func TestParseBenchEmpty(t *testing.T) {
 	recs, err := parseBench(strings.NewReader("PASS\nok \trepro\t0.1s\n"))
 	if err != nil {

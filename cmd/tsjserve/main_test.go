@@ -145,6 +145,8 @@ func TestServeStatsFilterTelemetry(t *testing.T) {
 		SIMDKernels      *int64   `json:"simd_kernels"`
 		SIMDLanes        *int64   `json:"simd_lanes"`
 		BatchScalarCells *int64   `json:"batch_scalar_cells"`
+		SIMDWidth        *int     `json:"simd_width"`
+		LaneFillPct      *float64 `json:"lane_fill_pct"`
 		CandGenWallMs    *float64 `json:"cand_gen_wall_ms"`
 		VerifyWallMs     *float64 `json:"verify_wall_ms"`
 	}
@@ -167,6 +169,21 @@ func TestServeStatsFilterTelemetry(t *testing.T) {
 	}
 	if tsjoin.SIMDAvailable() && stats.Verified > 0 && *stats.BatchedPairs == 0 {
 		t.Fatal("batched_pairs not populated despite a live kernel and verified pairs")
+	}
+	if stats.SIMDWidth == nil || stats.LaneFillPct == nil {
+		t.Fatal("/stats missing simd_width or lane_fill_pct")
+	}
+	if tsjoin.SIMDAvailable() {
+		if *stats.SIMDWidth <= 0 {
+			t.Fatalf("simd_width = %d with a live kernel", *stats.SIMDWidth)
+		}
+		if *stats.SIMDKernels > 0 && (*stats.LaneFillPct <= 0 || *stats.LaneFillPct > 100) {
+			t.Fatalf("lane_fill_pct = %v out of (0, 100] with %d kernels",
+				*stats.LaneFillPct, *stats.SIMDKernels)
+		}
+	} else if *stats.SIMDWidth != 0 || *stats.LaneFillPct != 0 {
+		t.Fatalf("simd_width/lane_fill_pct = %d/%v without a kernel",
+			*stats.SIMDWidth, *stats.LaneFillPct)
 	}
 	if stats.CandGenWallMs == nil || stats.VerifyWallMs == nil {
 		t.Fatal("/stats missing cand_gen_wall_ms or verify_wall_ms")

@@ -1,16 +1,19 @@
 package core
 
 import (
-	"repro/internal/strdist"
 	"repro/internal/strdist/simd"
 	"repro/internal/token"
 )
 
-// BatchKernelAvailable reports whether the vectorized batch kernel is
-// live on this build and CPU (amd64 with AVX2, not built with
-// -tags nosimd). When false, VerifyBatch transparently verifies pair by
-// pair with the scalar engine.
+// BatchKernelAvailable reports whether the vectorized batch kernels are
+// live on this build and CPU (amd64 with AVX2 or arm64 NEON, not built
+// with -tags nosimd). When false, VerifyBatch transparently verifies
+// pair by pair with the scalar engine.
 func BatchKernelAvailable() bool { return simd.Available() }
+
+// BatchKernelWidth is the lane count of one kernel invocation — the
+// denominator of the lane-fill ratio Lanes/(Kernels*Width).
+func BatchKernelWidth() int { return simd.Width }
 
 // BatchResult is the verdict for one candidate of a batched
 // verification — the same triple Verify returns.
@@ -21,7 +24,8 @@ type BatchResult struct {
 }
 
 // BatchCounters observes the batched verification path. Callers pass
-// one to VerifyBatch (nil is allowed) and fold it into their stats.
+// one to VerifyBatch / FlushBatch (nil is allowed) and fold it into
+// their stats.
 type BatchCounters struct {
 	// Batched counts candidates verified through the batch machinery
 	// (as opposed to the per-pair scalar fallback).
@@ -29,11 +33,12 @@ type BatchCounters struct {
 	// Kernels counts vector-kernel invocations.
 	Kernels int64
 	// Lanes counts occupied kernel lanes summed over invocations; the
-	// mean lanes-per-kernel (Lanes/Kernels, out of simd.Width) is the
-	// batching efficiency.
+	// mean lane fill (Lanes/Kernels, out of simd.Width) is the batching
+	// efficiency the staging layer exists to maximize.
 	Lanes int64
 	// ScalarCells counts token-pair cells inside the batch path that
-	// fell back to the scalar DP (oversized or non-BMP tokens).
+	// fell back to the scalar DP (oversized or non-BMP tokens, or
+	// degenerate budgets).
 	ScalarCells int64
 }
 
@@ -46,67 +51,119 @@ func (b *BatchCounters) Add(o BatchCounters) {
 }
 
 const (
-	// batchMinCands is the smallest candidate list worth bucketing; a
-	// single survivor verifies scalar.
+	// batchMinCands is the smallest candidate list worth batching for a
+	// lone synchronous VerifyBatch; a single survivor verifies scalar.
+	// Staged callers (StageBatch) have no such floor — a lone candidate
+	// still shares lanes with other probes' candidates.
 	batchMinCands = 2
 	// batchMaxTokenLen routes pathologically long tokens to the scalar
-	// banded DP, which exploits the budget band the full-matrix kernel
-	// forgoes; it also keeps every DP value far below uint16 saturation.
+	// engine; it also keeps every DP value far below uint16 saturation.
 	batchMaxTokenLen = 64
 	// batchMaxBudget keeps per-lane caps inside uint16 headroom
 	// (caps+1 must not saturate); budgets this large only arise from
 	// degenerate thresholds, which verify scalar.
 	batchMaxBudget = 1<<15 - 2
-	// batchTinyBudget routes candidates with budgets this small to the
-	// scalar engine: its banded DP touches only ~2*budget+3 cells per row
-	// and its row-minima abort fires within a couple of rows, which the
-	// full-matrix kernel cannot beat no matter how full its lanes are.
-	batchTinyBudget = 1
+	// batchBandedFactor routes a cell to the banded kernel when the
+	// band sweep touches fewer cells than the full sweep: per row the
+	// banded kernel computes at most 2*cap+1 cells against lb, so
+	// banded wins exactly when 2*cap+1 < lb. With this routing the
+	// tight thresholds (T <= 0.1) that previously verified scalar ride
+	// the vector path profitably (BenchmarkVerifyBatch t=0.1).
+	batchBandedFactor = 2
+	// batchMaxStagedCells bounds the staged-cell arena; staging past it
+	// forces a flush so an unbounded AddAll batch cannot hold the whole
+	// corpus's DP cells in memory at once.
+	batchMaxStagedCells = 1 << 20
+	// batchBudgetCacheLen bounds the per-threshold budget memo: the SLD
+	// budget depends only on t and la+lb, and aggregate-length sums
+	// repeat heavily across a batch, so the boundary-snapping loops of
+	// MaxSLDWithin run once per distinct sum. Larger sums (rare) compute
+	// directly.
+	batchBudgetCacheLen = 2048
 )
 
-// batchEntry is one cost-matrix column cell source: candidate c's token
-// j (of rune length lb, 0 for scalar-routed entries).
-type batchEntry struct {
-	c  int32
-	j  int16
-	lb int16
+// cellRef is one pending token-pair DP cell: row i of staged pair p's
+// cost matrix, column j (candidate token j).
+type cellRef struct {
+	p    int32
+	i, j int16
 }
 
-// batchGroup is one kernel lane group: sortedEnts[lo:hi] all share
-// token length lb, their transposed runes live at blocks[blockOff:],
-// and caps carries each lane's pair budget (padding lanes replicate the
-// last occupied lane, keeping the kernel's all-lanes abort honest).
-type batchGroup struct {
-	lo, hi   int
-	lb       int
-	blockOff int
-	maxCap   int
-	caps     [simd.Width]uint16
+// lanePool accumulates cell jobs that can share one kernel invocation:
+// same probe-token rune length la, same candidate-token rune length lb,
+// same kernel (full or banded). Lanes freely mix cells from different
+// probes and candidates — the cross-probe batching the lane-major pair
+// layout of internal/strdist/simd exists for. Lane rune blocks are
+// packed incrementally as cells arrive, so a flush only pads and fires
+// the kernel.
+type lanePool struct {
+	la, lb  int
+	banded  bool
+	n       int // occupied lanes
+	maxCap  int
+	inDirty bool
+	refs    [simd.Width]cellRef
+	caps    [simd.Width]uint16
+	ablock  []uint16 // la*Width probe runes, lane-major
+	bblock  []uint16 // lb*Width candidate runes, lane-major
 }
 
-// batchScratch is the reusable state of VerifyBatch; like the rest of
-// the Verifier's scratch it reaches a zero-allocation steady state.
-type batchScratch struct {
-	budgets    []int
-	done       []bool
-	rowMin     []int
-	rowSum     []int
-	minTok     []int
-	cellOff    []int
-	probe      []uint16
-	probeOff   []int
-	kernelEnts []batchEntry
-	sortedEnts []batchEntry
-	scalarEnts []batchEntry
-	blocks     []uint16
-	cells      []uint16
-	groups     []batchGroup
-	krow       []uint16
-	kout       [simd.Width]uint16
+// stagedPair is one (probe, candidate) verification in flight: its DP
+// cells trickle through lane pools row by row, and the row-sum pruning
+// ledger advances each time a row's cells are all in. Rows are staged
+// one at a time, so a pair that dies never occupies another lane — the
+// lane-refill property: pools only ever hold live work.
+type stagedPair struct {
+	yRunes  [][]rune // candidate token runes, aligned with its Tokens
+	out     *BatchResult
+	tokBase int32 // first entry of this probe's token offsets in probeTokOff
+	m       int32 // probe token count
+	nc      int32 // candidate token count
+	row     int32 // current probe-token row
+	pending int32 // cells of the current row still in pools
+	cellOff int32 // this pair's m*nc cell block in the cells arena
+	budget  int32
+	rowSum  int32
+	curMin  int32 // running minimum of the current row's resolved cells
+	minTok  int32 // shortest candidate token (epsilon-row cost source)
+	done    bool
+	inReady bool
+}
+
+// BatchStager is the batched-verification engine: it accumulates
+// token-pair DP cells from staged (probe, candidate) verifications in
+// per-shape lane pools, fires a kernel whenever a pool fills its
+// simd.Width lanes, and advances each pair's pruning ledger row by row.
+// Because pools pack lanes from whatever live cells arrive — across
+// candidates and probes — dead candidates stop occupying lanes the row
+// they die, and lane fill stays near Width even when most candidates
+// prune early. One stager serves one Verifier and inherits its
+// single-goroutine discipline.
+type BatchStager struct {
+	v     *Verifier
+	pools []*lanePool // direct-indexed by (la, lb, banded)
+	dirty []*lanePool // pools holding pending lanes
+	pairs []stagedPair
+	ready []int32
+	live  int
+	ctr   BatchCounters
+
+	// Arenas, reused across epochs (reset when live returns to 0).
+	probeRunes  []uint16
+	probeTokOff []int32
+	cells       []uint16
+
+	// Per-threshold budget memo, keyed by la+lb (see batchBudgetCacheLen).
+	budgetT     float64
+	budgetCache []int32
+
+	// Kernel scratch.
+	krow []uint16
+	kout [simd.Width]uint16
 }
 
 // growSlice returns a slice of length n backed by s when possible.
-func growSlice[T int | bool | uint16 | batchEntry](s []T, n int) []T {
+func growSlice[T int | int32 | bool | uint16](s []T, n int) []T {
 	if cap(s) >= n {
 		return s[:n]
 	}
@@ -119,59 +176,436 @@ func growSlice[T int | bool | uint16 | batchEntry](s []T, n int) []T {
 	return ns
 }
 
-// narrowProbe caches the probe's tokens as uint16 runes (the kernel's
-// input width), reporting false when any token is too long or carries
-// runes outside the BMP — those probes verify scalar.
-func (bs *batchScratch) narrowProbe(x token.TokenizedString) bool {
-	bs.probe = bs.probe[:0]
-	bs.probeOff = bs.probeOff[:0]
+func (v *Verifier) stagerInit() *BatchStager {
+	if v.stager == nil {
+		v.stager = &BatchStager{
+			v:     v,
+			pools: make([]*lanePool, batchMaxTokenLen*batchMaxTokenLen*2),
+		}
+	}
+	return v.stager
+}
+
+// stageProbe narrows the probe's tokens into the rune arena, reporting
+// false when any token is too long or carries runes outside the BMP —
+// those probes verify scalar. On success it returns the index of the
+// probe's first token-offset entry.
+func (bs *BatchStager) stageProbe(x token.TokenizedString) (int32, bool) {
+	base := len(bs.probeTokOff)
+	runeBase := len(bs.probeRunes)
 	for i := 0; i < x.Count(); i++ {
 		r := x.TokenRunes(i)
 		if len(r) == 0 || len(r) > batchMaxTokenLen {
-			return false
+			bs.probeTokOff = bs.probeTokOff[:base]
+			bs.probeRunes = bs.probeRunes[:runeBase]
+			return 0, false
 		}
-		bs.probeOff = append(bs.probeOff, len(bs.probe))
+		bs.probeTokOff = append(bs.probeTokOff, int32(len(bs.probeRunes)))
 		for _, c := range r {
 			if c < 0 || c >= 0x10000 {
-				return false
+				bs.probeTokOff = bs.probeTokOff[:base]
+				bs.probeRunes = bs.probeRunes[:runeBase]
+				return 0, false
 			}
-			bs.probe = append(bs.probe, uint16(c))
+			bs.probeRunes = append(bs.probeRunes, uint16(c))
 		}
 	}
-	bs.probeOff = append(bs.probeOff, len(bs.probe))
-	return true
+	bs.probeTokOff = append(bs.probeTokOff, int32(len(bs.probeRunes)))
+	return int32(base), true
 }
 
-// kernelToken reports whether a candidate token can ride a kernel lane.
-func kernelToken(r []rune) bool {
-	if len(r) == 0 || len(r) > batchMaxTokenLen {
-		return false
+// poolFor returns the lane pool for a cell shape; la and lb are both
+// in [1, batchMaxTokenLen].
+func (bs *BatchStager) poolFor(la, lb int, banded bool) *lanePool {
+	idx := ((la-1)*batchMaxTokenLen + (lb - 1)) * 2
+	if banded {
+		idx++
 	}
-	for _, c := range r {
-		if c < 0 || c >= 0x10000 {
-			return false
+	pool := bs.pools[idx]
+	if pool == nil {
+		blocks := make([]uint16, (la+lb)*simd.Width)
+		pool = &lanePool{
+			la: la, lb: lb, banded: banded,
+			ablock: blocks[: la*simd.Width : la*simd.Width],
+			bblock: blocks[la*simd.Width:],
+		}
+		bs.pools[idx] = pool
+	}
+	return pool
+}
+
+// enqueueRow stages the current row of pair p: each cell is either
+// resolved immediately (length-pruned: LD >= |la-lb| > budget, so the
+// cell is budget+1 without any DP) or packed into a lane of its
+// shape's pool. The pending count is pre-loaded with a +1 guard so
+// eager pool flushes during the loop cannot see the row complete
+// before every cell has been enqueued.
+func (bs *BatchStager) enqueueRow(pi int32) {
+	p := &bs.pairs[pi]
+	i := p.row
+	prOff := bs.probeTokOff[p.tokBase+i]
+	la := int(bs.probeTokOff[p.tokBase+i+1] - prOff)
+	pr := bs.probeRunes[prOff : int(prOff)+la]
+	budget := p.budget
+	cap1 := budget + 1
+	cellBase := p.cellOff + i*p.nc
+	nc := p.nc
+	yRunes := p.yRunes
+	p.pending = 1   // guard
+	p.curMin = cap1 // every resolved cell is <= cap1, so this is the identity
+	for j := int32(0); j < nc; j++ {
+		cr := yRunes[j]
+		lb := len(cr)
+		d := la - lb
+		if d < 0 {
+			d = -d
+		}
+		if int32(d) > budget {
+			bs.cells[cellBase+j] = uint16(cap1)
+			continue
+		}
+		banded := batchBandedFactor*int(budget)+1 < lb
+		pool := bs.poolFor(la, lb, banded)
+		l := pool.n
+		pool.refs[l] = cellRef{p: pi, i: int16(i), j: int16(j)}
+		pool.caps[l] = uint16(budget)
+		if int(budget) > pool.maxCap {
+			pool.maxCap = int(budget)
+		}
+		ab, bb := pool.ablock, pool.bblock
+		idx := l
+		for _, r := range pr {
+			ab[idx] = r
+			idx += simd.Width
+		}
+		idx = l
+		for _, r := range cr {
+			bb[idx] = uint16(r)
+			idx += simd.Width
+		}
+		pool.n++
+		// p stays valid across the flush (bs.pairs is not appended to
+		// here), and the +1 pending guard keeps the flush from
+		// completing this row early.
+		p.pending++
+		if pool.n == simd.Width {
+			bs.flushPool(pool)
+		} else if !pool.inDirty {
+			pool.inDirty = true
+			bs.dirty = append(bs.dirty, pool)
 		}
 	}
-	return true
+	p.pending--
+	if p.pending == 0 && !p.inReady {
+		p.inReady = true
+		bs.ready = append(bs.ready, pi)
+	}
 }
 
-// VerifyBatch verifies one probe x against many candidates ys at
-// threshold t, writing per-candidate verdicts into out (len(out) must
-// equal len(ys)). Verdicts are identical to calling Verify per pair —
-// property-tested by TestSIMDEquivalenceVerifyBatch — but the token-pair
-// Levenshtein cells are computed a lane-width at a time: candidate
-// tokens are bucketed by rune length, and each bucket sweeps all
-// simd.Width lanes against the same probe token in one kernel
-// invocation. The scalar path's pruning survives batching: every cell is
-// capped at the pair budget + 1, per-row minima accumulate into the
-// assignment lower bound, and a candidate is abandoned (Pruned) the
-// moment the bound passes its budget, before the alignment runs.
-//
-// When the kernel is unavailable (BatchKernelAvailable false), the
-// batch is too small, or the probe carries oversized/non-BMP tokens,
-// every pair verifies through the scalar engine instead. ctr, when
-// non-nil, accumulates batching counters either way.
-func (v *Verifier) VerifyBatch(x token.TokenizedString, ys []*token.TokenizedString, t float64, out []BatchResult, ctr *BatchCounters) {
+// flushPool fires one kernel invocation over the pool's packed lanes,
+// writes each occupied lane's result into its pair's cell block, and
+// queues pairs whose current row just completed. Unoccupied lanes keep
+// whatever runes earlier flushes left behind; only their caps are
+// zeroed, which is all the kernel contract requires — lanes are
+// independent except for the all-dead abort, which a cap-0 stale lane
+// can only tighten toward the occupied lanes' own death (see
+// simd.LevBatch's padding note).
+func (bs *BatchStager) flushPool(pool *lanePool) {
+	n := pool.n
+	if n == 0 {
+		return
+	}
+	la, lb := pool.la, pool.lb
+	for l := n; l < simd.Width; l++ {
+		pool.caps[l] = 0
+	}
+	if pool.banded {
+		band := pool.maxCap
+		if band < 1 {
+			band = 1
+		}
+		simd.LevBandedBatch(pool.ablock, la, pool.bblock, lb, band, &pool.caps, &bs.krow, &bs.kout)
+	} else {
+		simd.LevBatch(pool.ablock, la, pool.bblock, lb, &pool.caps, &bs.krow, &bs.kout)
+	}
+	bs.ctr.Kernels++
+	bs.ctr.Lanes += int64(n)
+	pool.n = 0
+	pool.maxCap = 0
+	for l := 0; l < n; l++ {
+		ref := pool.refs[l]
+		p := &bs.pairs[ref.p]
+		p.pending--
+		out := bs.kout[l]
+		bs.cells[p.cellOff+int32(ref.i)*p.nc+int32(ref.j)] = out
+		if int32(out) < p.curMin {
+			p.curMin = int32(out)
+		}
+		if p.pending == 0 && !p.inReady {
+			p.inReady = true
+			bs.ready = append(bs.ready, ref.p)
+		}
+	}
+}
+
+// drainReady steps every pair whose current row has all cells in:
+// fold the row into the pruning ledger, then either kill the pair,
+// stage its next row, or run the final alignment. Stepping can fill
+// pools to the brim again (enqueueRow eager-flushes), which can queue
+// more ready pairs — the loop runs until quiescent.
+func (bs *BatchStager) drainReady() {
+	for len(bs.ready) > 0 {
+		pi := bs.ready[len(bs.ready)-1]
+		bs.ready = bs.ready[:len(bs.ready)-1]
+		p := &bs.pairs[pi]
+		p.inReady = false
+		if p.done {
+			continue
+		}
+		bs.finishRow(pi)
+	}
+}
+
+// finishRow folds pair pi's just-completed row into the row-sum
+// pruning ledger — exactly the scalar engine's buildCost accounting:
+// the row minimum (including the epsilon column when the candidate has
+// fewer tokens than the probe) is a lower bound on the row's
+// assignment cost, and the pair dies the moment the partial sum
+// exceeds its budget. The DP-cell part of the minimum was maintained
+// incrementally as cells resolved (curMin), so the fold is O(1).
+func (bs *BatchStager) finishRow(pi int32) {
+	p := &bs.pairs[pi]
+	i := p.row
+	cap1 := p.budget + 1
+	rowMin := p.curMin
+	if p.nc < p.m {
+		// ε columns: deleting probe token i costs la (capped).
+		eps := bs.probeTokOff[p.tokBase+i+1] - bs.probeTokOff[p.tokBase+i]
+		if eps > cap1 {
+			eps = cap1
+		}
+		if eps < rowMin {
+			rowMin = eps
+		}
+	}
+	p.rowSum += rowMin
+	if p.rowSum > p.budget {
+		*p.out = BatchResult{int(p.rowSum), false, true}
+		bs.retire(p)
+		return
+	}
+	if p.row+1 < p.m {
+		p.row++
+		bs.enqueueRow(pi)
+		return
+	}
+	bs.complete(pi)
+}
+
+// complete runs pair pi's endgame once every DP cell is in: ε rows for
+// surplus candidate tokens, then the k×k cost-matrix assembly and the
+// assignment, identical to the scalar engine's tail.
+func (bs *BatchStager) complete(pi int32) {
+	p := &bs.pairs[pi]
+	v := bs.v
+	yRunes := p.yRunes
+	m, nc := int(p.m), int(p.nc)
+	b := int(p.budget)
+	cap1 := b + 1
+	for i := m; i < nc; i++ {
+		// Growing ε into candidate tokens: the row minimum is the
+		// shortest token (capped), exactly buildCost's ε rows.
+		rm := int(p.minTok)
+		if rm > cap1 {
+			rm = cap1
+		}
+		p.rowSum += int32(rm)
+		if int(p.rowSum) > b {
+			*p.out = BatchResult{int(p.rowSum), false, true}
+			bs.retire(p)
+			return
+		}
+	}
+	k := m
+	if nc > k {
+		k = nc
+	}
+	if cap(v.cost) < k*k {
+		v.cost = make([]int, k*k, 2*k*k)
+	}
+	v.cost = v.cost[:k*k]
+	cells := bs.cells[p.cellOff:]
+	for i := 0; i < k; i++ {
+		row := v.cost[i*k : (i+1)*k]
+		if i < m {
+			for j := 0; j < nc; j++ {
+				row[j] = int(cells[i*nc+j])
+			}
+			if nc < k {
+				base := p.tokBase + int32(i)
+				eps := int(bs.probeTokOff[base+1] - bs.probeTokOff[base])
+				if eps > cap1 {
+					eps = cap1
+				}
+				for j := nc; j < k; j++ {
+					row[j] = eps
+				}
+			}
+		} else {
+			for j := 0; j < nc; j++ {
+				e := len(yRunes[j])
+				if e > cap1 {
+					e = cap1
+				}
+				row[j] = e
+			}
+		}
+	}
+	var total int
+	var ok, early bool
+	if v.Greedy {
+		total, ok, early = v.scratch.GreedyFlat(v.cost, k, b)
+	} else {
+		total, ok, early = v.scratch.HungarianFlat(v.cost, k, b)
+	}
+	*p.out = BatchResult{total, ok, !ok && early}
+	bs.retire(p)
+}
+
+// retire marks a pair finished and resets the arenas once no staged
+// work remains.
+func (bs *BatchStager) retire(p *stagedPair) {
+	p.done = true
+	bs.live--
+	if bs.live == 0 && len(bs.ready) == 0 {
+		bs.pairs = bs.pairs[:0]
+		bs.probeRunes = bs.probeRunes[:0]
+		bs.probeTokOff = bs.probeTokOff[:0]
+		bs.cells = bs.cells[:0]
+	}
+}
+
+// budgetFor is MaxSLDWithin(t, la, lb) through a per-threshold memo:
+// the budget depends only on t and la+lb, and length sums repeat
+// heavily across a batch, so the threshold-boundary snapping runs once
+// per distinct sum.
+func (bs *BatchStager) budgetFor(t float64, sum int) int {
+	if sum >= batchBudgetCacheLen {
+		return MaxSLDWithin(t, sum, 0)
+	}
+	if bs.budgetT != t || len(bs.budgetCache) == 0 {
+		bs.budgetCache = growSlice(bs.budgetCache, batchBudgetCacheLen)
+		for i := range bs.budgetCache {
+			bs.budgetCache[i] = -1
+		}
+		bs.budgetT = t
+	}
+	if b := bs.budgetCache[sum]; b >= 0 {
+		return int(b)
+	}
+	b := MaxSLDWithin(t, sum, 0)
+	bs.budgetCache[sum] = int32(b)
+	return b
+}
+
+// stage registers probe x's candidates with the stager. Trivial and
+// kernel-ineligible candidates resolve immediately through the scalar
+// engine; the rest start their first row. The caller's out backing
+// array must stay addressable until the next flush.
+func (bs *BatchStager) stage(x token.TokenizedString, tokBase int32, ys []*token.TokenizedString, t float64, out []BatchResult) {
+	v := bs.v
+	m := x.Count()
+	lx := x.AggregateLen()
+	bs.ctr.Batched += int64(len(ys))
+	for c, y := range ys {
+		b := bs.budgetFor(t, lx+y.AggregateLen())
+		yRunes := y.RuneSlices()
+		nc := len(yRunes)
+		if nc == 0 {
+			out[c] = BatchResult{lx, lx <= b, false}
+			continue
+		}
+		// Budget-0 pairs reduce to token equality scans; the scalar
+		// engine's capped DP resolves those faster than lane staging.
+		// Kernel eligibility reads the construction-time caches: the
+		// BMP flag plus the ends of the sorted length histogram.
+		scalar := b == 0 || b > batchMaxBudget || !y.BMPOnly()
+		var minTok int32
+		if !scalar {
+			hist := y.LengthHistogram()
+			if hist[nc-1] > batchMaxTokenLen {
+				scalar = true
+			} else {
+				minTok = int32(hist[0])
+			}
+		}
+		if scalar {
+			sld, within, pruned := v.verify(x, *y, nil, nil, b)
+			out[c] = BatchResult{sld, within, pruned}
+			bs.ctr.ScalarCells += int64(m * nc)
+			continue
+		}
+		need := len(bs.cells) + m*nc
+		bs.cells = growSlice(bs.cells, need)
+		pi := int32(len(bs.pairs))
+		if cap(bs.pairs) > len(bs.pairs) {
+			bs.pairs = bs.pairs[:pi+1]
+		} else {
+			bs.pairs = append(bs.pairs, stagedPair{})
+		}
+		p := &bs.pairs[pi]
+		p.yRunes = yRunes
+		p.out = &out[c]
+		p.tokBase = tokBase
+		p.m = int32(m)
+		p.nc = int32(nc)
+		p.row = 0
+		p.pending = 0
+		p.cellOff = int32(need - m*nc)
+		p.budget = int32(b)
+		p.rowSum = 0
+		p.curMin = 0
+		p.minTok = minTok
+		p.done = false
+		p.inReady = false
+		bs.live++
+		bs.enqueueRow(pi)
+	}
+	bs.drainReady()
+}
+
+// flush forces every staged pair to a verdict: fire pending pools in
+// the order they dirtied (oldest pools have had the longest to fill),
+// stepping completed rows after each shot — which refills pools with
+// live follow-on rows and re-appends them to the dirty queue, so the
+// sweep keeps firing until no staged work remains. Progress is
+// guaranteed — every live pair either sits in the ready queue or holds
+// at least one cell in some dirty pool.
+func (bs *BatchStager) flush() {
+	bs.drainReady()
+	for i := 0; i < len(bs.dirty); i++ {
+		pool := bs.dirty[i]
+		// Clear the mark before firing: stepping rows below may push new
+		// cells into this same pool, and those must re-queue it.
+		pool.inDirty = false
+		if pool.n == 0 {
+			continue
+		}
+		bs.flushPool(pool)
+		bs.drainReady()
+	}
+	bs.dirty = bs.dirty[:0]
+}
+
+// StageBatch stages probe x's candidates for batched verification
+// without forcing a verdict: surviving token-pair cells pool in the
+// stager's lanes alongside previously staged probes, and verdicts are
+// written into out — some immediately, the rest by the time FlushBatch
+// returns. The out backing array (and ys's tokenized strings) must
+// stay addressable until then. Verdicts are identical to Verify pair
+// by pair. When the kernel is unavailable or the probe is
+// kernel-ineligible, every pair resolves scalar immediately.
+func (v *Verifier) StageBatch(x token.TokenizedString, ys []*token.TokenizedString, t float64, out []BatchResult) {
 	if len(ys) == 0 {
 		return
 	}
@@ -181,293 +615,64 @@ func (v *Verifier) VerifyBatch(x token.TokenizedString, ys []*token.TokenizedStr
 		}
 		return
 	}
-	if v.DisableBatch || !simd.Available() || len(ys) < batchMinCands || x.Count() == 0 {
+	if v.DisableBatch || !simd.Available() || x.Count() == 0 {
 		v.verifyBatchScalar(x, ys, t, out)
 		return
 	}
-	if v.bs == nil {
-		v.bs = &batchScratch{}
-	}
-	bs := v.bs
-	if !bs.narrowProbe(x) {
+	bs := v.stagerInit()
+	tokBase, ok := bs.stageProbe(x)
+	if !ok {
 		v.verifyBatchScalar(x, ys, t, out)
 		return
 	}
+	bs.stage(x, tokBase, ys, t, out)
+	if len(bs.cells) > batchMaxStagedCells {
+		bs.flush()
+	}
+}
 
-	n := len(ys)
-	m := x.Count()
-	lx := x.AggregateLen()
+// FlushBatch drives every verdict staged by StageBatch to completion
+// and folds the stager's counters into ctr (when non-nil).
+func (v *Verifier) FlushBatch(ctr *BatchCounters) {
+	if v.stager == nil {
+		return
+	}
+	v.stager.flush()
 	if ctr != nil {
-		ctr.Batched += int64(n)
+		ctr.Add(v.stager.ctr)
 	}
+	v.stager.ctr = BatchCounters{}
+}
 
-	// ---- Per-candidate budgets, trivial cases, cell bucketing -----------
-	bs.budgets = growSlice(bs.budgets, n)
-	bs.done = growSlice(bs.done, n)
-	bs.rowMin = growSlice(bs.rowMin, n)
-	bs.rowSum = growSlice(bs.rowSum, n)
-	bs.minTok = growSlice(bs.minTok, n)
-	bs.cellOff = growSlice(bs.cellOff, n)
-	bs.kernelEnts = bs.kernelEnts[:0]
-	bs.scalarEnts = bs.scalarEnts[:0]
-	cellTotal := 0
-	for c, y := range ys {
-		bs.done[c] = false
-		bs.rowSum[c] = 0
-		b := MaxSLDWithin(t, lx, y.AggregateLen())
-		bs.budgets[c] = b
-		if y.Count() == 0 {
-			out[c] = BatchResult{lx, lx <= b, false}
-			bs.done[c] = true
-			continue
-		}
-		if b > batchMaxBudget || b <= batchTinyBudget {
-			sld, within, pruned := v.verify(x, *y, nil, nil, b)
-			out[c] = BatchResult{sld, within, pruned}
-			bs.done[c] = true
-			continue
-		}
-		bs.cellOff[c] = cellTotal
-		cellTotal += m * y.Count()
-		minTok := int(^uint(0) >> 2)
-		for j := 0; j < y.Count(); j++ {
-			r := y.TokenRunes(j)
-			if len(r) < minTok {
-				minTok = len(r)
-			}
-			if kernelToken(r) {
-				bs.kernelEnts = append(bs.kernelEnts, batchEntry{c: int32(c), j: int16(j), lb: int16(len(r))})
-			} else {
-				bs.scalarEnts = append(bs.scalarEnts, batchEntry{c: int32(c), j: int16(j)})
-			}
-		}
-		bs.minTok[c] = minTok
+// VerifyBatch verifies one probe x against many candidates ys at
+// threshold t, writing per-candidate verdicts into out (len(out) must
+// equal len(ys)). Verdicts are identical to calling Verify per pair —
+// property-tested by TestSIMDEquivalenceVerifyBatch — but the
+// token-pair Levenshtein cells are computed a lane-width at a time
+// through the staging engine: cells pool by (probe-token length,
+// candidate-token length, kernel) shape, cross-candidate and
+// cross-probe, and each pair's rows stage lazily so candidates that
+// die under the row-sum pruning bound stop occupying lanes. Cells
+// whose budget is small against the candidate token (2*budget+1 < lb)
+// ride the banded kernel, which sweeps only the diagonal band.
+//
+// When the kernel is unavailable (BatchKernelAvailable false), the
+// batch is too small, or the probe carries oversized/non-BMP tokens,
+// every pair verifies through the scalar engine instead. ctr, when
+// non-nil, accumulates batching counters either way.
+//
+// VerifyBatch flushes the stager: any verdicts staged earlier through
+// StageBatch are completed as a side effect.
+func (v *Verifier) VerifyBatch(x token.TokenizedString, ys []*token.TokenizedString, t float64, out []BatchResult, ctr *BatchCounters) {
+	if len(ys) == 0 {
+		return
 	}
-	bs.cells = growSlice(bs.cells, cellTotal)
-
-	// ---- Length-sort the kernel cells and carve lane groups -------------
-	// Counting sort by lb: tiny, stable, allocation-free.
-	var count [batchMaxTokenLen + 1]int32
-	for _, e := range bs.kernelEnts {
-		count[e.lb]++
+	if t >= 0 && (v.DisableBatch || !simd.Available() || len(ys) < batchMinCands || x.Count() == 0) {
+		v.verifyBatchScalar(x, ys, t, out)
+		return
 	}
-	pos := int32(0)
-	for lb := range count {
-		c := count[lb]
-		count[lb] = pos
-		pos += c
-	}
-	bs.sortedEnts = growSlice(bs.sortedEnts, len(bs.kernelEnts))
-	for _, e := range bs.kernelEnts {
-		bs.sortedEnts[count[e.lb]] = e
-		count[e.lb]++
-	}
-
-	bs.groups = bs.groups[:0]
-	bs.blocks = bs.blocks[:0]
-	for lo := 0; lo < len(bs.sortedEnts); {
-		lb := int(bs.sortedEnts[lo].lb)
-		hi := lo + 1
-		for hi < len(bs.sortedEnts) && int(bs.sortedEnts[hi].lb) == lb && hi-lo < simd.Width {
-			hi++
-		}
-		g := batchGroup{lo: lo, hi: hi, lb: lb, blockOff: len(bs.blocks)}
-		base := g.blockOff
-		bs.blocks = growSlice(bs.blocks, base+lb*simd.Width)
-		for idx := lo; idx < hi; idx++ {
-			e := bs.sortedEnts[idx]
-			l := idx - lo
-			for jj, rn := range ys[e.c].TokenRunes(int(e.j)) {
-				bs.blocks[base+jj*simd.Width+l] = uint16(rn)
-			}
-			cp := bs.budgets[e.c]
-			g.caps[l] = uint16(cp)
-			if cp > g.maxCap {
-				g.maxCap = cp
-			}
-		}
-		// Pad unoccupied lanes by replicating the last occupied one so
-		// the kernel's all-lanes abort only ever sees real data.
-		last := hi - lo - 1
-		for l := hi - lo; l < simd.Width; l++ {
-			for jj := 0; jj < lb; jj++ {
-				bs.blocks[base+jj*simd.Width+l] = bs.blocks[base+jj*simd.Width+last]
-			}
-			g.caps[l] = g.caps[last]
-		}
-		bs.groups = append(bs.groups, g)
-		lo = hi
-	}
-
-	// ---- Row sweep: one kernel invocation per (probe token, group) ------
-	// Mirrors buildCost row by row: cells capped at budget+1, per-row
-	// minima accumulate the assignment lower bound, candidates die the
-	// row the bound passes their budget (identical partial sums).
-	const inf = int(^uint(0) >> 2)
-	for i := 0; i < m; i++ {
-		la := bs.probeOff[i+1] - bs.probeOff[i]
-		probeTok := bs.probe[bs.probeOff[i]:bs.probeOff[i+1]]
-		for c := range ys {
-			if !bs.done[c] {
-				bs.rowMin[c] = inf
-			}
-		}
-		for gi := range bs.groups {
-			g := &bs.groups[gi]
-			allDone := true
-			for idx := g.lo; idx < g.hi; idx++ {
-				if !bs.done[bs.sortedEnts[idx].c] {
-					allDone = false
-					break
-				}
-			}
-			if allDone {
-				continue
-			}
-			d := la - g.lb
-			if d < 0 {
-				d = -d
-			}
-			if d > g.maxCap {
-				// Every lane is length-pruned: LD >= |la-lb| > cap, so
-				// each cell is its cap+1 without touching the kernel.
-				for idx := g.lo; idx < g.hi; idx++ {
-					e := bs.sortedEnts[idx]
-					if bs.done[e.c] {
-						continue
-					}
-					cell := bs.budgets[e.c] + 1
-					bs.cells[bs.cellOff[e.c]+i*ys[e.c].Count()+int(e.j)] = uint16(cell)
-					if cell < bs.rowMin[e.c] {
-						bs.rowMin[e.c] = cell
-					}
-				}
-				continue
-			}
-			simd.LevBatch16(probeTok, bs.blocks[g.blockOff:g.blockOff+g.lb*simd.Width], g.lb, &g.caps, &bs.krow, &bs.kout)
-			if ctr != nil {
-				ctr.Kernels++
-				ctr.Lanes += int64(g.hi - g.lo)
-			}
-			for idx := g.lo; idx < g.hi; idx++ {
-				e := bs.sortedEnts[idx]
-				if bs.done[e.c] {
-					continue
-				}
-				cell := int(bs.kout[idx-g.lo])
-				bs.cells[bs.cellOff[e.c]+i*ys[e.c].Count()+int(e.j)] = uint16(cell)
-				if cell < bs.rowMin[e.c] {
-					bs.rowMin[e.c] = cell
-				}
-			}
-		}
-		if len(bs.scalarEnts) > 0 {
-			xr := x.TokenRunes(i)
-			for _, e := range bs.scalarEnts {
-				if bs.done[e.c] {
-					continue
-				}
-				d, _ := strdist.LevenshteinBoundedScratchU16(xr, ys[e.c].TokenRunes(int(e.j)), bs.budgets[e.c], &v.levRow)
-				bs.cells[bs.cellOff[e.c]+i*ys[e.c].Count()+int(e.j)] = uint16(d)
-				if d < bs.rowMin[e.c] {
-					bs.rowMin[e.c] = d
-				}
-				if ctr != nil {
-					ctr.ScalarCells++
-				}
-			}
-		}
-		for c, y := range ys {
-			if bs.done[c] {
-				continue
-			}
-			rm := bs.rowMin[c]
-			if y.Count() < m {
-				// ε columns: deleting probe token i costs la (capped).
-				eps := la
-				if cap1 := bs.budgets[c] + 1; eps > cap1 {
-					eps = cap1
-				}
-				if eps < rm {
-					rm = eps
-				}
-			}
-			bs.rowSum[c] += rm
-			if bs.rowSum[c] > bs.budgets[c] {
-				out[c] = BatchResult{bs.rowSum[c], false, true}
-				bs.done[c] = true
-			}
-		}
-	}
-
-	// ---- ε rows, matrix assembly, alignment -----------------------------
-	for c, y := range ys {
-		if bs.done[c] {
-			continue
-		}
-		nc := y.Count()
-		b := bs.budgets[c]
-		cap1 := b + 1
-		for i := m; i < nc; i++ {
-			// Growing ε into candidate tokens: the row minimum is the
-			// shortest token (capped), exactly buildCost's ε rows.
-			rm := bs.minTok[c]
-			if rm > cap1 {
-				rm = cap1
-			}
-			bs.rowSum[c] += rm
-			if bs.rowSum[c] > b {
-				out[c] = BatchResult{bs.rowSum[c], false, true}
-				bs.done[c] = true
-				break
-			}
-		}
-		if bs.done[c] {
-			continue
-		}
-		k := m
-		if nc > k {
-			k = nc
-		}
-		if cap(v.cost) < k*k {
-			v.cost = make([]int, k*k, 2*k*k)
-		}
-		v.cost = v.cost[:k*k]
-		cells := bs.cells[bs.cellOff[c]:]
-		for i := 0; i < k; i++ {
-			row := v.cost[i*k : (i+1)*k]
-			if i < m {
-				for j := 0; j < nc; j++ {
-					row[j] = int(cells[i*nc+j])
-				}
-				if nc < k {
-					eps := bs.probeOff[i+1] - bs.probeOff[i]
-					if eps > cap1 {
-						eps = cap1
-					}
-					for j := nc; j < k; j++ {
-						row[j] = eps
-					}
-				}
-			} else {
-				for j := 0; j < nc; j++ {
-					e := len(y.TokenRunes(j))
-					if e > cap1 {
-						e = cap1
-					}
-					row[j] = e
-				}
-			}
-		}
-		var total int
-		var ok, early bool
-		if v.Greedy {
-			total, ok, early = v.scratch.GreedyFlat(v.cost, k, b)
-		} else {
-			total, ok, early = v.scratch.HungarianFlat(v.cost, k, b)
-		}
-		out[c] = BatchResult{total, ok, !ok && early}
-	}
+	v.StageBatch(x, ys, t, out)
+	v.FlushBatch(ctr)
 }
 
 // verifyBatchScalar is the per-pair fallback with verdict parity.

@@ -84,10 +84,91 @@ func TestSIMDEquivalenceVerifyBatch(t *testing.T) {
 						iter, th, c, outG[c], wantG)
 				}
 			}
-			if ctr.Lanes > int64(ctr.Kernels)*int64(16) {
+			if ctr.Lanes > int64(ctr.Kernels)*int64(BatchKernelWidth()) {
 				t.Fatalf("counter incoherence: %d lanes over %d kernels", ctr.Lanes, ctr.Kernels)
 			}
 		}
+	}
+}
+
+// TestSIMDEquivalenceStagedBatch drives the cross-probe staging API:
+// many probes staged through one Verifier before a single flush, with
+// verdicts checked against per-pair scalar Verify. This is the shape
+// the stream reducer and batched AddAll run, where lanes mix cells
+// from different probes; the CI equivalence guard keeps it un-skipped.
+func TestSIMDEquivalenceStagedBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	var sv Verifier
+	for iter := 0; iter < 60; iter++ {
+		var v Verifier
+		th := []float64{0, 0.05, 0.1, 0.3, 0.5, 1.0}[rng.Intn(6)]
+		np := 1 + rng.Intn(8)
+		probes := make([]token.TokenizedString, np)
+		cands := make([][]*token.TokenizedString, np)
+		outs := make([][]BatchResult, np)
+		for p := range probes {
+			probes[p] = batchRandTS(rng, true)
+			nc := 1 + rng.Intn(10)
+			cands[p] = make([]*token.TokenizedString, nc)
+			for c := range cands[p] {
+				ts := batchRandTS(rng, true)
+				cands[p][c] = &ts
+			}
+			outs[p] = make([]BatchResult, nc)
+			v.StageBatch(probes[p], cands[p], th, outs[p])
+		}
+		var ctr BatchCounters
+		v.FlushBatch(&ctr)
+		for p := range probes {
+			for c, y := range cands[p] {
+				sld, within, pruned := sv.Verify(probes[p], *y, th)
+				if want := (BatchResult{sld, within, pruned}); outs[p][c] != want {
+					t.Fatalf("iter %d t=%.2f probe %d cand %d: staged %+v != scalar %+v (probe %v cand %v)",
+						iter, th, p, c, outs[p][c], want, probes[p].Tokens, y.Tokens)
+				}
+			}
+		}
+		if ctr.Lanes > int64(ctr.Kernels)*int64(BatchKernelWidth()) {
+			t.Fatalf("counter incoherence: %d lanes over %d kernels", ctr.Lanes, ctr.Kernels)
+		}
+	}
+}
+
+// TestBatchLaneFill pins the point of cross-probe staging: over a
+// bench-shaped corpus the mean kernel lane fill must stay near Width —
+// at least 14/16 of lanes occupied — because pools pack lanes from
+// live cells across probes instead of sweeping per-probe remainders.
+func TestBatchLaneFill(t *testing.T) {
+	if !BatchKernelAvailable() {
+		t.Skip("batch kernel unavailable; staging is bypassed")
+	}
+	rng := rand.New(rand.NewSource(99))
+	var v Verifier
+	outs := make([][]BatchResult, 0, 600)
+	for p := 0; p < 600; p++ {
+		probe := batchRandTS(rng, false)
+		for probe.Count() == 0 {
+			probe = batchRandTS(rng, false)
+		}
+		nc := 1 + rng.Intn(12)
+		ys := make([]*token.TokenizedString, nc)
+		for c := range ys {
+			ts := batchRandTS(rng, false)
+			ys[c] = &ts
+		}
+		out := make([]BatchResult, nc)
+		outs = append(outs, out)
+		v.StageBatch(probe, ys, 0.3, out)
+	}
+	var ctr BatchCounters
+	v.FlushBatch(&ctr)
+	if ctr.Kernels == 0 {
+		t.Fatal("no kernel invocations over a 600-probe corpus")
+	}
+	fill := float64(ctr.Lanes) / (float64(ctr.Kernels) * float64(BatchKernelWidth()))
+	t.Logf("lane fill: %d lanes / %d kernels = %.3f (width %d)", ctr.Lanes, ctr.Kernels, fill, BatchKernelWidth())
+	if fill < 14.0/16.0 {
+		t.Fatalf("lane fill %.3f below 14/16: staging is not refilling lanes", fill)
 	}
 }
 

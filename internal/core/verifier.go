@@ -81,7 +81,7 @@ type Verifier struct {
 	cost    []int    // flattened k x k cost matrix
 	levRow  []uint16 // Levenshtein DP row (token lengths fit uint16)
 	scratch assignment.Scratch
-	bs      *batchScratch // VerifyBatch state, lazily allocated
+	stager  *BatchStager // batched-verification engine, lazily allocated
 }
 
 // Verify decides NSLD(x, y) <= t with the threshold-derived budget.

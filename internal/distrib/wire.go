@@ -23,6 +23,7 @@ package distrib
 import (
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/stream"
 )
 
@@ -160,16 +161,33 @@ type WorkerStats struct {
 	SIMDKernels      int64 `json:"simd_kernels"`
 	SIMDLanes        int64 `json:"simd_lanes"`
 	BatchScalarCells int64 `json:"batch_scalar_cells"`
+	// SIMDWidth is this node's kernel lane width (16 on AVX2, 8 on NEON,
+	// 0 without a live kernel); LaneFillPct is the mean occupied-lane
+	// percentage SIMDLanes/(SIMDKernels*SIMDWidth)*100 — the batching
+	// efficiency the cross-probe staging layer exists to maximize. Both
+	// are derived at snapshot time, never folded.
+	SIMDWidth   int     `json:"simd_width"`
+	LaneFillPct float64 `json:"lane_fill_pct"`
 	// Wall times in milliseconds so dashboards need no duration parsing.
 	CandGenWallMs  float64 `json:"cand_gen_wall_ms"`
 	VerifyWallMs   float64 `json:"verify_wall_ms"`
 	TokensPerShard []int   `json:"tokens_per_shard"`
 }
 
-// FromShardedStats converts a matcher snapshot to the wire form.
+// FromShardedStats converts a matcher snapshot to the wire form,
+// deriving the lane-fill efficiency of the batched verify path.
 func FromShardedStats(st stream.ShardedStats) WorkerStats {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	width := 0
+	if core.BatchKernelAvailable() {
+		width = core.BatchKernelWidth()
+	}
+	fill := 0.0
+	if st.SIMDKernels > 0 && width > 0 {
+		fill = 100 * float64(st.SIMDLanes) / (float64(st.SIMDKernels) * float64(width))
+	}
 	return WorkerStats{
+		SIMDWidth: width, LaneFillPct: fill,
 		Strings: st.Strings, Shards: st.Shards,
 		Adds: st.Adds, Queries: st.Queries, Verified: st.Verified,
 		BudgetPruned: st.BudgetPruned, PrefixPruned: st.PrefixPruned,

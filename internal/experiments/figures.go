@@ -343,7 +343,8 @@ func Funnel(w Workload) *Table {
 		ID:    "funnel",
 		Title: "Candidate filter funnel vs NSLD threshold T (default join configuration)",
 		Header: []string{"T", "generated(no-prefix)", "generated(prefix)", "prefix-pruned",
-			"seg-pruned", "deduped", "len-pruned", "lb-pruned", "verified", "budget-pruned", "results"},
+			"seg-pruned", "deduped", "len-pruned", "lb-pruned", "verified", "budget-pruned", "results",
+			"lane-fill%"},
 	}
 	for _, T := range Thresholds {
 		opts := tsj.DefaultOptions()
@@ -362,16 +363,22 @@ func Funnel(w Workload) *Table {
 		if err != nil {
 			panic(err)
 		}
+		laneFill := "n/a"
+		if st.SIMDKernels > 0 {
+			laneFill = fmt.Sprintf("%.1f",
+				100*float64(st.SIMDLanes)/(float64(st.SIMDKernels)*float64(core.BatchKernelWidth())))
+		}
 		t.AddRow(T,
 			plain.SharedTokenCandidates+plain.SimilarTokenCandidates,
 			st.SharedTokenCandidates+st.SimilarTokenCandidates,
 			st.PrefixPruned, st.SegPrefixPruned, st.DedupedCandidates, st.LengthPruned, st.LBPruned,
-			st.Verified, st.BudgetPruned, st.Results)
+			st.Verified, st.BudgetPruned, st.Results, laneFill)
 	}
 	t.Notes = append(t.Notes,
 		"generated counts raw shared+similar candidate records before dedup; both runs return identical results",
 		"prefix-pruned counts pairs rejected by the positional/length filters at their first common prefix token",
 		"seg-pruned counts posting entries the segment prefix filter excluded from the similar-token expansion",
+		"lane-fill% is occupied kernel lanes over capacity in the batched verify stage (n/a without a live kernel)",
 	)
 	return t
 }

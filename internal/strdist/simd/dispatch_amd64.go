@@ -2,20 +2,30 @@
 
 package simd
 
-// Available reports whether the vectorized batch kernel is live: AVX2
-// detected at init and the build not forced scalar with -tags nosimd.
+// Available reports whether the batched kernels run vectorized on this
+// CPU. On amd64 both kernels require AVX2 (detected once at init via
+// CPUID); without it every call falls back to the portable kernels,
+// which produce identical bytes.
 func Available() bool { return hasAVX2 }
 
-// levBatch16AVX2 is the assembly kernel (lev_amd64.s). See LevBatch16
-// for the contract; row must hold Width*(lb+1) uint16s.
-//
 //go:noescape
-func levBatch16AVX2(probe *uint16, la int, cand *uint16, lb int, caps *uint16, row *uint16, out *uint16)
+func levBatchAVX2(a *uint16, la int, b *uint16, lb int, caps *uint16, row *uint16, out *uint16)
 
-func levBatch16(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+//go:noescape
+func levBandedBatchAVX2(a *uint16, la int, b *uint16, lb int, band int, caps *uint16, row *uint16, out *uint16)
+
+func levBatch(a []uint16, la int, b []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
 	if !hasAVX2 {
-		levBatch16Generic(probe, cand, lb, caps, row, out)
+		levBatchGeneric(a, la, b, lb, caps, row, out)
 		return
 	}
-	levBatch16AVX2(&probe[0], len(probe), &cand[0], lb, &caps[0], &row[0], &out[0])
+	levBatchAVX2(&a[0], la, &b[0], lb, &caps[0], &row[0], &out[0])
+}
+
+func levBandedBatch(a []uint16, la int, b []uint16, lb int, band int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	if !hasAVX2 {
+		levBandedBatchGeneric(a, la, b, lb, band, caps, row, out)
+		return
+	}
+	levBandedBatchAVX2(&a[0], la, &b[0], lb, band, &caps[0], &row[0], &out[0])
 }

@@ -1,0 +1,22 @@
+//go:build arm64 && !nosimd
+
+package simd
+
+// Available reports whether the batched kernels run vectorized. NEON
+// (ASIMD) is architectural on arm64 — every core Go targets has it —
+// so no runtime detection is needed.
+func Available() bool { return true }
+
+//go:noescape
+func levBatchNEON(a *uint16, la int, b *uint16, lb int, caps *uint16, row *uint16, out *uint16)
+
+func levBatch(a []uint16, la int, b []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	levBatchNEON(&a[0], la, &b[0], lb, &caps[0], &row[0], &out[0])
+}
+
+// The banded kernel has no NEON port yet; the portable kernel still
+// wins over the full sweep for band << lb by touching a fraction of
+// the cells, and produces the same bytes by construction.
+func levBandedBatch(a []uint16, la int, b []uint16, lb int, band int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	levBandedBatchGeneric(a, la, b, lb, band, caps, row, out)
+}

@@ -1,11 +1,19 @@
-//go:build !amd64 || nosimd
+//go:build (!amd64 && !arm64) || nosimd
 
 package simd
 
-// Available reports whether the vectorized batch kernel is live. This
-// build (non-amd64, or -tags nosimd) always runs the portable kernel.
+// Available reports whether the batched kernels run vectorized: never
+// in this configuration (no assembly kernel for the architecture, or
+// an explicit -tags nosimd build). The portable kernels below are
+// bit-identical to the assembly, so callers may still batch — it is a
+// throughput question, not a correctness one — but routing heuristics
+// that only pay off vectorized should consult this.
 func Available() bool { return false }
 
-func levBatch16(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
-	levBatch16Generic(probe, cand, lb, caps, row, out)
+func levBatch(a []uint16, la int, b []uint16, lb int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	levBatchGeneric(a, la, b, lb, caps, row, out)
+}
+
+func levBandedBatch(a []uint16, la int, b []uint16, lb int, band int, caps *[Width]uint16, row []uint16, out *[Width]uint16) {
+	levBandedBatchGeneric(a, la, b, lb, band, caps, row, out)
 }

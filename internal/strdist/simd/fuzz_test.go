@@ -6,27 +6,29 @@ import (
 	"repro/internal/strdist"
 )
 
-// sanitizeLanes turns arbitrary fuzz strings into a kernel-legal lane
-// group: BMP-only runes, equal candidate lengths (by repeating b's
-// runes cyclically with a per-lane mutation), bounded sizes.
-func sanitizeLanes(a, b string, capSeed uint16) (probe []rune, cands [][]rune, caps []int, ok bool) {
-	probe = keepBMP([]rune(a), 32)
-	base := keepBMP([]rune(b), 32)
-	if len(probe) == 0 || len(base) == 0 {
-		return nil, nil, nil, false
+// sanitizePairs turns arbitrary fuzz strings into a kernel-legal lane
+// group: BMP-only runes, shared side lengths (by cyclic per-lane
+// mutation of both the probe and candidate base strings, so lanes hold
+// genuinely distinct pairs — the cross-probe shape), bounded sizes.
+func sanitizePairs(a, b string, capSeed uint16) (pairs []lanePair, la, lb int, ok bool) {
+	pa := keepBMP([]rune(a), 32)
+	pb := keepBMP([]rune(b), 32)
+	if len(pa) == 0 || len(pb) == 0 {
+		return nil, 0, 0, false
 	}
-	cands = make([][]rune, Width)
-	caps = make([]int, Width)
+	pairs = make([]lanePair, Width)
 	for l := 0; l < Width; l++ {
-		c := make([]rune, len(base))
-		copy(c, base)
+		p := make([]rune, len(pa))
+		copy(p, pa)
+		p[l%len(p)] = rune('b' + l)
+		c := make([]rune, len(pb))
+		copy(c, pb)
 		// Deterministic per-lane mutation keeps lanes distinct without
-		// changing the length.
+		// changing the lengths.
 		c[l%len(c)] = rune('a' + l)
-		cands[l] = c
-		caps[l] = int((capSeed + uint16(l)*3) % 48)
+		pairs[l] = lanePair{probe: p, cand: c, cap: int((capSeed + uint16(l)*3) % 48)}
 	}
-	return probe, cands, caps, true
+	return pairs, len(pa), len(pb), true
 }
 
 func keepBMP(rs []rune, max int) []rune {
@@ -42,10 +44,16 @@ func keepBMP(rs []rune, max int) []rune {
 	return out
 }
 
-// FuzzLevenshteinSIMDEquivalence asserts the dispatched kernel (AVX2
-// assembly where available) and the portable reference both equal the
-// scalar DP, lane for lane, on arbitrary rune pairs and caps. The
-// checked-in seeds double as a regression corpus in plain `go test`.
+// FuzzLevenshteinSIMDEquivalence asserts the dispatched kernels (the
+// assembly where available) and the portable references all equal the
+// scalar DP, lane for lane, on arbitrary rune pairs and caps — the
+// full kernel always, the banded kernel whenever its preconditions
+// (caps <= band, |la-lb| <= band) can be met, in which case the two
+// kernels must also agree with each other bit for bit. The checked-in
+// seeds double as a regression corpus in plain `go test`; the last
+// three are refill-heavy shapes (most lanes dead almost immediately,
+// a few alive) that stress the staging layer's lane-compaction seeds
+// and the all-lanes abort boundary.
 func FuzzLevenshteinSIMDEquivalence(f *testing.F) {
 	f.Add("barak obama", "obama barack", uint16(3))
 	f.Add("kernel", "colonel", uint16(0))
@@ -53,30 +61,53 @@ func FuzzLevenshteinSIMDEquivalence(f *testing.F) {
 	f.Add("é✓ürich", "zurich", uint16(5))
 	f.Add("x", "y", uint16(40))
 	f.Add("mississippi", "mississippi", uint16(2))
+	f.Add("qqqqqqqqqqqq", "zzzzzzzzzzzz", uint16(46)) // caps cycle through 0 on some lanes
+	f.Add("abcdefghijkl", "mnopqrstuvwx", uint16(45)) // all-distant, tiny caps: abort rows
+	f.Add("aaaaaaaaaaaaaaaa", "aaaaaaaaaaaaaaab", uint16(47))
 	f.Fuzz(func(t *testing.T, a, b string, capSeed uint16) {
-		probe, cands, caps, ok := sanitizeLanes(a, b, capSeed)
+		pairs, la, lb, ok := sanitizePairs(a, b, capSeed)
 		if !ok {
 			return
 		}
-		lb := len(cands[0])
-		block, capv := buildLanes(cands, lb, caps)
+		ab, bb, capv := buildPairLanes(pairs, la, lb)
 		var row, row2 []uint16
 		var out, out2 [Width]uint16
-		LevBatch16(narrow(probe), block, lb, &capv, &row, &out)
-		levBatch16Generic(narrow(probe), block, lb, &capv, growTestRow(&row2, lb), &out2)
+		LevBatch(ab, la, bb, lb, &capv, &row, &out)
+		levBatchGeneric(ab, la, bb, lb, &capv, growTestRow(&row2, lb), &out2)
 		if out != out2 {
 			t.Fatalf("dispatched %v != generic %v (probe %q base %q)", out, out2, a, b)
 		}
 		for l := 0; l < Width; l++ {
-			d := strdist.LevenshteinRunes(probe, cands[l])
+			d := strdist.LevenshteinRunes(pairs[l].probe, pairs[l].cand)
 			want := d
-			if want > caps[l] {
-				want = caps[l] + 1
+			if want > pairs[l].cap {
+				want = pairs[l].cap + 1
 			}
 			if int(out[l]) != want {
 				t.Fatalf("lane %d: kernel %d, want min(LD=%d, cap=%d + 1) (probe %q cand %q)",
-					l, out[l], d, caps[l], string(probe), string(cands[l]))
+					l, out[l], d, pairs[l].cap, string(pairs[l].probe), string(pairs[l].cand))
 			}
+		}
+		// Banded kernel under its preconditions: band covers every cap
+		// and the length gap. Must match the full kernel exactly.
+		band := 1
+		for _, p := range pairs {
+			if p.cap > band {
+				band = p.cap
+			}
+		}
+		if la-lb > band || lb-la > band {
+			return
+		}
+		var outB, outB2 [Width]uint16
+		LevBandedBatch(ab, la, bb, lb, band, &capv, &row, &outB)
+		levBandedBatchGeneric(ab, la, bb, lb, band, &capv, growTestRow(&row2, lb), &outB2)
+		if outB != outB2 {
+			t.Fatalf("banded dispatched %v != banded generic %v (probe %q base %q band %d)",
+				outB, outB2, a, b, band)
+		}
+		if outB != out {
+			t.Fatalf("banded %v != full %v (probe %q base %q band %d)", outB, out, a, b, band)
 		}
 	})
 }

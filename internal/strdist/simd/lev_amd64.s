@@ -2,12 +2,13 @@
 
 #include "textflag.h"
 
-// levBatch16AVX2 sweeps 16 independent Levenshtein dynamic programs in
-// the word lanes of the 256-bit registers: one probe token (broadcast
-// per row) against 16 candidate tokens of equal rune length lb, stored
-// lane-major (cand[j*16+l] = rune j of lane l). The DP row is the
-// uint16 layout of strdist.LevenshteinBoundedScratchU16, widened to 16
-// lanes: row[j] is a 16-lane vector holding D[i][j] per candidate.
+// levBatchAVX2 sweeps 16 independent Levenshtein dynamic programs in
+// the word lanes of the 256-bit registers: 16 (probe token, candidate
+// token) pairs whose sides share the rune lengths (la, lb), both sides
+// stored lane-major (a[i*16+l] = rune i of lane l's probe token,
+// b[j*16+l] = rune j of its candidate). The DP row is the uint16
+// layout of strdist.LevenshteinBoundedScratchU16, widened to 16 lanes:
+// row[j] is a 16-lane vector holding D[i][j] per pair.
 //
 // Per cell (identical to the scalar recurrence):
 //
@@ -23,19 +24,19 @@
 //
 // Register map:
 //
-//	Y1  ai (probe rune, broadcast)   Y10 i (row number, broadcast)
-//	Y2  prev = D[i-1][j-1]           Y12 caps
-//	Y3  left = D[i][j-1]             Y13 caps+1
-//	Y4  row minimum                  Y14 all-ones words (constant 1)
-//	Y5  cur  = D[i-1][j]             Y15 zero
+//	Y1  probe runes, row i          Y10 i (row number, broadcast)
+//	Y2  prev = D[i-1][j-1]          Y12 caps
+//	Y3  left = D[i][j-1]            Y13 caps+1
+//	Y4  row minimum                 Y14 all-ones words (constant 1)
+//	Y5  cur  = D[i-1][j]            Y15 zero
 //	Y6  candidate runes, column j
-//	Y7  cost / best scratch          Y8, Y9 del / ins scratch
+//	Y7  cost / best scratch         Y8, Y9 del / ins scratch
 //
-// func levBatch16AVX2(probe *uint16, la int, cand *uint16, lb int, caps *uint16, row *uint16, out *uint16)
-TEXT ·levBatch16AVX2(SB), NOSPLIT, $0-56
-	MOVQ probe+0(FP), SI
+// func levBatchAVX2(a *uint16, la int, b *uint16, lb int, caps *uint16, row *uint16, out *uint16)
+TEXT ·levBatchAVX2(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), SI
 	MOVQ la+8(FP), AX
-	MOVQ cand+16(FP), DI
+	MOVQ b+16(FP), DI
 	MOVQ lb+24(FP), BX
 	MOVQ caps+32(FP), DX
 	MOVQ row+40(FP), R8
@@ -60,11 +61,11 @@ initrow:
 	DECQ     CX
 	JNZ      initrow
 
-	MOVQ  $0, R11               // i-1
 	VPXOR Y10, Y10, Y10         // i (incremented at loop head)
 
 rowloop:
-	VPBROADCASTW (SI)(R11*2), Y1
+	VMOVDQU (SI), Y1            // probe runes, lane-major row i
+	ADDQ    $32, SI
 
 	VMOVDQU  (R8), Y2           // prev = D[i-1][0]
 	VPADDUSW Y14, Y10, Y10      // i
@@ -102,9 +103,8 @@ colloop:
 	TESTL     R13, R13
 	JZ        abort
 
-	INCQ R11
-	CMPQ R11, AX
-	JLT  rowloop
+	DECQ AX
+	JNZ  rowloop
 
 	// out = min(D[la][lb], caps+1)
 	MOVQ    BX, CX
@@ -116,6 +116,167 @@ colloop:
 	RET
 
 abort:
+	VMOVDQU Y13, (R9)
+	VZEROUPPER
+	RET
+
+// levBandedBatchAVX2 is levBatchAVX2 restricted to the diagonal band
+// |i-j| <= band of every lane's DP matrix, with the out-of-band
+// sentinel discipline of strdist.LevenshteinBoundedScratchU16 (and of
+// levBandedBatchGeneric, its bit-identical reference): row cells beyond
+// column band initialize to the u16Inf sentinel (1<<15), the cell left
+// of the band start is overwritten with the sentinel once column lo-1
+// falls out of the band (i > band — at i == band+1 the band still
+// starts at column 1 but column 0 has just left it), and the stale
+// cell at the band's right edge is the previous row's sentinel by
+// construction (no row ever wrote that far right). Per row only
+// hi-lo+1 <= 2*band+1 column cells are touched, which is the whole
+// point: under a tight cap the full matrix is almost entirely dead
+// band exterior.
+//
+// Preconditions on top of levBatchAVX2's: band >= 1, caps[l] <= band
+// and |la-lb| <= band for every lane (see LevBandedBatch).
+//
+// Register map: as levBatchAVX2, plus
+//
+//	Y11 u16Inf sentinel, broadcast
+//	R14 band    R11 i    R15 lo    DX hi-lo+1 (caps pointer is dead after the prologue)
+//
+// func levBandedBatchAVX2(a *uint16, la int, b *uint16, lb int, band int, caps *uint16, row *uint16, out *uint16)
+TEXT ·levBandedBatchAVX2(SB), NOSPLIT, $0-64
+	MOVQ a+0(FP), SI
+	MOVQ la+8(FP), AX
+	MOVQ b+16(FP), DI
+	MOVQ lb+24(FP), BX
+	MOVQ band+32(FP), R14
+	MOVQ caps+40(FP), DX
+	MOVQ row+48(FP), R8
+	MOVQ out+56(FP), R9
+
+	VPXOR    Y15, Y15, Y15
+	VMOVDQU  (DX), Y12
+	VPCMPEQW Y14, Y14, Y14
+	VPSRLW   $15, Y14, Y14      // each word lane = 1
+	VPADDUSW Y14, Y12, Y13      // caps+1
+	VPSLLW   $15, Y14, Y11      // u16Inf = 1<<15 per lane
+
+	// row[j] = broadcast(j) for j = 0..min(band, lb); u16Inf beyond.
+	VPXOR Y0, Y0, Y0
+	MOVQ  R8, R10
+	MOVQ  BX, CX
+	INCQ  CX                    // lb+1 cells total
+	MOVQ  R14, R13
+	INCQ  R13                   // band+1 in-band init cells
+	CMPQ  R13, CX
+	CMOVQGT CX, R13             // R13 = min(band+1, lb+1)
+	SUBQ  R13, CX               // CX = sentinel cells
+
+initband:
+	VMOVDQU  Y0, (R10)
+	VPADDUSW Y14, Y0, Y0
+	ADDQ     $32, R10
+	DECQ     R13
+	JNZ      initband
+	TESTQ    CX, CX
+	JZ       initdone
+
+initinf:
+	VMOVDQU Y11, (R10)
+	ADDQ    $32, R10
+	DECQ    CX
+	JNZ     initinf
+
+initdone:
+	VPXOR Y10, Y10, Y10         // i vector (incremented at loop head)
+	MOVQ  $0, R11               // i (incremented at loop head)
+
+browloop:
+	INCQ     R11
+	VPADDUSW Y14, Y10, Y10      // broadcast i
+	VMOVDQU  (SI), Y1           // probe runes, lane-major row i
+	ADDQ     $32, SI
+
+	// lo = max(1, i-band), hi = min(lb, i+band).
+	MOVQ R11, R15
+	SUBQ R14, R15               // i - band
+	MOVQ $1, CX
+	CMPQ R15, CX
+	CMOVQLT CX, R15             // lo
+	MOVQ R11, DX
+	ADDQ R14, DX                // i + band
+	CMPQ DX, BX
+	CMOVQGT BX, DX              // hi
+	SUBQ R15, DX
+	INCQ DX                     // hi - lo + 1 column cells (>= 1)
+
+	// Boundary cell at column lo-1: prev = D[i-1][lo-1] (always valid),
+	// then the cell becomes the sentinel once out of band (i > band),
+	// else column 0 stays real: D[i][0] = i.
+	MOVQ R15, R10
+	DECQ R10
+	SHLQ $5, R10
+	ADDQ R8, R10                // &row[lo-1]
+	VMOVDQU (R10), Y2           // prev = D[i-1][lo-1]
+	CMPQ R11, R14
+	JGT  bsentinel
+	VMOVDQU Y10, (R10)          // D[i][0] = i
+	VMOVDQA Y10, Y3             // left = i
+	JMP  bboundone
+
+bsentinel:
+	VMOVDQU Y11, (R10)          // out-of-band boundary = u16Inf
+	VMOVDQA Y11, Y3             // left = u16Inf
+
+bboundone:
+	VMOVDQA Y11, Y4             // rowMin = u16Inf (in-band cells only)
+
+	// Cell pointer at column lo (32(R10) after the boundary), candidate
+	// pointer at column lo's runes.
+	MOVQ R15, R12
+	DECQ R12
+	SHLQ $5, R12
+	ADDQ DI, R12                // &b[(lo-1)*16]
+	MOVQ DX, CX
+
+bcolloop:
+	VMOVDQU  32(R10), Y5        // cur = D[i-1][j] (u16Inf past row i-1's band)
+	VMOVDQU  (R12), Y6
+	VPCMPEQW Y6, Y1, Y7         // 0xFFFF where runes equal
+	VPANDN   Y14, Y7, Y7        // cost = 1 - equal
+	VPADDUSW Y7, Y2, Y7         // sub = prev + cost
+	VPADDUSW Y14, Y5, Y8        // del = cur + 1
+	VPADDUSW Y14, Y3, Y9        // ins = left + 1
+	VPMINUW  Y8, Y7, Y7
+	VPMINUW  Y9, Y7, Y7         // best
+	VMOVDQU  Y7, 32(R10)
+	VPMINUW  Y7, Y4, Y4
+	VMOVDQA  Y5, Y2             // prev = cur
+	VMOVDQA  Y7, Y3             // left = best
+	ADDQ     $32, R10
+	ADDQ     $32, R12
+	DECQ     CX
+	JNZ      bcolloop
+
+	// All lanes dead (rowMin > cap everywhere)?
+	VPSUBUSW  Y12, Y4, Y4
+	VPCMPEQW  Y15, Y4, Y4
+	VPMOVMSKB Y4, R13
+	TESTL     R13, R13
+	JZ        babort
+
+	CMPQ R11, AX
+	JLT  browloop
+
+	// out = min(D[la][lb], caps+1)
+	MOVQ    BX, CX
+	SHLQ    $5, CX
+	VMOVDQU (R8)(CX*1), Y0
+	VPMINUW Y13, Y0, Y0
+	VMOVDQU Y0, (R9)
+	VZEROUPPER
+	RET
+
+babort:
 	VMOVDQU Y13, (R9)
 	VZEROUPPER
 	RET

@@ -1,0 +1,126 @@
+//go:build arm64 && !nosimd
+
+#include "textflag.h"
+
+// levBatchNEON is the arm64 port of levBatchAVX2: 8 independent
+// Levenshtein dynamic programs in the uint16 lanes of one 128-bit NEON
+// register, both sides lane-major (a[i*8+l] = rune i of lane l's probe
+// token, b[j*8+l] = rune j of its candidate), all lanes sharing the
+// rune lengths (la, lb). Same recurrence, same all-lanes row-minima
+// abort, same min(LD, cap+1) clamp — bit-identical to levBatchGeneric
+// at Width 8 (TestSIMDEquivalenceKernel runs on this path under qemu,
+// see TestNEONKernelLive).
+//
+// Two translation notes versus the AVX2 kernel:
+//
+//   - Adds are plain VADD, not saturating: under the documented
+//     preconditions (la+lb < 32768, caps < 1<<15-1, token runes
+//     BMP-narrowed) no DP cell exceeds la+lb < 32768 and caps+1 never
+//     wraps, so saturation is unreachable and plain adds are
+//     bit-identical (addSat in generic.go documents the same argument).
+//   - The substitution cost and the lane-death test use only
+//     commutative identities: cost = (eqmask == 0) & 1 via a second
+//     VCMEQ against zero (no AND-NOT on this assembler), and lane
+//     alive iff umax(rowMin, caps) == caps (no unsigned-greater
+//     compare), with the 128-bit alive mask collapsed through the two
+//     64-bit halves (no horizontal-min instruction).
+//
+// Register map:
+//
+//	V1  probe runes, row i          V10 i (row number, broadcast)
+//	V2  prev = D[i-1][j-1]          V12 caps
+//	V3  left = D[i][j-1]            V13 caps+1
+//	V4  row minimum                 V14 ones (each lane = 1)
+//	V5  cur  = D[i-1][j]            V15 zero
+//	V6  candidate runes, column j
+//	V7  cost / best scratch         V8, V9 del / ins scratch
+//
+//	R0 a (advances 16 bytes/row)    R7  row cell pointer
+//	R1 la (counts down)             R8  column counter
+//	R2 b                            R9  candidate rune pointer
+//	R3 lb                           R10, R11 abort-mask halves
+//	R5 row base    R6 out
+//
+// func levBatchNEON(a *uint16, la int, b *uint16, lb int, caps *uint16, row *uint16, out *uint16)
+TEXT ·levBatchNEON(SB), NOSPLIT, $0-56
+	MOVD a+0(FP), R0
+	MOVD la+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD lb+24(FP), R3
+	MOVD caps+32(FP), R4
+	MOVD row+40(FP), R5
+	MOVD out+48(FP), R6
+
+	VMOVI $0, V15.B16
+	VLD1  (R4), [V12.H8]
+	VCMEQ V14.H8, V14.H8, V14.H8
+	VUSHR $15, V14.H8, V14.H8   // each lane = 1
+	VADD  V14.H8, V12.H8, V13.H8 // caps+1
+
+	// row[j] = broadcast(j) for j = 0..lb.
+	VMOVI $0, V0.B16
+	MOVD  R5, R7
+	ADD   $1, R3, R8            // lb+1 cells
+
+initrow:
+	VST1.P [V0.H8], 16(R7)
+	VADD   V14.H8, V0.H8, V0.H8
+	SUB    $1, R8, R8
+	CBNZ   R8, initrow
+
+	VMOVI $0, V10.B16           // i (incremented at loop head)
+
+rowloop:
+	VLD1.P 16(R0), [V1.H8]      // probe runes, lane-major row i
+
+	VLD1 (R5), [V2.H8]          // prev = D[i-1][0]
+	VADD V14.H8, V10.H8, V10.H8 // i
+	VST1 [V10.H8], (R5)         // D[i][0] = i
+	VMOV V10.B16, V3.B16        // left
+	VMOV V10.B16, V4.B16        // rowMin (column 0 participates)
+
+	MOVD R2, R9                 // candidate runes, column 1
+	MOVD R5, R7                 // cell pointer: D[.][j] at 16(R7)
+	MOVD R3, R8
+
+colloop:
+	ADD    $16, R7, R7
+	VLD1   (R7), [V5.H8]        // cur = D[i-1][j]
+	VLD1.P 16(R9), [V6.H8]
+	VCMEQ  V6.H8, V1.H8, V7.H8  // 0xFFFF where runes equal
+	VCMEQ  V7.H8, V15.H8, V7.H8 // 0xFFFF where runes differ
+	VAND   V7.B16, V14.B16, V7.B16 // cost = 1 - equal
+	VADD   V7.H8, V2.H8, V7.H8  // sub = prev + cost
+	VADD   V14.H8, V5.H8, V8.H8 // del = cur + 1
+	VADD   V14.H8, V3.H8, V9.H8 // ins = left + 1
+	VUMIN  V8.H8, V7.H8, V7.H8
+	VUMIN  V9.H8, V7.H8, V7.H8  // best
+	VST1   [V7.H8], (R7)
+	VUMIN  V7.H8, V4.H8, V4.H8
+	VMOV   V5.B16, V2.B16       // prev = cur
+	VMOV   V7.B16, V3.B16       // left = best
+	SUB    $1, R8, R8
+	CBNZ   R8, colloop
+
+	// All lanes dead? alive iff umax(rowMin, caps) == caps.
+	VUMAX V4.H8, V12.H8, V7.H8
+	VCMEQ V7.H8, V12.H8, V7.H8  // 0xFFFF iff lane alive
+	VMOV  V7.D[0], R10
+	VMOV  V7.D[1], R11
+	ORR   R11, R10, R10
+	CBZ   R10, abort
+
+	SUB  $1, R1, R1
+	CBNZ R1, rowloop
+
+	// out = min(D[la][lb], caps+1)
+	LSL  $4, R3, R8
+	ADD  R8, R5, R7
+	VLD1 (R7), [V0.H8]
+	VUMIN V13.H8, V0.H8, V0.H8
+	VST1 [V0.H8], (R6)
+	RET
+
+abort:
+	VST1 [V13.H8], (R6)
+	RET

@@ -1,29 +1,43 @@
 // Package simd provides vectorized batched inner loops for the banded
 // Levenshtein verification stage. One kernel invocation sweeps Width
-// independent dynamic programs — the same probe token against Width
-// candidate tokens of equal length — through uint16 DP rows laid out
-// lane-major, the layout the uint16 scratch rows of internal/strdist
-// were shaped for.
+// independent dynamic programs — Width (probe token, candidate token)
+// PAIRS whose sides all share the rune lengths (la, lb) — through
+// uint16 DP rows laid out lane-major, the layout the uint16 scratch
+// rows of internal/strdist were shaped for. Both sides are lane-major
+// (a[i*Width+l] is rune i of lane l's probe-side token), so the lanes
+// of one invocation are free to mix tokens from different probes:
+// that is what lets internal/core pool surviving cells across
+// candidates AND probes until a full lane group accumulates.
 //
-// The AVX2 kernel (lev_amd64.s) is selected at init via CPUID feature
-// detection and gated behind `amd64 && !nosimd` build tags; every other
-// configuration — other architectures, or any build with `-tags nosimd`
-// — runs the portable generic kernel, which is bit-identical by
-// construction and property-tested against both the assembly and the
-// scalar DP (TestSIMDEquivalenceKernel, FuzzLevenshteinSIMDEquivalence).
+// Two kernels share the layout:
+//
+//   - LevBatch sweeps the full la x lb matrix per lane — the right
+//     shape when the per-lane cap is of the same order as the token
+//     lengths, where the band would cover most of the matrix anyway.
+//   - LevBandedBatch sweeps only the 2*band+1 diagonal band per row,
+//     with the out-of-band sentinel discipline of
+//     strdist.LevenshteinBoundedScratchU16; under a tight cap
+//     (band << lb) it touches a small fraction of the cells and makes
+//     tight thresholds profitable on the vector path too.
+//
+// Per architecture: amd64 runs AVX2 assembly for both kernels (16
+// lanes), selected at init via CPUID feature detection; arm64 runs a
+// NEON LevBatch (8 lanes) with the banded variant on the portable
+// kernel; every other configuration — other architectures, or any
+// build with `-tags nosimd` — runs the portable generic kernels, which
+// are bit-identical by construction and property-tested against both
+// the assembly and the scalar DP (TestSIMDEquivalenceKernel,
+// TestSIMDEquivalenceBandedKernel, FuzzLevenshteinSIMDEquivalence).
 package simd
 
-// Width is the number of DP lanes one kernel invocation sweeps: 16
-// uint16 lanes of one 256-bit vector register.
-const Width = 16
-
-// LevBatch16 computes, for every lane l in [0, Width),
+// LevBatch computes, for every lane l in [0, Width),
 //
-//	out[l] = min(LD(probe, cand lane l), caps[l]+1)
+//	out[l] = min(LD(a lane l, b lane l), caps[l]+1)
 //
-// where cand is the lane-major transposed rune matrix of Width candidate
-// tokens that all have rune length lb (cand[j*Width+l] is rune j of lane
-// l) and probe is one token's runes narrowed to uint16. A result
+// where a and b are lane-major transposed rune matrices of Width
+// probe-side tokens of rune length la and Width candidate-side tokens
+// of rune length lb (a[i*Width+l] is rune i of lane l's probe token,
+// b[j*Width+l] rune j of its candidate token). A result
 // out[l] <= caps[l] is the exact Levenshtein distance; out[l] ==
 // caps[l]+1 means only LD > caps[l] (the kernel may abort a row early
 // once every lane's row minimum exceeds its cap — the same row-minima
@@ -33,12 +47,42 @@ const Width = 16
 // calls so steady-state invocations allocate nothing.
 //
 // Preconditions (the caller enforces them; internal/core routes
-// violating cells to the scalar DP): len(probe) >= 1, lb >= 1, every
-// rune of probe and cand below 0x10000 and narrowed injectively, and
-// len(probe)+lb < 32768 so no DP cell saturates uint16 arithmetic.
-// Unused lanes must be padded by replicating an occupied lane (runes
-// and cap) so the all-lanes abort sees only real data.
-func LevBatch16(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row *[]uint16, out *[Width]uint16) {
+// violating cells to the scalar DP): la >= 1, lb >= 1, every rune
+// narrowed injectively from the BMP, la+lb < 32768 and every cap below
+// 1<<15-1 so no DP cell or cap+1 saturates uint16 arithmetic. Unused
+// lanes may carry arbitrary rune data — lanes are fully independent
+// except for the all-lanes abort — but their caps must still sit below
+// 1<<15-1; out values in unused lanes are unspecified. (The abort can
+// only fire once EVERY lane's row minimum exceeds its cap, so a stale
+// lane can delay it, never force it while an occupied lane is alive;
+// occupied lanes receive min(LD, cap+1) regardless.)
+func LevBatch(a []uint16, la int, b []uint16, lb int, caps *[Width]uint16, row *[]uint16, out *[Width]uint16) {
+	growKernelRow(row, lb)
+	levBatch(a, la, b, lb, caps, *row, out)
+}
+
+// LevBandedBatch is LevBatch computing only the diagonal band
+// |i-j| <= band of each lane's DP matrix, with cells outside the band
+// pinned to the u16Inf sentinel exactly like
+// strdist.LevenshteinBoundedScratchU16. The banded sweep overestimates
+// any distance that exceeds band and is exact for distances within it,
+// so under the additional preconditions
+//
+//	band >= 1, caps[l] <= band and |la-lb| <= band for every lane
+//
+// the output contract is identical to LevBatch: out[l] =
+// min(LD, caps[l]+1) bit for bit (any edit path of cost <= caps[l] <=
+// band stays within the band, so in-band values are exact wherever the
+// verdict can depend on them). Per row it touches at most 2*band+1
+// cells per lane instead of lb, which is what makes tight budgets
+// (band << lb) profitable on the vector path.
+func LevBandedBatch(a []uint16, la int, b []uint16, lb int, band int, caps *[Width]uint16, row *[]uint16, out *[Width]uint16) {
+	growKernelRow(row, lb)
+	levBandedBatch(a, la, b, lb, band, caps, *row, out)
+}
+
+// growKernelRow sizes the shared DP scratch to Width*(lb+1) cells.
+func growKernelRow(row *[]uint16, lb int) {
 	need := Width * (lb + 1)
 	if cap(*row) < need {
 		c := cap(*row) * 2
@@ -48,5 +92,4 @@ func LevBatch16(probe []uint16, cand []uint16, lb int, caps *[Width]uint16, row 
 		*row = make([]uint16, need, c)
 	}
 	*row = (*row)[:need]
-	levBatch16(probe, cand, lb, caps, *row, out)
 }

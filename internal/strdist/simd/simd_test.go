@@ -2,6 +2,7 @@ package simd
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/strdist"
@@ -17,31 +18,35 @@ func randToken(rng *rand.Rand, n int, alphabet []rune) []rune {
 	return r
 }
 
-func narrow(rs []rune) []uint16 {
-	u := make([]uint16, len(rs))
-	for i, r := range rs {
-		u[i] = uint16(r)
-	}
-	return u
+// lanePair is one (probe token, candidate token, cap) triple occupying
+// a kernel lane.
+type lanePair struct {
+	probe, cand []rune
+	cap         int
 }
 
-// buildLanes transposes cands (each of rune length lb) into the
-// lane-major kernel layout, replicating the last candidate into unused
-// lanes, and returns the matching caps vector.
-func buildLanes(cands [][]rune, lb int, caps []int) ([]uint16, [Width]uint16) {
-	block := make([]uint16, lb*Width)
-	var capv [Width]uint16
+// buildPairLanes transposes pairs (probes of rune length la, candidates
+// of rune length lb) into the two lane-major kernel blocks, replicating
+// the last pair into unused lanes, and returns the caps vector. Lanes
+// carry distinct probes — the cross-probe shape the pair layout exists
+// for.
+func buildPairLanes(pairs []lanePair, la, lb int) (a, b []uint16, capv [Width]uint16) {
+	a = make([]uint16, la*Width)
+	b = make([]uint16, lb*Width)
 	for l := 0; l < Width; l++ {
 		src := l
-		if src >= len(cands) {
-			src = len(cands) - 1
+		if src >= len(pairs) {
+			src = len(pairs) - 1
+		}
+		for i := 0; i < la; i++ {
+			a[i*Width+l] = uint16(pairs[src].probe[i])
 		}
 		for j := 0; j < lb; j++ {
-			block[j*Width+l] = uint16(cands[src][j])
+			b[j*Width+l] = uint16(pairs[src].cand[j])
 		}
-		capv[l] = uint16(caps[src])
+		capv[l] = uint16(pairs[src].cap)
 	}
-	return block, capv
+	return a, b, capv
 }
 
 // expect is the scalar contract: min(LD, cap+1).
@@ -53,50 +58,6 @@ func expect(probe, cand []rune, cap int) int {
 	return d
 }
 
-// TestSIMDEquivalenceKernel drives the dispatched kernel (the AVX2
-// assembly when available, the portable kernel otherwise) and the
-// generic reference across random same-length candidate groups and
-// asserts both agree with the scalar DP on every lane. This is the
-// family the CI equivalence guard requires to run un-skipped.
-func TestSIMDEquivalenceKernel(t *testing.T) {
-	t.Logf("assembly kernel available: %v", Available())
-	rng := rand.New(rand.NewSource(42))
-	alphabet := []rune("abcdeé✓") // multi-byte but BMP runes included
-	var row, row2 []uint16
-	for iter := 0; iter < 2000; iter++ {
-		la := 1 + rng.Intn(16)
-		lb := 1 + rng.Intn(16)
-		probe := randToken(rng, la, alphabet)
-		nc := 1 + rng.Intn(Width)
-		cands := make([][]rune, nc)
-		caps := make([]int, nc)
-		for c := range cands {
-			cands[c] = randToken(rng, lb, alphabet)
-			caps[c] = rng.Intn(20)
-		}
-		block, capv := buildLanes(cands, lb, caps)
-		var out, out2 [Width]uint16
-		LevBatch16(narrow(probe), block, lb, &capv, &row, &out)
-		levBatch16Generic(narrow(probe), block, lb, &capv, growTestRow(&row2, lb), &out2)
-		for l := 0; l < nc; l++ {
-			want := expect(probe, cands[l], caps[l])
-			if int(out[l]) != want && !abortConsistent(out[l], capv[l], want) {
-				t.Fatalf("iter %d lane %d: dispatched kernel %d, want %d (cap %d, probe %q, cand %q)",
-					iter, l, out[l], want, caps[l], string(probe), string(cands[l]))
-			}
-			if out2[l] != out[l] {
-				t.Fatalf("iter %d lane %d: generic %d != dispatched %d", iter, l, out2[l], out[l])
-			}
-		}
-	}
-}
-
-// abortConsistent accepts the one place kernel output may differ from
-// min(LD, cap+1) pointwise: never — the all-lanes abort only fires when
-// every lane's distance exceeds its cap, in which case cap+1 is exactly
-// min(LD, cap+1). Kept as an explicit assertion of that reasoning.
-func abortConsistent(got, cap uint16, want int) bool { return false }
-
 func growTestRow(row *[]uint16, lb int) []uint16 {
 	need := Width * (lb + 1)
 	if cap(*row) < need {
@@ -106,8 +67,98 @@ func growTestRow(row *[]uint16, lb int) []uint16 {
 	return *row
 }
 
-// TestSIMDEquivalenceAbortParity forces the early-abort path (tiny caps,
-// distant strings) on both kernels and checks they agree cell-for-cell.
+// randPairs draws nc lane pairs with per-lane distinct probes of rune
+// length la and candidates of length lb.
+func randPairs(rng *rand.Rand, nc, la, lb, maxCap int, alphabet []rune) []lanePair {
+	pairs := make([]lanePair, nc)
+	for c := range pairs {
+		pairs[c] = lanePair{
+			probe: randToken(rng, la, alphabet),
+			cand:  randToken(rng, lb, alphabet),
+			cap:   rng.Intn(maxCap),
+		}
+	}
+	return pairs
+}
+
+// TestSIMDEquivalenceKernel drives the dispatched full kernel (the
+// assembly when available, the portable kernel otherwise) and the
+// generic reference across random lane groups — every lane its own
+// (probe, candidate) pair — and asserts both agree with the scalar DP
+// on every lane. This is the family the CI equivalence guard requires
+// to run un-skipped.
+func TestSIMDEquivalenceKernel(t *testing.T) {
+	t.Logf("assembly kernel available: %v (width %d)", Available(), Width)
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []rune("abcdeé✓") // multi-byte but BMP runes included
+	var row, row2 []uint16
+	for iter := 0; iter < 2000; iter++ {
+		la := 1 + rng.Intn(16)
+		lb := 1 + rng.Intn(16)
+		nc := 1 + rng.Intn(Width)
+		pairs := randPairs(rng, nc, la, lb, 20, alphabet)
+		a, b, capv := buildPairLanes(pairs, la, lb)
+		var out, out2 [Width]uint16
+		LevBatch(a, la, b, lb, &capv, &row, &out)
+		levBatchGeneric(a, la, b, lb, &capv, growTestRow(&row2, lb), &out2)
+		for l := 0; l < nc; l++ {
+			want := expect(pairs[l].probe, pairs[l].cand, pairs[l].cap)
+			if int(out[l]) != want {
+				t.Fatalf("iter %d lane %d: dispatched kernel %d, want %d (cap %d, probe %q, cand %q)",
+					iter, l, out[l], want, pairs[l].cap, string(pairs[l].probe), string(pairs[l].cand))
+			}
+			if out2[l] != out[l] {
+				t.Fatalf("iter %d lane %d: generic %d != dispatched %d", iter, l, out2[l], out[l])
+			}
+		}
+	}
+}
+
+// TestSIMDEquivalenceBandedKernel does the same for the banded kernel
+// under its preconditions (caps <= band, |la-lb| <= band) and
+// additionally asserts the banded output matches the full kernel's
+// bit for bit: both compute exactly min(LD, cap+1) per lane, so the
+// band restriction must be unobservable in the results.
+func TestSIMDEquivalenceBandedKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	alphabet := []rune("abcdeé✓")
+	var row, row2, row3 []uint16
+	for iter := 0; iter < 2000; iter++ {
+		band := 1 + rng.Intn(6)
+		la := 1 + rng.Intn(16)
+		lb := la - band + rng.Intn(2*band+1)
+		if lb < 1 {
+			lb = 1
+		}
+		if lb > 16 {
+			lb = 16
+		}
+		nc := 1 + rng.Intn(Width)
+		pairs := randPairs(rng, nc, la, lb, band+1, alphabet)
+		a, b, capv := buildPairLanes(pairs, la, lb)
+		var out, out2, outFull [Width]uint16
+		LevBandedBatch(a, la, b, lb, band, &capv, &row, &out)
+		levBandedBatchGeneric(a, la, b, lb, band, &capv, growTestRow(&row2, lb), &out2)
+		LevBatch(a, la, b, lb, &capv, &row3, &outFull)
+		for l := 0; l < nc; l++ {
+			want := expect(pairs[l].probe, pairs[l].cand, pairs[l].cap)
+			if int(out[l]) != want {
+				t.Fatalf("iter %d lane %d: banded kernel %d, want %d (band %d, cap %d, probe %q, cand %q)",
+					iter, l, out[l], want, band, pairs[l].cap, string(pairs[l].probe), string(pairs[l].cand))
+			}
+			if out2[l] != out[l] {
+				t.Fatalf("iter %d lane %d: banded generic %d != dispatched %d", iter, l, out2[l], out[l])
+			}
+			if outFull[l] != out[l] {
+				t.Fatalf("iter %d lane %d: full kernel %d != banded %d", iter, l, outFull[l], out[l])
+			}
+		}
+	}
+}
+
+// TestSIMDEquivalenceAbortParity forces the early-abort path (tiny
+// caps, distant strings) on the dispatched and generic kernels — full
+// and banded — and checks they agree lane-for-lane.
 func TestSIMDEquivalenceAbortParity(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	alphabet := []rune("xy")
@@ -116,43 +167,103 @@ func TestSIMDEquivalenceAbortParity(t *testing.T) {
 	for iter := 0; iter < 500; iter++ {
 		la := 4 + rng.Intn(12)
 		lb := 4 + rng.Intn(12)
-		probe := randToken(rng, la, alphabet)
 		nc := 1 + rng.Intn(Width)
-		cands := make([][]rune, nc)
-		caps := make([]int, nc)
-		for c := range cands {
-			cands[c] = randToken(rng, lb, distant)
-			caps[c] = rng.Intn(3) // almost always dead
+		pairs := make([]lanePair, nc)
+		for c := range pairs {
+			pairs[c] = lanePair{
+				probe: randToken(rng, la, alphabet),
+				cand:  randToken(rng, lb, distant),
+				cap:   rng.Intn(3), // almost always dead
+			}
 		}
-		block, capv := buildLanes(cands, lb, caps)
+		a, b, capv := buildPairLanes(pairs, la, lb)
 		var out, out2 [Width]uint16
-		LevBatch16(narrow(probe), block, lb, &capv, &row, &out)
-		levBatch16Generic(narrow(probe), block, lb, &capv, growTestRow(&row2, lb), &out2)
+		LevBatch(a, la, b, lb, &capv, &row, &out)
+		levBatchGeneric(a, la, b, lb, &capv, growTestRow(&row2, lb), &out2)
 		if out != out2 {
 			t.Fatalf("iter %d: dispatched %v != generic %v", iter, out, out2)
 		}
 		for l := 0; l < nc; l++ {
-			want := expect(probe, cands[l], caps[l])
+			want := expect(pairs[l].probe, pairs[l].cand, pairs[l].cap)
 			if int(out[l]) != want {
 				t.Fatalf("iter %d lane %d: got %d want %d", iter, l, out[l], want)
+			}
+		}
+		// Banded variant over the same pairs where its preconditions hold.
+		band := 1
+		for _, p := range pairs {
+			if p.cap > band {
+				band = p.cap
+			}
+		}
+		if la-lb <= band && lb-la <= band {
+			var outB, outB2 [Width]uint16
+			LevBandedBatch(a, la, b, lb, band, &capv, &row, &outB)
+			levBandedBatchGeneric(a, la, b, lb, band, &capv, growTestRow(&row2, lb), &outB2)
+			if outB != outB2 || outB != out {
+				t.Fatalf("iter %d: banded dispatched %v, banded generic %v, full %v — all must agree",
+					iter, outB, outB2, out)
 			}
 		}
 	}
 }
 
-// TestLevBatch16ZeroAlloc pins the steady state: a reused row means no
-// allocations per kernel invocation.
-func TestLevBatch16ZeroAlloc(t *testing.T) {
-	probe := narrow([]rune("kernel"))
-	cands := [][]rune{[]rune("colonel"), []rune("colonel"), []rune("kernels"), []rune("colonel")}
-	block, capv := buildLanes(cands, 7, []int{5, 5, 5, 5})
+// TestNEONKernelLive proves the NEON assembly actually executes — the
+// arm64 CI leg greps its PASS line, so a qemu setup that silently
+// degrades to compile-only fails the build. On arm64 without -tags
+// nosimd the dispatched path must be the assembly (Available() is
+// unconditional there), and it must agree with the generic reference
+// on a fixed group; on other architectures the test skips.
+func TestNEONKernelLive(t *testing.T) {
+	if runtime.GOARCH != "arm64" {
+		t.Skipf("GOARCH %s: NEON kernel not applicable", runtime.GOARCH)
+	}
+	if !Available() {
+		t.Fatal("arm64 build without nosimd must report the NEON kernel available")
+	}
+	pairs := []lanePair{
+		{probe: []rune("kernel"), cand: []rune("colonel"), cap: 5},
+		{probe: []rune("neonzz"), cand: []rune("xeonzzz"), cap: 2},
+		{probe: []rune("vector"), cand: []rune("victors"), cap: 1},
+		{probe: []rune("abcdef"), cand: []rune("ghijklm"), cap: 2},
+	}
+	a, b, capv := buildPairLanes(pairs, 6, 7)
+	var row, row2 []uint16
+	var out, out2 [Width]uint16
+	LevBatch(a, 6, b, 7, &capv, &row, &out)
+	levBatchGeneric(a, 6, b, 7, &capv, growTestRow(&row2, 7), &out2)
+	if out != out2 {
+		t.Fatalf("NEON kernel %v != generic %v", out, out2)
+	}
+	for l, p := range pairs {
+		if want := expect(p.probe, p.cand, p.cap); int(out[l]) != want {
+			t.Fatalf("lane %d: NEON kernel %d, want %d", l, out[l], want)
+		}
+	}
+}
+
+// TestLevBatchZeroAlloc pins the steady state: a reused row means no
+// allocations per kernel invocation, full and banded.
+func TestLevBatchZeroAlloc(t *testing.T) {
+	pairs := []lanePair{
+		{probe: []rune("kernel"), cand: []rune("colonel"), cap: 5},
+		{probe: []rune("kernal"), cand: []rune("colonel"), cap: 5},
+		{probe: []rune("kernel"), cand: []rune("kernels"), cap: 5},
+	}
+	a, b, capv := buildPairLanes(pairs, 6, 7)
 	var row []uint16
 	var out [Width]uint16
-	LevBatch16(probe, block, 7, &capv, &row, &out) // warm the row
+	LevBatch(a, 6, b, 7, &capv, &row, &out) // warm the row
 	allocs := testing.AllocsPerRun(100, func() {
-		LevBatch16(probe, block, 7, &capv, &row, &out)
+		LevBatch(a, 6, b, 7, &capv, &row, &out)
 	})
 	if allocs != 0 {
-		t.Fatalf("LevBatch16 allocates %v/op in steady state, want 0", allocs)
+		t.Fatalf("LevBatch allocates %v/op in steady state, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		LevBandedBatch(a, 6, b, 7, 5, &capv, &row, &out)
+	})
+	if allocs != 0 {
+		t.Fatalf("LevBandedBatch allocates %v/op in steady state, want 0", allocs)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build arm64
+
+package simd
+
+// Width is the number of DP lanes one kernel invocation sweeps: 8
+// uint16 lanes of one 128-bit NEON register. The portable kernels use
+// the same lane count so -tags nosimd batches identically on arm64.
+const Width = 8

@@ -1,0 +1,9 @@
+//go:build !arm64
+
+package simd
+
+// Width is the number of DP lanes one kernel invocation sweeps: 16
+// uint16 lanes of one 256-bit AVX2 register on amd64, and the same
+// shape for the portable kernels so every amd64 build (simd or nosimd)
+// batches identically.
+const Width = 16

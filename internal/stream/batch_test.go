@@ -51,6 +51,82 @@ func TestSIMDEquivalenceStream(t *testing.T) {
 	}
 }
 
+// TestSIMDEquivalenceAddAll: batched insertion with end-of-batch
+// verification (cross-probe staging, addall.go) returns per-element
+// match sets identical to per-element scalar Add on both matcher
+// implementations, across thresholds tight enough to ride the banded
+// kernel and loose enough to ride the full one, with empty strings
+// mixed in. This is the AddAll leg of the CI equivalence guard.
+func TestSIMDEquivalenceAddAll(t *testing.T) {
+	t.Logf("batch kernel available: %v", core.BatchKernelAvailable())
+	names := namegen.Generate(namegen.Config{Seed: 45, NumNames: 200})
+	// Splice in token-less strings so staged batches cover the
+	// empty-probe path too.
+	names[17], names[101], names[102] = "...", "--", "?!"
+	for _, greedy := range []bool{false, true} {
+		for _, th := range []float64{0.1, 0.3} {
+			want, _ := streamAll(t, names, Options{
+				Threshold: th, Greedy: greedy, DisableSIMD: true,
+			})
+
+			seq, err := NewMatcher(Options{Threshold: th, Greedy: greedy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A leading single Add, then the rest in one staged batch:
+			// the batch's lanes mix candidates of many probes.
+			got := [][]Match{seq.Add(names[0])}
+			first, rest := seq.AddAll(names[1:])
+			if first != 1 {
+				t.Fatalf("t=%.2f greedy=%v: sequential AddAll first = %d, want 1", th, greedy, first)
+			}
+			got = append(got, rest...)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("t=%.2f greedy=%v: sequential AddAll differs from scalar Add", th, greedy)
+			}
+			sst := seq.Stats()
+			if core.BatchKernelAvailable() && sst.BatchedPairs == 0 {
+				t.Fatalf("t=%.2f greedy=%v: kernel live but AddAll staged nothing (%+v)", th, greedy, sst)
+			}
+
+			for _, shards := range []int{1, 4} {
+				sh, err := NewShardedMatcher(Options{Threshold: th, Greedy: greedy}, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				firstSh, batch := sh.AddAll(names)
+				st := sh.Stats()
+				sh.Close()
+				if firstSh != 0 {
+					t.Fatalf("t=%.2f greedy=%v shards=%d: first = %d, want 0", th, greedy, shards, firstSh)
+				}
+				for i := range want {
+					// Element-wise like TestShardedEquivalence: the sharded
+					// empty-probe path returns an empty (not nil) slice.
+					if !matchesEqual(want[i], batch[i]) {
+						t.Fatalf("t=%.2f greedy=%v shards=%d element %d: sharded AddAll %v != scalar Add %v",
+							th, greedy, shards, i, batch[i], want[i])
+					}
+				}
+				if core.BatchKernelAvailable() {
+					if st.BatchedPairs == 0 {
+						t.Fatalf("t=%.2f greedy=%v shards=%d: kernel live but AddAll staged nothing (%+v)",
+							th, greedy, shards, st)
+					}
+					if st.SIMDLanes < st.SIMDKernels || st.SIMDLanes > int64(core.BatchKernelWidth())*st.SIMDKernels {
+						t.Fatalf("t=%.2f greedy=%v shards=%d: lane count %d incoherent for %d kernels",
+							th, greedy, shards, st.SIMDLanes, st.SIMDKernels)
+					}
+				}
+				if st.Verified != sst.Verified || st.BudgetPruned != sst.BudgetPruned {
+					t.Fatalf("t=%.2f greedy=%v shards=%d: funnel counters drifted (%d/%d vs %d/%d)",
+						th, greedy, shards, st.Verified, st.BudgetPruned, sst.Verified, sst.BudgetPruned)
+				}
+			}
+		}
+	}
+}
+
 // TestSIMDEquivalenceSharded: the sharded matcher agrees with the
 // sequential scalar baseline at several shard counts with the batch path
 // on, and its SIMD counters behave like the sequential ones.

@@ -396,8 +396,14 @@ func (m *ShardedMatcher) AddAllDurable(names []string) (int, [][]Match, error) {
 	m.mu.RLock()
 	first := len(m.strings)
 	m.mu.RUnlock()
-	for i, ts := range toks {
-		_, matches[i] = m.addTokenized(ts)
+	if m.canStageAddAll(len(toks)) {
+		// Cross-probe staging: the whole batch's verdicts pool in shared
+		// kernel lanes and flush once at the end (see addall.go).
+		copy(matches, m.addAllStaged(toks))
+	} else {
+		for i, ts := range toks {
+			_, matches[i] = m.addTokenized(ts)
+		}
 	}
 	return first, matches, nil
 }

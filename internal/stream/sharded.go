@@ -362,8 +362,67 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 		return out
 	}
 
+	cands := m.genCandidates(ts, probe)
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// Snapshot the strings (and the tombstone mask) after generation:
+	// every candidate id was appended to strings before it reached any
+	// posting list, and dead always has the same length.
+	m.mu.RLock()
+	strs := m.strings
+	dead := m.dead
+	m.mu.RUnlock()
+
+	// ---- Verify ----------------------------------------------------------
+	// Candidates are ascending and chunks are contiguous, so concatenating
+	// per-chunk results in chunk order keeps the output sorted by id.
+	verifyStart := time.Now()
+	defer func() { m.verifyWall.Add(int64(time.Since(verifyStart))) }()
+	chunks := verifyChunkCount(len(cands), len(m.shards))
+	if chunks <= 1 {
+		return m.verifyChunk(ts, strs, dead, cands)
+	}
+	var wg sync.WaitGroup
+	parts := make([][]Match, chunks)
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * len(cands) / chunks
+		hi := (c + 1) * len(cands) / chunks
+		part, chunk := &parts[c], cands[lo:hi]
+		m.pool.submit(func() {
+			defer wg.Done()
+			*part = m.verifyChunk(ts, strs, dead, chunk)
+		})
+	}
+	wg.Wait()
+	var out []Match
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// verifyChunkCount splits n ascending candidates into at most shards
+// verification chunks of at least minPerChunk candidates each.
+func verifyChunkCount(n, shards int) int {
+	const minPerChunk = 16
+	chunks := n / minPerChunk
+	if chunks > shards {
+		chunks = shards
+	}
+	return chunks
+}
+
+// genCandidates fans the (prefix-marked) probe out to every shard,
+// merges, deduplicates and sorts the resulting candidate ids, and folds
+// the probe counters into the matcher's stats. The caller has ruled out
+// the empty probe.
+func (m *ShardedMatcher) genCandidates(ts token.TokenizedString, probe []probeToken) []int32 {
 	// ---- Generate: fan out to the shards --------------------------------
 	genStart := time.Now()
+	defer func() { m.candGenWall.Add(int64(time.Since(genStart))) }()
 	m.markProbe(ts, probe)
 
 	// Every shard then resolves the (prefix-marked) probe: exact-token
@@ -431,51 +490,11 @@ func (m *ShardedMatcher) match(ts token.TokenizedString, probe []probeToken) []M
 
 	// ---- Merge and deduplicate ------------------------------------------
 	if len(cands) == 0 {
-		m.candGenWall.Add(int64(time.Since(genStart)))
 		return nil
 	}
 	slices.Sort(cands)
 	cands = slices.Compact(cands)
-	m.candGenWall.Add(int64(time.Since(genStart)))
-
-	// Snapshot the strings (and the tombstone mask) after generation:
-	// every candidate id was appended to strings before it reached any
-	// posting list, and dead always has the same length.
-	m.mu.RLock()
-	strs := m.strings
-	dead := m.dead
-	m.mu.RUnlock()
-
-	// ---- Verify ----------------------------------------------------------
-	// Candidates are ascending and chunks are contiguous, so concatenating
-	// per-chunk results in chunk order keeps the output sorted by id.
-	verifyStart := time.Now()
-	defer func() { m.verifyWall.Add(int64(time.Since(verifyStart))) }()
-	const minPerChunk = 16
-	chunks := len(cands) / minPerChunk
-	if chunks > len(m.shards) {
-		chunks = len(m.shards)
-	}
-	if chunks <= 1 {
-		return m.verifyChunk(ts, strs, dead, cands)
-	}
-	parts := make([][]Match, chunks)
-	wg.Add(chunks)
-	for c := 0; c < chunks; c++ {
-		lo := c * len(cands) / chunks
-		hi := (c + 1) * len(cands) / chunks
-		part, chunk := &parts[c], cands[lo:hi]
-		m.pool.submit(func() {
-			defer wg.Done()
-			*part = m.verifyChunk(ts, strs, dead, chunk)
-		})
-	}
-	wg.Wait()
-	var out []Match
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return cands
 }
 
 // markProbe prices the probe against the live per-shard frequencies and

@@ -233,7 +233,6 @@ func (m *Matcher) Query(s string) []Match {
 // distinct tokens) against the current index. Generation and verification
 // are separate passes so their wall times are tracked independently.
 func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
-	m.gen++
 	var out []Match
 	if ts.Count() == 0 {
 		for _, e := range m.emptyIDs {
@@ -242,11 +241,31 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 		return out
 	}
 
-	// ---- Generate -------------------------------------------------------
+	cands := m.genCandidates(ts, probe)
+
+	// ---- Verify ---------------------------------------------------------
+	verifyStart := time.Now()
+	var verified, pruned int64
+	out, verified, pruned = m.bver.verifyCands(ts, m.strings, nil, cands, &m.opt, &m.batchCtr, out)
+	m.verified += verified
+	m.budgetPruned += pruned
+	m.verifyWall += time.Since(verifyStart)
+	sortMatches(out)
+	return out
+}
+
+// genCandidates probes the index with ts's (prefix-marked) distinct
+// tokens and returns the deduplicated candidate ids. The returned
+// slice is the matcher's reusable buffer: valid until the next call.
+// The caller has ruled out the empty probe.
+func (m *Matcher) genCandidates(ts token.TokenizedString, probe []probeToken) []int32 {
+	m.gen++
+	start := time.Now()
+	defer func() { m.candGenWall += time.Since(start) }()
+
 	// The prefix marks serve both filters, so they are computed when
 	// either is on (probeToken.nonPrefix records the raw fact; the index
 	// consults its own filter flags).
-	start := time.Now()
 	if !m.opt.DisablePrefixFilter || !m.opt.DisableSegmentPrefixFilter {
 		m.freqBuf = m.freqBuf[:0]
 		for _, p := range probe {
@@ -262,15 +281,5 @@ func (m *Matcher) match(ts token.TokenizedString, probe []probeToken) []Match {
 		m.seen[cand] = m.gen
 		m.candBuf = append(m.candBuf, cand)
 	})
-	genDone := time.Now()
-	m.candGenWall += genDone.Sub(start)
-
-	// ---- Verify ---------------------------------------------------------
-	var verified, pruned int64
-	out, verified, pruned = m.bver.verifyCands(ts, m.strings, nil, m.candBuf, &m.opt, &m.batchCtr, out)
-	m.verified += verified
-	m.budgetPruned += pruned
-	m.verifyWall += time.Since(genDone)
-	sortMatches(out)
-	return out
+	return m.candBuf
 }

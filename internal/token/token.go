@@ -25,6 +25,10 @@ type TokenizedString struct {
 	// lenHist caches the ascending token-length histogram, so the
 	// per-candidate-pair lower-bound filter costs no allocation.
 	lenHist []int
+	// bmpOnly caches whether every rune sits in the Basic Multilingual
+	// Plane — the precondition for the uint16-narrowed vector kernels,
+	// checked once here instead of per candidate visit.
+	bmpOnly bool
 }
 
 // New builds a TokenizedString from an arbitrary (unsorted) multiset of
@@ -50,11 +54,18 @@ func (ts *TokenizedString) index() {
 	ts.runes = make([][]rune, len(ts.Tokens))
 	ts.aggLen = 0
 	ts.lenHist = make([]int, len(ts.Tokens))
+	ts.bmpOnly = true
 	for i, t := range ts.Tokens {
 		r := []rune(t)
 		ts.runes[i] = r
 		ts.aggLen += len(r)
 		ts.lenHist[i] = len(r)
+		for _, c := range r {
+			if c < 0 || c >= 0x10000 {
+				ts.bmpOnly = false
+				break
+			}
+		}
 	}
 	sort.Ints(ts.lenHist)
 }
@@ -68,6 +79,18 @@ func (ts TokenizedString) AggregateLen() int { return ts.aggLen }
 // TokenRunes returns the decoded form of token i. The caller must not
 // mutate the returned slice.
 func (ts TokenizedString) TokenRunes(i int) []rune { return ts.runes[i] }
+
+// RuneSlices returns the decoded form of every token, aligned with
+// Tokens. The caller must not mutate the returned slices; hot loops use
+// this to avoid re-copying the TokenizedString header per TokenRunes
+// call.
+func (ts *TokenizedString) RuneSlices() [][]rune { return ts.runes }
+
+// BMPOnly reports whether every rune of every token lies in the Basic
+// Multilingual Plane (computed once at construction). Strings
+// assembled without New report false, which only costs them the
+// vector-kernel fast path.
+func (ts *TokenizedString) BMPOnly() bool { return ts.bmpOnly }
 
 // String renders the multiset as a space-joined string (tokens are sorted,
 // so this is a canonical form).

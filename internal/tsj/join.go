@@ -216,6 +216,9 @@ func Join(combined *token.Corpus, boundary int, opts Options) ([]Result, *Stats,
 			},
 		)
 	}
+	// Flush the cross-key staged verdicts before the counters are read;
+	// their results were deferred past the reducers' emit windows.
+	verified = append(verified, ver.drain()...)
 	st.Pipeline.Add(st3)
 	st.DedupedCandidates = ver.lengthPruned.Load() + ver.lbPruned.Load() + ver.verified.Load()
 	st.LengthPruned = ver.lengthPruned.Load()

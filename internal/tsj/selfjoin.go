@@ -227,6 +227,9 @@ func dedupVerify(candidates []uint64, ver *verifier, opts Options,
 			},
 		)
 	}
+	// Flush the cross-key staged verdicts before the counters are read;
+	// their results were deferred past the reducers' emit windows.
+	verified = append(verified, ver.drain()...)
 	st.Pipeline.Add(st3)
 	st.DedupedCandidates = int64(st3.ReduceKeys)
 	if opts.Dedup == GroupOnOneString {

@@ -32,6 +32,10 @@ type verifier struct {
 	// caller didn't opt out. Off, partner lists verify pair by pair
 	// through the (token-LD-cached) scalar engine.
 	batch bool
+	// mu guards engines: every pairVerifier ever built, so drain can
+	// flush stagers the sync.Pool may have dropped.
+	mu      sync.Mutex
+	engines []*pairVerifier
 
 	lengthPruned     atomic.Int64
 	lbPruned         atomic.Int64
@@ -53,7 +57,21 @@ type pairVerifier struct {
 	partners   []token.StringID
 	ids        []token.StringID
 	ys         []*token.TokenizedString
-	res        []core.BatchResult
+	// staged records the reduce keys whose batched verdicts are pending
+	// in the engine's stager: lanes pool token-pair cells across reduce
+	// keys, and the post-job drain flushes and emits them.
+	staged []stagedEmit
+}
+
+// stagedEmit is one reduce key's deferred batched emission: the verdict
+// slots in res are retained by the engine's stager and land by the time
+// drain's FlushBatch returns.
+type stagedEmit struct {
+	k   token.StringID
+	la  int32
+	ids []token.StringID
+	lbs []int32
+	res []core.BatchResult
 }
 
 // newVerifier builds the stage and its engine pool from the join options.
@@ -67,6 +85,12 @@ func newVerifier(c *token.Corpus, opts Options) *verifier {
 		pv := &pairVerifier{}
 		pv.v.Greedy = opts.Aligning == GreedyAligning
 		pv.v.Shared = v.shared
+		// Engines carrying staged verdicts must survive until drain even
+		// if the GC empties the sync.Pool, so the verifier keeps a strong
+		// reference to every engine it ever built.
+		v.mu.Lock()
+		v.engines = append(v.engines, pv)
+		v.mu.Unlock()
 		return pv
 	}
 	return v
@@ -170,11 +194,15 @@ func (v *verifier) verifyPair(a, b token.StringID, pv *pairVerifier, ctx *mapred
 // as x) go through the scalar per-pair engine — verdicts, including
 // greedy tie-breaking, which is orientation-sensitive, stay bit-identical
 // to the unbatched reducer. Partners with k < p all share the probe
-// x = Strings[k], so their filter survivors verify as one batch whose
-// token-distance cells run a vector-lane-width at a time
-// (core.Verifier.VerifyBatch); results are identical, property-tested by
-// TestSIMDEquivalenceJoin. Emission order within a reduce key differs
-// from the per-pair loop, but join results are sorted before return.
+// x = Strings[k], so their filter survivors are STAGED on the engine
+// (core.Verifier.StageBatch): their token-distance cells pool in kernel
+// lanes alongside cells staged by this engine's other reduce keys, and
+// the verdicts are deferred to the post-job drain. Cross-key pooling is
+// what keeps lane fill near the vector width when individual partner
+// lists are short. Results are identical to the per-pair loop,
+// property-tested by TestSIMDEquivalenceJoin; the deferred pairs are
+// emitted by drain, not through ctx, and join results are sorted before
+// return.
 func (v *verifier) verifyPartners(k token.StringID, partners []token.StringID, pv *pairVerifier, ctx *mapreduce.ReduceCtx[Result]) {
 	x := &v.corpus.Strings[k]
 	la := x.AggregateLen()
@@ -227,21 +255,52 @@ func (v *verifier) verifyPartners(k token.StringID, partners []token.StringID, p
 	if len(pv.ids) == 0 {
 		return
 	}
-	if cap(pv.res) < len(pv.ids) {
-		pv.res = make([]core.BatchResult, len(pv.ids), 2*len(pv.ids))
+	// Exact-size allocations: the stager retains &res[i] verdict slots
+	// until the drain's flush, so the backing array must never regrow.
+	se := stagedEmit{
+		k:   k,
+		la:  int32(la),
+		ids: append([]token.StringID(nil), pv.ids...),
+		lbs: make([]int32, len(pv.ids)),
+		res: make([]core.BatchResult, len(pv.ids)),
 	}
-	pv.res = pv.res[:len(pv.ids)]
-	var ctr core.BatchCounters
-	pv.v.VerifyBatch(*x, pv.ys, t, pv.res, &ctr)
+	for i, y := range pv.ys {
+		se.lbs[i] = int32(y.AggregateLen())
+	}
+	pv.v.StageBatch(*x, pv.ys, t, se.res)
+	pv.staged = append(pv.staged, se)
+}
+
+// drain flushes every engine's stager and returns the deferred batched
+// results, folding the verdict and kernel counters the staged pairs
+// skipped at reduce time. Callers run it once, after the verify job's
+// mapreduce.Run returns and before reading the verifier's counters; the
+// engine registry (not the sync.Pool, which the GC may empty) guarantees
+// no staged verdict is lost.
+func (v *verifier) drain() []Result {
+	v.mu.Lock()
+	engines := v.engines
+	v.mu.Unlock()
+	var out []Result
 	var budgetPruned, results int64
-	for i, r := range pv.res {
-		if r.Pruned {
-			budgetPruned++
+	var ctr core.BatchCounters
+	for _, pv := range engines {
+		pv.v.FlushBatch(&ctr)
+		for _, se := range pv.staged {
+			for i, r := range se.res {
+				if r.Pruned {
+					budgetPruned++
+				}
+				if r.Within {
+					results++
+					out = append(out, Result{
+						A: se.k, B: se.ids[i], SLD: r.SLD,
+						NSLD: core.NSLDFromSLD(r.SLD, int(se.la), int(se.lbs[i])),
+					})
+				}
+			}
 		}
-		if r.Within {
-			results++
-			ctx.Emit(Result{A: k, B: pv.ids[i], SLD: r.SLD, NSLD: core.NSLDFromSLD(r.SLD, la, pv.ys[i].AggregateLen())})
-		}
+		pv.staged = pv.staged[:0]
 	}
 	if budgetPruned > 0 {
 		v.budgetPruned.Add(budgetPruned)
@@ -249,7 +308,9 @@ func (v *verifier) verifyPartners(k token.StringID, partners []token.StringID, p
 	if results > 0 {
 		v.results.Add(results)
 	}
-	v.batchedPairs.Add(ctr.Batched)
+	if ctr.Batched > 0 {
+		v.batchedPairs.Add(ctr.Batched)
+	}
 	if ctr.Kernels > 0 {
 		v.simdKernels.Add(ctr.Kernels)
 		v.simdLanes.Add(ctr.Lanes)
@@ -257,4 +318,5 @@ func (v *verifier) verifyPartners(k token.StringID, partners []token.StringID, p
 	if ctr.ScalarCells > 0 {
 		v.batchScalarCells.Add(ctr.ScalarCells)
 	}
+	return out
 }
